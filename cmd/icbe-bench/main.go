@@ -1,0 +1,97 @@
+// Command icbe-bench regenerates the paper's evaluation tables and figures
+// on the reproduction's workloads.
+//
+// Usage:
+//
+//	icbe-bench -all
+//	icbe-bench -table1 -table2
+//	icbe-bench -fig11 -workload stdio
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"icbe/internal/experiments"
+	"icbe/internal/progs"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "run every experiment")
+		table1    = flag.Bool("table1", false, "Table 1: benchmark characteristics")
+		table2    = flag.Bool("table2", false, "Table 2: analysis cost")
+		fig9      = flag.Bool("fig9", false, "Figure 9: statically detectable correlation")
+		fig10     = flag.Bool("fig10", false, "Figure 10: cost/benefit scatter")
+		fig11     = flag.Bool("fig11", false, "Figure 11: reduction vs code growth")
+		headline  = flag.Bool("headline", false, "headline claims (3-18% eliminated, ~2.5x vs intra)")
+		inlining  = flag.Bool("inlining", false, "inlining vs ICBE comparison (paper §5)")
+		heuristic = flag.Bool("heuristic", false, "growth-limit vs profile-guided benefit heuristic")
+		workload  = flag.String("workload", "", "restrict to one workload by name")
+		termLim   = flag.Int("term", experiments.PaperTerminationLimit, "analysis termination limit")
+	)
+	flag.Parse()
+	if !*all && !*table1 && !*table2 && !*fig9 && !*fig10 && !*fig11 && !*headline && !*inlining && !*heuristic {
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	ws := progs.All()
+	if *workload != "" {
+		w := progs.ByName(*workload)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "icbe-bench: unknown workload %q\n", *workload)
+			os.Exit(1)
+		}
+		ws = []*progs.Workload{w}
+	}
+
+	if *all || *table1 {
+		rows, err := experiments.Table1(ws)
+		check(err)
+		fmt.Println(experiments.FormatTable1(rows))
+	}
+	if *all || *table2 {
+		rows, err := experiments.Table2(ws, *termLim)
+		check(err)
+		fmt.Println(experiments.FormatTable2(rows))
+	}
+	if *all || *fig9 {
+		rows, err := experiments.Figure9(ws)
+		check(err)
+		fmt.Println(experiments.FormatFigure9(rows))
+	}
+	if *all || *fig10 {
+		intra, inter, err := experiments.Figure10(ws)
+		check(err)
+		fmt.Println(experiments.FormatFigure10(intra, inter))
+	}
+	if *all || *fig11 {
+		rows, err := experiments.Figure11(ws, *termLim, experiments.PaperDupLimits)
+		check(err)
+		fmt.Println(experiments.FormatFigure11(rows))
+	}
+	if *all || *headline {
+		h, err := experiments.ComputeHeadline(ws, *termLim, experiments.PaperDupLimits)
+		check(err)
+		fmt.Println(experiments.FormatHeadline(h))
+	}
+	if *all || *inlining {
+		rows, err := experiments.InliningComparison(ws, *termLim, 200)
+		check(err)
+		fmt.Println(experiments.FormatInlining(rows))
+	}
+	if *all || *heuristic {
+		rows, err := experiments.HeuristicComparison(ws, *termLim)
+		check(err)
+		fmt.Println(experiments.FormatHeuristic(rows))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icbe-bench:", err)
+		os.Exit(1)
+	}
+}

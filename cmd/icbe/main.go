@@ -1,0 +1,159 @@
+// Command icbe compiles a MiniC program, optionally applies interprocedural
+// conditional branch elimination, and runs or inspects the result.
+//
+// Usage:
+//
+//	icbe [flags] program.mc
+//
+// Examples:
+//
+//	icbe -stats program.mc                 # size statistics
+//	icbe -run -input 1,2,3 program.mc      # execute
+//	icbe -optimize -run -input 1 program.mc
+//	icbe -optimize -report program.mc      # per-conditional analysis report
+//	icbe -optimize -intra program.mc       # intraprocedural baseline
+//	icbe -dump program.mc                  # ICFG listing
+//	icbe -dot program.mc | dot -Tsvg       # ICFG drawing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"icbe"
+)
+
+func main() {
+	var (
+		doDump   = flag.Bool("dump", false, "print the ICFG as text")
+		doDot    = flag.Bool("dot", false, "print the ICFG in Graphviz dot format")
+		doStats  = flag.Bool("stats", false, "print program size statistics")
+		doRun    = flag.Bool("run", false, "execute the program")
+		doOpt    = flag.Bool("optimize", false, "apply conditional branch elimination first")
+		doReport = flag.Bool("report", false, "print the per-conditional optimization report")
+		intra    = flag.Bool("intra", false, "use the intraprocedural baseline instead of ICBE")
+		dupLimit = flag.Int("limit", 0, "per-conditional duplication limit N (0 = unlimited)")
+		termLim  = flag.Int("term", 1000, "analysis termination limit in node-query pairs (0 = unlimited)")
+		inputStr = flag.String("input", "", "comma-separated int64 input stream for -run")
+		hints    = flag.Int("hints", 0, "print branch-prediction hints for the conditional on this line")
+		inliner  = flag.Bool("inline-priorities", false, "rank procedures for correlation-directed inlining")
+		compact  = flag.Bool("compact", false, "contract synthetic no-op nodes after optimization")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: icbe [flags] program.mc")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := icbe.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *doStats {
+		st := prog.Stats()
+		fmt.Printf("lines        %d\nprocedures   %d\nnodes        %d\noperations   %d\nconditionals %d (analyzable %d)\n",
+			st.SourceLines, st.Procedures, st.Nodes, st.Operations, st.Conditionals, st.AnalyzableConds)
+	}
+
+	if *hints > 0 {
+		hs := prog.PredictionHints(*hints, icbe.DefaultOptions())
+		if len(hs) == 0 {
+			fmt.Printf("no correlation sources for a conditional on line %d\n", *hints)
+		}
+		for _, h := range hs {
+			where := "intraprocedural"
+			if h.Interprocedural {
+				where = "interprocedural"
+			}
+			extra := ""
+			if h.BranchLine > 0 {
+				extra = fmt.Sprintf(" (predict from the branch on line %d)", h.BranchLine)
+			}
+			fmt.Printf("line %d: outcome %s decided by %s source at line %d, %s%s\n",
+				*hints, h.Outcome, h.SourceKind, h.SourceLine, where, extra)
+		}
+	}
+	if *inliner {
+		fmt.Printf("%-16s %14s %8s\n", "procedure", "cross-boundary", "weight")
+		for _, pr := range prog.InliningPriorities(icbe.DefaultOptions(), nil) {
+			fmt.Printf("%-16s %14d %8d\n", pr.Procedure, pr.Conditionals, pr.Weight)
+		}
+	}
+
+	work := prog
+	if *doOpt {
+		opts := icbe.DefaultOptions()
+		if *intra {
+			opts = icbe.IntraOptions()
+		}
+		opts.MaxDuplication = *dupLimit
+		opts.TerminationLimit = *termLim
+		opts.Compact = *compact
+		var rep *icbe.Report
+		work, rep = prog.Optimize(opts)
+		fmt.Printf("optimized %d conditionals (%d node-query pairs, operations %d -> %d)\n",
+			rep.Optimized, rep.PairsTotal, rep.OperationsBefore, rep.OperationsAfter)
+		if *doReport {
+			fmt.Printf("%6s %10s %8s %6s %8s %8s %8s\n",
+				"line", "analyzable", "answers", "full", "dup est", "pairs", "applied")
+			for _, c := range rep.Conditionals {
+				status := fmt.Sprintf("%v", c.Applied)
+				if c.Err != nil {
+					status = "error"
+				}
+				fmt.Printf("%6d %10v %8s %6v %8d %8d %8s\n",
+					c.Line, c.Analyzable, c.Answers, c.Full, c.DupEstimate, c.PairsProcessed, status)
+			}
+		}
+	}
+
+	if *doDump {
+		fmt.Print(work.Dump())
+	}
+	if *doDot {
+		fmt.Print(work.Dot())
+	}
+	if *doRun {
+		input, err := parseInput(*inputStr)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := work.Run(input)
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range res.Output {
+			fmt.Println(v)
+		}
+		fmt.Fprintf(os.Stderr, "executed %d operations, %d conditionals\n", res.Operations, res.Conditionals)
+	}
+}
+
+func parseInput(s string) ([]int64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad input element %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "icbe:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Hints demonstrates the paper's §5 side applications of the correlation
+// analysis, without transforming the program:
+//
+//   - branch-prediction directives: for a correlated conditional, report
+//     which earlier program point decides its outcome (so a predictor can
+//     key on that branch instead of tracking the last k outcomes);
+//   - correlation-directed inlining priorities: rank procedures by the
+//     correlation that crosses their boundaries, the order in which a
+//     conventional inliner should integrate them.
+//
+// Run with:
+//
+//	go run ./examples/hints
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"icbe"
+)
+
+const src = `
+var errors;
+
+func validate(v) {
+	if (v < 0) { errors = errors + 1; return 0; }
+	if (v > 1000) { errors = errors + 1; return 0; }
+	return 1;
+}
+
+func process(v) {
+	var ok = validate(v);
+	if (ok == 0) { return -1; }
+	var r = v;
+	if (v > 500) { r = v - 500; }
+	return r;
+}
+
+func main() {
+	errors = 0;
+	var v = input();
+	var total = 0;
+	while (v != -1) {
+		var r = process(v);
+		if (r >= 0) { total = total + r; }
+		v = input();
+	}
+	print(total);
+	print(errors);
+}
+`
+
+func main() {
+	prog, err := icbe.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Prediction hints for the `ok == 0` test inside process.
+	okLine := 0
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, "if (ok == 0)") {
+			okLine = i + 1
+		}
+	}
+	fmt.Printf("prediction hints for the validation re-test (line %d):\n", okLine)
+	for _, h := range prog.PredictionHints(okLine, icbe.DefaultOptions()) {
+		where := "same procedure"
+		if h.Interprocedural {
+			where = "across the call"
+		}
+		extra := ""
+		if h.BranchLine > 0 {
+			extra = fmt.Sprintf(" — predict from the branch on line %d", h.BranchLine)
+		}
+		fmt.Printf("  outcome %-5s decided by %-15s at line %2d (%s)%s\n",
+			h.Outcome, h.SourceKind, h.SourceLine, where, extra)
+	}
+
+	// Inlining priorities, weighted by a profiled run.
+	profiled, err := prog.RunProfiled([]int64{100, -5, 700, 2000, 3, -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncorrelation-directed inlining priorities (profile-weighted):")
+	for _, pr := range prog.InliningPriorities(icbe.DefaultOptions(), profiled) {
+		fmt.Printf("  %-10s crossing conditionals %d, weight %d\n",
+			pr.Procedure, pr.Conditionals, pr.Weight)
+	}
+
+	// And, for reference, what ICBE itself would do.
+	opt, rep := prog.Optimize(icbe.DefaultOptions())
+	after, _ := opt.Run([]int64{100, -5, 700, 2000, 3, -1})
+	before, _ := prog.Run([]int64{100, -5, 700, 2000, 3, -1})
+	fmt.Printf("\nICBE: optimized %d conditionals, executed conditionals %d -> %d\n",
+		rep.Optimized, before.Conditionals, after.Conditionals)
+}

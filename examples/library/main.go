@@ -1,0 +1,105 @@
+// Library demonstrates the paper's "library procedures" discussion (§5):
+// procedures from the same library module are called one after another,
+// propagating values that each procedure re-tests. Entry splitting creates
+// a second, check-free entry into the callee for call sites where the
+// check's outcome is known, and exit splitting returns each outcome to its
+// own continuation — the same mechanism the paper proposes for pre-split
+// library interfaces (e.g. a separate malloc exit for NULL).
+//
+// Run with:
+//
+//	go run ./examples/library
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"icbe"
+)
+
+const src = `
+// A tiny "libm-style" module: every entry point validates its argument.
+var errs;
+
+func checkpos(x) {
+	if (x <= 0) { errs = errs + 1; return 0; }
+	return 1;
+}
+
+// isqrt validates, then iterates. Callers that already validated pay the
+// check again — until entry splitting gives them a check-free entry.
+func isqrt(x) {
+	var ok = checkpos(x);
+	if (ok == 0) { return -1; }
+	var r = 0;
+	while ((r + 1) * (r + 1) <= x) { r = r + 1; }
+	return r;
+}
+
+// ilog2 has the same interface discipline.
+func ilog2(x) {
+	var ok = checkpos(x);
+	if (ok == 0) { return -1; }
+	var l = 0;
+	while (x > 1) { x = x / 2; l = l + 1; }
+	return l;
+}
+
+func main() {
+	errs = 0;
+	var v = input();
+	var acc = 0;
+	while (v != -1) {
+		// The same value flows through both library calls: after isqrt
+		// validated it, ilog2's validation is redundant — and both
+		// validations re-test what checkpos already decided.
+		var s = isqrt(v);
+		if (s >= 0) {
+			var l = ilog2(v);
+			acc = acc + s + l;
+		}
+		v = input();
+	}
+	print(acc);
+	print(errs);
+}
+`
+
+func main() {
+	prog, err := icbe.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := []int64{16, 100, 7, -5, 33, 0, 1, -1}
+
+	before, err := prog.Run(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, report := prog.Optimize(icbe.DefaultOptions())
+	after, err := opt.Run(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("optimized %d conditionals (analysis: %d node-query pairs)\n",
+		report.Optimized, report.PairsTotal)
+	for _, c := range report.Conditionals {
+		if c.Applied {
+			fmt.Printf("  line %2d: answers %-7s full=%v\n", c.Line, c.Answers, c.Full)
+		}
+	}
+
+	// Count the split entries/exits the optimization created.
+	g := opt.Graph()
+	for _, pr := range g.Procs {
+		if len(pr.Entries) > 1 || len(pr.Exits) > 1 {
+			fmt.Printf("  proc %-9s now has %d entries, %d exits\n", pr.Name, len(pr.Entries), len(pr.Exits))
+		}
+	}
+
+	fmt.Printf("output: %v -> %v\n", before.Output, after.Output)
+	fmt.Printf("executed conditionals: %d -> %d\n", before.Conditionals, after.Conditionals)
+	fmt.Printf("executed operations:   %d -> %d\n", before.Operations, after.Operations)
+}

@@ -1,0 +1,92 @@
+// Linkedlist demonstrates the paper's linked-list motivation: a procedure
+// that removes an element from a list tests whether the list is empty and
+// returns nil if so; the caller performs an identical test on the returned
+// value. The later test is fully correlated with the earlier one, and ICBE
+// removes it by splitting the exits of the remove procedure. The paper
+// highlights this case because when lists are short, the caller's test is
+// hard to predict in hardware — yet statically removable.
+//
+// Run with:
+//
+//	go run ./examples/linkedlist
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"icbe"
+)
+
+const src = `
+// A work queue of cons cells: cell[0] = value, cell[1] = next.
+var queue;
+
+func push(v) {
+	var c = alloc(2);
+	c[0] = v;
+	c[1] = queue;
+	queue = c;
+	return 0;
+}
+
+// pop removes the head and returns it, or nil (0) when the queue is empty
+// — the test every caller repeats.
+func pop() {
+	var head = queue;
+	if (head == 0) { return 0; }
+	queue = head[1];
+	return head;
+}
+
+func main() {
+	// Fill the queue from the input.
+	var v = input();
+	while (v != -1) {
+		push(v);
+		v = input();
+	}
+	// Drain it: the (item == 0) test is fully correlated with pop's
+	// internal empty test (nil on one path, a dereferenced — hence
+	// non-nil — pointer on the other).
+	var sum = 0;
+	var n = 0;
+	var item = pop();
+	while (item != 0) {
+		sum = sum + item[0];
+		n = n + 1;
+		item = pop();
+	}
+	print(n);
+	print(sum);
+}
+`
+
+func main() {
+	prog, err := icbe.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := []int64{10, 20, 30, 40, -1}
+
+	before, err := prog.Run(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, report := prog.Optimize(icbe.DefaultOptions())
+	after, err := opt.Run(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("optimized %d conditionals\n", report.Optimized)
+	for _, c := range report.Conditionals {
+		if c.Analyzable {
+			fmt.Printf("  line %2d: answers %-7s full=%-5v applied=%v\n",
+				c.Line, c.Answers, c.Full, c.Applied)
+		}
+	}
+	fmt.Printf("output: %v -> %v\n", before.Output, after.Output)
+	fmt.Printf("executed conditionals: %d -> %d\n", before.Conditionals, after.Conditionals)
+	fmt.Printf("executed operations:   %d -> %d\n", before.Operations, after.Operations)
+}

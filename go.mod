@@ -1,0 +1,3 @@
+module icbe
+
+go 1.22

@@ -1,0 +1,353 @@
+// Package icbe is a reproduction of "Interprocedural Conditional Branch
+// Elimination" (Bodík, Gupta, Soffa — PLDI 1997). It provides:
+//
+//   - a compiler front end for MiniC, a small C-like language, lowering to
+//     an interprocedural control flow graph (ICFG) in call-site normal form;
+//   - the paper's demand-driven interprocedural static correlation analysis
+//     (queries of the form `var relop const` propagated backwards with
+//     summary node entries at procedure exits);
+//   - the ICBE restructuring transformation: path duplication with
+//     procedure entry splitting and exit splitting, eliminating conditional
+//     branches whose outcome is statically known along correlated paths;
+//   - an intraprocedural baseline (Mueller/Whalley-style, with MOD summary
+//     information at call sites);
+//   - an ICFG interpreter/profiler used both to collect dynamic profiles
+//     and to verify that optimized programs behave identically while never
+//     executing more operations.
+//
+// Quick start:
+//
+//	prog, err := icbe.Compile(src)
+//	before, _ := prog.Run(input)
+//	opt, report := prog.Optimize(icbe.DefaultOptions())
+//	after, _ := opt.Run(input)
+//	// identical output, fewer executed conditional branches
+package icbe
+
+import (
+	"fmt"
+
+	"icbe/internal/analysis"
+	"icbe/internal/interp"
+	"icbe/internal/ir"
+	"icbe/internal/restructure"
+)
+
+// Program is a compiled MiniC program in ICFG form.
+type Program struct {
+	g *ir.Program
+}
+
+// Compile parses, checks, and lowers MiniC source text.
+func Compile(src string) (*Program, error) {
+	g, err := ir.Build(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.Validate(g); err != nil {
+		return nil, fmt.Errorf("icbe: internal: built graph invalid: %w", err)
+	}
+	return &Program{g: g}, nil
+}
+
+// Graph exposes the underlying ICFG (read-mostly; mutate via Optimize).
+func (p *Program) Graph() *ir.Program { return p.g }
+
+// Dump renders the ICFG as text.
+func (p *Program) Dump() string { return p.g.Dump() }
+
+// Dot renders the ICFG in Graphviz format.
+func (p *Program) Dot() string { return p.g.Dot() }
+
+// Stats summarizes program size.
+type Stats struct {
+	SourceLines     int
+	Procedures      int
+	Nodes           int // all ICFG nodes, including synthetic ones
+	Operations      int // operation nodes (assign/branch/store/print/call)
+	Conditionals    int // branch nodes
+	AnalyzableConds int // branches of the (var relop const) form
+}
+
+// Stats returns the program's size statistics.
+func (p *Program) Stats() Stats {
+	st := ir.Collect(p.g)
+	return Stats{
+		SourceLines:     p.g.SourceLines,
+		Procedures:      st.Procs,
+		Nodes:           st.AllNodes,
+		Operations:      st.Operations,
+		Conditionals:    st.Conditionals,
+		AnalyzableConds: st.AnalyzableConds,
+	}
+}
+
+// RunResult reports one execution of a program.
+type RunResult struct {
+	// Output is the sequence of printed values.
+	Output []int64
+	// Operations counts executed operation nodes; Conditionals counts
+	// executed branch nodes.
+	Operations   int64
+	Conditionals int64
+	// NodeCounts holds per-node execution counts when profiling was on.
+	NodeCounts map[int]int64
+}
+
+// Run executes the program on the given input stream.
+func (p *Program) Run(input []int64) (*RunResult, error) {
+	return p.run(input, false)
+}
+
+// RunProfiled executes the program and records per-node execution counts.
+func (p *Program) RunProfiled(input []int64) (*RunResult, error) {
+	return p.run(input, true)
+}
+
+func (p *Program) run(input []int64, prof bool) (*RunResult, error) {
+	res, err := interp.Run(p.g, interp.Options{Input: input, Profile: prof})
+	if err != nil {
+		return nil, err
+	}
+	out := &RunResult{
+		Output:       res.Output,
+		Operations:   res.Operations,
+		Conditionals: res.CondExecs,
+	}
+	if prof {
+		out.NodeCounts = make(map[int]int64, len(res.ExecCount))
+		for id, c := range res.ExecCount {
+			out.NodeCounts[int(id)] = c
+		}
+	}
+	return out, nil
+}
+
+// Options configures analysis and optimization.
+type Options struct {
+	// Interprocedural selects the ICBE analysis; false selects the
+	// intraprocedural baseline.
+	Interprocedural bool
+	// TerminationLimit bounds analysis work per conditional in node-query
+	// pairs (0 = unlimited; the paper uses 1000).
+	TerminationLimit int
+	// ArithSubst enables back-substitution through v := w ± k and v := -w.
+	ArithSubst bool
+	// ModSummaries consults MOD summary information at call sites.
+	ModSummaries bool
+	// MaxDuplication is the per-conditional code-growth limit N (0 =
+	// unlimited; the paper sweeps 5..200).
+	MaxDuplication int
+	// FullOnly optimizes only fully correlated conditionals.
+	FullOnly bool
+	// Compact contracts synthetic no-op nodes after optimization; it never
+	// changes program output or operation counts.
+	Compact bool
+}
+
+// DefaultOptions returns the paper's main configuration: interprocedural
+// analysis with MOD summaries, termination limit 1000, no duplication
+// limit.
+func DefaultOptions() Options {
+	return Options{Interprocedural: true, ModSummaries: true, TerminationLimit: 1000}
+}
+
+// IntraOptions returns the paper's intraprocedural baseline configuration.
+func IntraOptions() Options {
+	return Options{Interprocedural: false, ModSummaries: true, TerminationLimit: 1000}
+}
+
+func (o Options) analysisOpts() analysis.Options {
+	return analysis.Options{
+		Interprocedural:  o.Interprocedural,
+		TerminationLimit: o.TerminationLimit,
+		ArithSubst:       o.ArithSubst,
+		ModSummaries:     o.ModSummaries,
+	}
+}
+
+// CondReport describes the optimization outcome for one conditional.
+type CondReport struct {
+	// Line is the source line of the conditional.
+	Line int
+	// Analyzable reports the (var relop const) form.
+	Analyzable bool
+	// Correlated reports that some incoming path determines the outcome;
+	// Full reports that every incoming path does.
+	Correlated bool
+	Full       bool
+	// Answers renders the root answer set (e.g. "{T,U}").
+	Answers string
+	// DupEstimate is the analysis' upper bound on new operation nodes.
+	DupEstimate int
+	// PairsProcessed is the analysis cost in node-query pairs.
+	PairsProcessed int
+	// Applied reports that the branch was eliminated along its correlated
+	// paths.
+	Applied bool
+	// Err holds the restructuring failure, if any.
+	Err error
+}
+
+// Report summarizes one Optimize run.
+type Report struct {
+	Conditionals []CondReport
+	// Optimized counts restructured conditionals.
+	Optimized int
+	// PairsTotal is the total analysis cost.
+	PairsTotal int
+	// OperationsBefore/After measure static code growth.
+	OperationsBefore, OperationsAfter int
+}
+
+// Optimize applies ICBE (or the intraprocedural baseline) to every
+// analyzable conditional, one by one. The receiver is unmodified; the
+// optimized program is returned.
+func (p *Program) Optimize(opts Options) (*Program, *Report) {
+	dr := restructure.Optimize(p.g, restructure.DriverOptions{
+		Analysis:       opts.analysisOpts(),
+		MaxDuplication: opts.MaxDuplication,
+		FullOnly:       opts.FullOnly,
+	})
+	if opts.Compact {
+		ir.Simplify(dr.Program)
+	}
+	rep := &Report{
+		Optimized:        dr.Optimized,
+		PairsTotal:       dr.PairsTotal,
+		OperationsBefore: ir.Collect(p.g).Operations,
+		OperationsAfter:  ir.Collect(dr.Program).Operations,
+	}
+	for _, r := range dr.Reports {
+		rep.Conditionals = append(rep.Conditionals, CondReport{
+			Line:           r.Line,
+			Analyzable:     r.Analyzable,
+			Correlated:     r.Answers&(analysis.AnsTrue|analysis.AnsFalse) != 0,
+			Full:           r.Full,
+			Answers:        r.Answers.String(),
+			DupEstimate:    r.DupEstimate,
+			PairsProcessed: r.PairsProcessed,
+			Applied:        r.Applied,
+			Err:            r.Err,
+		})
+	}
+	return &Program{g: dr.Program}, rep
+}
+
+// PredictionHint tells a branch predictor which earlier program point
+// decides a conditional's outcome (paper §5, "Assisting hardware branch
+// prediction").
+type PredictionHint struct {
+	// SourceLine is the line of the deciding statement; SourceKind names
+	// the correlation source ("branch", "constant", "byte-conversion",
+	// "dereference", "allocation").
+	SourceLine int
+	SourceKind string
+	// BranchLine, for branch sources, is the earlier conditional whose
+	// outcome predicts this one.
+	BranchLine int
+	// Outcome is the decided outcome ("true" or "false").
+	Outcome string
+	// Interprocedural reports that the source lies in another procedure.
+	Interprocedural bool
+}
+
+// PredictionHints analyzes the first analyzable conditional on the given
+// source line and returns its statically detected correlation sources as
+// predictor directives.
+func (p *Program) PredictionHints(line int, opts Options) []PredictionHint {
+	var target *ir.Node
+	p.g.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NBranch && n.Analyzable() && n.Line == line {
+			if target == nil || n.ID < target.ID {
+				target = n
+			}
+		}
+	})
+	if target == nil {
+		return nil
+	}
+	res := analysis.New(p.g, opts.analysisOpts()).AnalyzeBranch(target.ID)
+	if res == nil {
+		return nil
+	}
+	var hints []PredictionHint
+	for _, s := range res.CorrelationSources(p.g) {
+		h := PredictionHint{
+			SourceLine:      p.g.Node(s.Node).Line,
+			SourceKind:      s.Kind.String(),
+			Interprocedural: !s.SameProc,
+		}
+		if s.Answer&analysis.AnsTrue != 0 {
+			h.Outcome = "true"
+		} else {
+			h.Outcome = "false"
+		}
+		if s.Branch != ir.NoNode {
+			h.BranchLine = p.g.Node(s.Branch).Line
+		}
+		hints = append(hints, h)
+	}
+	return hints
+}
+
+// InlinePriority scores a procedure for correlation-directed inlining
+// (paper §5, "Procedure inlining"): procedures whose bodies decide other
+// procedures' conditionals are the profitable inlining candidates.
+type InlinePriority struct {
+	Procedure string
+	// Conditionals counts branches whose correlation crosses this
+	// procedure; Weight adds profile-weighted benefit when a profiled run
+	// was supplied.
+	Conditionals int
+	Weight       int64
+}
+
+// InliningPriorities ranks procedures by the interprocedural correlation
+// they generate. Pass a RunResult from RunProfiled to weight by execution
+// counts, or nil to count statically.
+func (p *Program) InliningPriorities(opts Options, profiled *RunResult) []InlinePriority {
+	var exec map[ir.NodeID]int64
+	if profiled != nil && profiled.NodeCounts != nil {
+		exec = make(map[ir.NodeID]int64, len(profiled.NodeCounts))
+		for id, c := range profiled.NodeCounts {
+			exec[ir.NodeID(id)] = c
+		}
+	}
+	var out []InlinePriority
+	for _, pp := range analysis.InliningPriorities(p.g, opts.analysisOpts(), exec) {
+		out = append(out, InlinePriority{Procedure: pp.Name, Conditionals: pp.Conds, Weight: pp.Weight})
+	}
+	return out
+}
+
+// AnalyzeConditional runs the correlation analysis for the branch at the
+// given source line (the first analyzable branch on that line) and returns
+// its report without restructuring. It returns false when no analyzable
+// branch exists on the line.
+func (p *Program) AnalyzeConditional(line int, opts Options) (CondReport, bool) {
+	var target *ir.Node
+	p.g.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NBranch && n.Analyzable() && n.Line == line {
+			if target == nil || n.ID < target.ID {
+				target = n
+			}
+		}
+	})
+	if target == nil {
+		return CondReport{}, false
+	}
+	res := analysis.New(p.g, opts.analysisOpts()).AnalyzeBranch(target.ID)
+	if res == nil {
+		return CondReport{}, false
+	}
+	return CondReport{
+		Line:           line,
+		Analyzable:     true,
+		Correlated:     res.HasCorrelation(),
+		Full:           res.FullCorrelation(),
+		Answers:        res.RootAnswers().String(),
+		DupEstimate:    res.DuplicationEstimate(p.g),
+		PairsProcessed: res.PairsProcessed,
+	}, true
+}

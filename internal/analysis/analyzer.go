@@ -1,0 +1,590 @@
+package analysis
+
+import (
+	"math"
+
+	"icbe/internal/ir"
+	"icbe/internal/pred"
+)
+
+// Options configures the correlation analysis.
+type Options struct {
+	// Interprocedural enables query propagation across procedure
+	// boundaries (the ICBE analysis). When false the analysis is the
+	// intraprocedural baseline: queries resolve UNDEF at procedure entries
+	// and at call-site exits whose callee may modify the query variable
+	// (per MOD summary information), matching the paper's baseline.
+	Interprocedural bool
+	// TerminationLimit bounds the number of node–query pairs processed for
+	// one conditional; pending queries resolve UNDEF when it is reached.
+	// Zero means unlimited. The paper's Figure 11 experiments use 1000.
+	TerminationLimit int
+	// ArithSubst extends symbolic back-substitution beyond copy
+	// assignments to v := -w and v := w ± k (an ablation of the paper's
+	// remark that richer symbolic manipulation is possible).
+	ArithSubst bool
+	// ModSummaries consults MOD summary information at call sites so
+	// queries on globals the callee cannot modify skip the callee.
+	ModSummaries bool
+	// CacheAnswers caches the rolled-back answer sets of all top-level
+	// (node, query) pairs across AnalyzeBranch calls, reproducing the
+	// paper's query-caching variant (§3.3: O(CNV) analysis time at the
+	// price of memory, which the authors found counterproductive). Cached
+	// results are valid only while the program is unmodified, and results
+	// computed with caching lack the supplier structure restructuring
+	// needs — use it for analysis-only measurements.
+	CacheAnswers bool
+}
+
+// DefaultOptions returns the configuration used for the paper's main
+// experiments: interprocedural, MOD summaries on, copy-only substitution.
+func DefaultOptions() Options {
+	return Options{Interprocedural: true, ModSummaries: true}
+}
+
+// Analyzer analyzes conditionals of one program. It precomputes MOD
+// summaries; each conditional is analyzed on demand.
+type Analyzer struct {
+	Prog *ir.Program
+	Opts Options
+	mod  []map[ir.VarID]bool
+	// cache holds rolled-back answers of top-level pairs from previous
+	// AnalyzeBranch calls (when Opts.CacheAnswers).
+	cache map[cacheKey]AnswerSet
+}
+
+type cacheKey struct {
+	node ir.NodeID
+	v    ir.VarID
+	op   pred.Op
+	c    int64
+}
+
+// New creates an analyzer for the program.
+func New(p *ir.Program, opts Options) *Analyzer {
+	a := &Analyzer{Prog: p, Opts: opts}
+	if opts.ModSummaries {
+		a.mod = ModSets(p)
+	}
+	if opts.CacheAnswers {
+		a.cache = make(map[cacheKey]AnswerSet)
+	}
+	return a
+}
+
+// CacheBytes approximates the memory held by the cross-conditional answer
+// cache (the paper's memory-versus-time tradeoff).
+func (a *Analyzer) CacheBytes() int64 {
+	return int64(len(a.cache)) * 40
+}
+
+// Result holds the analysis of one conditional: the queries raised at every
+// node, the single-answer resolutions of the propagation phase, and (after
+// rollback) the collected answer sets per node–query pair.
+type Result struct {
+	// Cond is the analyzed branch node.
+	Cond ir.NodeID
+	// Root is the query raised at the conditional itself.
+	Root *Query
+	// Queries lists the queries raised at each node (the paper's Q[n]).
+	Queries map[ir.NodeID][]*Query
+	// Resolved maps pairs to their propagation-phase resolution (single
+	// answer), for pairs that resolved.
+	Resolved map[PairKey]AnswerSet
+	// Answers maps every visited pair to its rolled-back answer set (the
+	// paper's A[n,q]).
+	Answers map[PairKey]AnswerSet
+	// Suppliers maps each unresolved pair to the per-predecessor sources
+	// its answers flow from; resolved pairs have no suppliers (their
+	// answers originate at the node). Restructuring consumes this.
+	Suppliers map[PairKey][]EdgeSupplier
+	// PairsProcessed counts node–query pairs taken off the worklist (the
+	// paper's analysis-cost metric); PairsRaised counts pairs ever raised.
+	PairsProcessed int
+	PairsRaised    int
+	// Truncated reports that the termination limit was reached and pending
+	// queries were conservatively resolved UNDEF.
+	Truncated bool
+	// CacheHits counts pairs answered from the cross-conditional cache
+	// (only with Options.CacheAnswers).
+	CacheHits int
+
+	queries []*Query // by ID
+	snes    []*SNE
+}
+
+// RootAnswers returns the answer set at the conditional (union over all
+// incoming paths).
+func (r *Result) RootAnswers() AnswerSet {
+	return r.Answers[PairKey{r.Cond, r.Root.ID}]
+}
+
+// HasCorrelation reports whether some incoming path is correlated (the
+// branch outcome is known along it).
+func (r *Result) HasCorrelation() bool {
+	return r.RootAnswers()&(AnsTrue|AnsFalse) != 0
+}
+
+// FullCorrelation reports whether the branch outcome is known along every
+// incoming path (the conditional can be completely eliminated).
+func (r *Result) FullCorrelation() bool {
+	root := r.RootAnswers()
+	return root != 0 && root&(AnsUndef|AnsTrans) == 0
+}
+
+// QueryByID returns the query with the given ID.
+func (r *Result) QueryByID(id int) *Query { return r.queries[id] }
+
+// SNEs returns the summary node entries created during the analysis.
+func (r *Result) SNEs() []*SNE { return r.snes }
+
+type run struct {
+	a        *Analyzer
+	p        *ir.Program
+	res      *Result
+	intern   map[queryKey]*Query
+	sneByKey map[queryKey]*SNE // keyed by (exit, var, pred); owner field unused
+	worklist []PairKey
+	raised   map[PairKey]bool
+}
+
+// AnalyzeBranch runs the demand-driven analysis for one conditional. It
+// returns nil when the branch is not of the analyzable (var relop const)
+// form.
+func (a *Analyzer) AnalyzeBranch(b ir.NodeID) *Result {
+	node := a.Prog.Node(b)
+	if node == nil || !node.Analyzable() {
+		return nil
+	}
+	r := &run{
+		a: a,
+		p: a.Prog,
+		res: &Result{
+			Cond:     b,
+			Queries:  make(map[ir.NodeID][]*Query),
+			Resolved: make(map[PairKey]AnswerSet),
+		},
+		intern:   make(map[queryKey]*Query),
+		sneByKey: make(map[queryKey]*SNE),
+		raised:   make(map[PairKey]bool),
+	}
+	// Raise the initial query at the conditional itself; the branch node is
+	// transparent, so the first processing step propagates it to all
+	// predecessors, and the pair (b, root) collects the union of all
+	// incoming answers, which restructuring uses to split b.
+	r.res.Root = r.internQuery(node.CondVar, node.CondPred(), nil)
+	r.raise(b, r.res.Root)
+	r.propagate()
+	r.rollback()
+	if a.cache != nil && !r.res.Truncated {
+		for n, qs := range r.res.Queries {
+			for _, q := range qs {
+				if q.Owner != nil {
+					continue
+				}
+				if ans, ok := r.res.Answers[PairKey{n, q.ID}]; ok && ans != 0 {
+					a.cache[cacheKey{n, q.Var, q.P.Op, q.P.C}] = ans
+				}
+			}
+		}
+	}
+	return r.res
+}
+
+func (r *run) internQuery(v ir.VarID, p pred.Pred, owner *SNE) *Query {
+	key := queryKey{v: v, op: p.Op, c: p.C, owner: -1}
+	if owner != nil {
+		key.owner = owner.ID
+	}
+	if q, ok := r.intern[key]; ok {
+		return q
+	}
+	q := &Query{ID: len(r.res.queries), Var: v, P: p, Owner: owner}
+	r.res.queries = append(r.res.queries, q)
+	r.intern[key] = q
+	return q
+}
+
+// lookupQuery returns the interned query, or nil if it was never created
+// during propagation (used by rollback, which must not invent new queries).
+func (r *run) lookupQuery(v ir.VarID, p pred.Pred, owner *SNE) *Query {
+	key := queryKey{v: v, op: p.Op, c: p.C, owner: -1}
+	if owner != nil {
+		key.owner = owner.ID
+	}
+	return r.intern[key]
+}
+
+func (r *run) raise(n ir.NodeID, q *Query) {
+	pk := PairKey{n, q.ID}
+	if r.raised[pk] {
+		return
+	}
+	r.raised[pk] = true
+	r.res.Queries[n] = append(r.res.Queries[n], q)
+	r.res.PairsRaised++
+	if q.Owner == nil && r.a.cache != nil {
+		if ans, ok := r.a.cache[cacheKey{n, q.Var, q.P.Op, q.P.C}]; ok {
+			// Cached rolled-back answers from a previous conditional's
+			// analysis substitute for re-propagation.
+			r.res.Resolved[pk] = ans
+			r.res.CacheHits++
+			return
+		}
+	}
+	r.worklist = append(r.worklist, pk)
+}
+
+func (r *run) resolve(pk PairKey, ans AnswerSet) {
+	r.res.Resolved[pk] = ans
+}
+
+// hardLimit bounds propagation when arithmetic back-substitution is
+// enabled without an explicit termination limit: shifting constants around
+// loop back edges can generate unboundedly many distinct queries, the very
+// divergence the paper's cutoff rule exists for ("since query propagation
+// may not terminate under a general symbolic analysis, we stop query
+// propagation with the UNDEF answer when a sufficient number of nodes has
+// been processed").
+const hardLimit = 200_000
+
+// propagate is the paper's Figure 4 worklist loop.
+func (r *run) propagate() {
+	limit := r.a.Opts.TerminationLimit
+	if limit == 0 && r.a.Opts.ArithSubst {
+		limit = hardLimit
+	}
+	for len(r.worklist) > 0 {
+		if limit > 0 && r.res.PairsProcessed >= limit {
+			r.res.Truncated = true
+			// Conservatively resolve everything still pending to UNDEF.
+			for _, pk := range r.worklist {
+				if _, ok := r.res.Resolved[pk]; !ok {
+					r.resolve(pk, AnsUndef)
+				}
+			}
+			r.worklist = nil
+			return
+		}
+		pk := r.worklist[0]
+		r.worklist = r.worklist[1:]
+		r.res.PairsProcessed++
+		r.process(pk)
+	}
+}
+
+func (r *run) process(pk PairKey) {
+	n := r.p.Node(pk.Node)
+	q := r.res.queries[pk.Query]
+	switch n.Kind {
+	case ir.NEntry:
+		r.processEntry(pk, n, q)
+	case ir.NCallExit:
+		r.processCallExit(pk, n, q)
+	default:
+		out := r.transfer(n, q)
+		if out.resolved {
+			r.resolve(pk, out.ans)
+			return
+		}
+		for _, m := range n.Preds {
+			r.raise(m, out.next)
+		}
+		if len(n.Preds) == 0 {
+			// A node with no predecessors that is not an entry should not
+			// exist in a valid graph, but resolve conservatively.
+			r.resolve(pk, AnsUndef)
+		}
+	}
+}
+
+// processEntry handles procedure entry nodes (Figure 4 lines 6–13).
+func (r *run) processEntry(pk PairKey, n *ir.Node, q *Query) {
+	if q.Owner != nil {
+		// Summary node query reaching the entry: the procedure is
+		// transparent along this path.
+		if !r.substitutableAtEntry(n, q) {
+			r.resolve(pk, AnsUndef)
+			return
+		}
+		r.resolve(pk, AnsTrans)
+		s := q.Owner
+		s.Entries[n.ID] = append(s.Entries[n.ID], q)
+		for _, w := range s.Waiters {
+			if w.entry == n.ID {
+				r.raiseContinuation(w, q)
+			}
+		}
+		return
+	}
+	if !r.a.Opts.Interprocedural {
+		r.resolve(pk, AnsUndef)
+		return
+	}
+	if !r.substitutableAtEntry(n, q) {
+		// A query on a non-formal local at procedure start asks about an
+		// uninitialized value.
+		r.resolve(pk, AnsUndef)
+		return
+	}
+	if len(n.Preds) == 0 {
+		// main's entry, or an uncalled procedure.
+		r.resolve(pk, AnsUndef)
+		return
+	}
+	for _, m := range n.Preds {
+		call := r.p.Node(m)
+		r.raise(m, r.substEntry(q, call, q.Owner))
+	}
+}
+
+// substitutableAtEntry reports whether the query variable has a meaning in
+// the callers: a formal of the entered procedure or a global.
+func (r *run) substitutableAtEntry(n *ir.Node, q *Query) bool {
+	v := r.p.Vars[q.Var]
+	if v.IsGlobal() {
+		return true
+	}
+	for _, f := range r.p.Procs[n.Proc].Formals {
+		if f == q.Var {
+			return true
+		}
+	}
+	return false
+}
+
+// substEntry rewrites a query crossing from a procedure entry to a call
+// site: formals become the call's argument variables; globals pass through.
+func (r *run) substEntry(q *Query, call *ir.Node, owner *SNE) *Query {
+	v := r.p.Vars[q.Var]
+	if v.IsGlobal() {
+		if owner == q.Owner {
+			return q
+		}
+		return r.internQuery(q.Var, q.P, owner)
+	}
+	for i, f := range r.p.Procs[call.Callee].Formals {
+		if f == q.Var {
+			return r.internQuery(call.Args[i], q.P, owner)
+		}
+	}
+	panic("analysis: substEntry on non-formal non-global")
+}
+
+// callExitContent rewrites the query through the call-site exit's return
+// value copy: a query on the destination becomes a query on the callee's
+// return variable.
+func (r *run) callExitContent(n *ir.Node, q *Query) (ir.VarID, pred.Pred) {
+	if n.Dst != ir.NoVar && q.Var == n.Dst {
+		return r.p.Procs[n.Callee].RetVar, q.P
+	}
+	return q.Var, q.P
+}
+
+// mustTraverse reports whether the query (with content variable v) must be
+// propagated through the callee at a call-site exit, or may skip straight
+// to the call node.
+func (r *run) mustTraverse(callee int, v ir.VarID) bool {
+	vv := r.p.Vars[v]
+	if vv.Proc == callee {
+		// The callee's return variable (or, defensively, any callee
+		// variable) must be chased inside the callee.
+		return true
+	}
+	if !vv.IsGlobal() {
+		// Caller locals cannot be modified by the callee (no reference
+		// parameters in MiniC).
+		return false
+	}
+	if r.a.mod != nil && !r.a.mod[callee][v] {
+		return false
+	}
+	return true
+}
+
+// processCallExit handles call-site exit nodes (Figure 4 lines 14–26).
+func (r *run) processCallExit(pk PairKey, n *ir.Node, q *Query) {
+	cv, cp := r.callExitContent(n, q)
+	call := r.p.CallPred(n)
+	exit := r.p.ExitPred(n)
+	if call == nil || exit == nil {
+		// Graph not in normal form — resolve conservatively.
+		r.resolve(pk, AnsUndef)
+		return
+	}
+	if !r.mustTraverse(n.Callee, cv) {
+		r.raise(call.ID, r.internQuery(cv, cp, q.Owner))
+		return
+	}
+	if !r.a.Opts.Interprocedural {
+		// Baseline: the callee may modify the variable; without crossing
+		// the boundary the value is unknown.
+		r.resolve(pk, AnsUndef)
+		return
+	}
+	s := r.getSNE(exit.ID, cv, cp)
+	en := r.p.EntrySucc(call)
+	w := waiter{node: n.ID, q: q, call: call.ID, entry: en.ID}
+	s.Waiters = append(s.Waiters, w)
+	for _, qo := range s.Entries[en.ID] {
+		r.raiseContinuation(w, qo)
+	}
+}
+
+// getSNE returns the summary node entry for (exit, content), creating it
+// and raising its summary query at the exit when new.
+func (r *run) getSNE(exit ir.NodeID, v ir.VarID, p pred.Pred) *SNE {
+	key := queryKey{v: v, op: p.Op, c: p.C, owner: int(exit)}
+	if s, ok := r.sneByKey[key]; ok {
+		return s
+	}
+	s := &SNE{ID: len(r.res.snes), Exit: exit, Entries: make(map[ir.NodeID][]*Query)}
+	r.res.snes = append(r.res.snes, s)
+	r.sneByKey[key] = s
+	s.Qsn = r.internQuery(v, p, s)
+	r.raise(exit, s.Qsn)
+	return s
+}
+
+// raiseContinuation continues a waiting query at the call node after the
+// summary query qo reached the waiter's entry: the procedure is transparent
+// along that path, so propagation resumes in the caller.
+func (r *run) raiseContinuation(w waiter, qo *Query) {
+	call := r.p.Node(w.call)
+	r.raise(w.call, r.substEntry(qo, call, w.q.Owner))
+}
+
+type transferResult struct {
+	resolved bool
+	ans      AnswerSet
+	next     *Query
+}
+
+func outcomeToAnswer(o pred.Outcome) AnswerSet {
+	switch o {
+	case pred.True:
+		return AnsTrue
+	case pred.False:
+		return AnsFalse
+	}
+	return 0
+}
+
+// transfer models the effect of one ordinary node on a backward-propagating
+// query: it either resolves the query or substitutes it for continued
+// propagation.
+func (r *run) transfer(n *ir.Node, q *Query) transferResult {
+	cont := transferResult{next: q}
+	switch n.Kind {
+	case ir.NAssign:
+		if n.Dst != q.Var {
+			return cont
+		}
+		switch n.RHS.Kind {
+		case ir.RConst:
+			if q.P.Eval(n.RHS.Const) {
+				return transferResult{resolved: true, ans: AnsTrue}
+			}
+			return transferResult{resolved: true, ans: AnsFalse}
+		case ir.RCopy:
+			return transferResult{next: r.internQuery(n.RHS.Src, q.P, q.Owner)}
+		case ir.RByte:
+			// The unsigned-conversion correlation source: byte() yields a
+			// value in [0,255].
+			if o := pred.Decide(pred.Range(0, 255), q.P); o != pred.Unknown {
+				return transferResult{resolved: true, ans: outcomeToAnswer(o)}
+			}
+			return transferResult{resolved: true, ans: AnsUndef}
+		case ir.RAlloc:
+			// alloc never returns nil in MiniC: the result is >= 1.
+			if o := pred.Decide(pred.RangeBounds(pred.Fin(1), pred.PosInf()), q.P); o != pred.Unknown {
+				return transferResult{resolved: true, ans: outcomeToAnswer(o)}
+			}
+			return transferResult{resolved: true, ans: AnsUndef}
+		case ir.RNeg:
+			if r.a.Opts.ArithSubst && q.P.C != math.MinInt64 {
+				// v = -w: (v op c) == (w mirror(op) -c).
+				return transferResult{next: r.internQuery(n.RHS.Src,
+					pred.Pred{Op: mirrorOp(q.P.Op), C: -q.P.C}, q.Owner)}
+			}
+			return transferResult{resolved: true, ans: AnsUndef}
+		case ir.RBinop:
+			if next, ok := r.arithSubst(n.RHS, q); ok {
+				return transferResult{next: next}
+			}
+			return transferResult{resolved: true, ans: AnsUndef}
+		default: // RLoad, RInput
+			return transferResult{resolved: true, ans: AnsUndef}
+		}
+
+	case ir.NAssert:
+		if n.AVar != q.Var {
+			return cont
+		}
+		if o := pred.Decide(n.APred.Sat(), q.P); o != pred.Unknown {
+			return transferResult{resolved: true, ans: outcomeToAnswer(o)}
+		}
+		return cont
+
+	case ir.NCallExit, ir.NEntry:
+		panic("analysis: transfer on boundary node")
+
+	default:
+		// NBranch, NStore, NPrint, NNop, NExit, NCall: transparent for the
+		// query variable (stores change the heap, not variables).
+		return cont
+	}
+}
+
+// arithSubst substitutes a query through v := w ± k when the ArithSubst
+// extension is enabled.
+func (r *run) arithSubst(rhs ir.RHS, q *Query) (*Query, bool) {
+	if !r.a.Opts.ArithSubst {
+		return nil, false
+	}
+	a, b := rhs.A, rhs.B
+	switch rhs.Op {
+	case ir.OpAdd:
+		// v = w + k or v = k + w: shift by k.
+		if !a.IsConst && b.IsConst {
+			if p, ok := pred.ShiftSat(q.P, b.Const); ok {
+				return r.internQuery(a.Var, p, q.Owner), true
+			}
+		}
+		if a.IsConst && !b.IsConst {
+			if p, ok := pred.ShiftSat(q.P, a.Const); ok {
+				return r.internQuery(b.Var, p, q.Owner), true
+			}
+		}
+	case ir.OpSub:
+		// v = w - k: shift by -k.
+		if !a.IsConst && b.IsConst && b.Const != math.MinInt64 {
+			if p, ok := pred.ShiftSat(q.P, -b.Const); ok {
+				return r.internQuery(a.Var, p, q.Owner), true
+			}
+		}
+		// v = k - w: (v op c) == (-w op c-k) == (w mirror(op) k-c).
+		if a.IsConst && !b.IsConst {
+			kc := a.Const - q.P.C
+			underflow := (q.P.C > 0 && kc > a.Const) || (q.P.C < 0 && kc < a.Const)
+			if !underflow {
+				return r.internQuery(b.Var, pred.Pred{Op: mirrorOp(q.P.Op), C: kc}, q.Owner), true
+			}
+		}
+	}
+	return nil, false
+}
+
+func mirrorOp(op pred.Op) pred.Op {
+	switch op {
+	case pred.Lt:
+		return pred.Gt
+	case pred.Le:
+		return pred.Ge
+	case pred.Gt:
+		return pred.Lt
+	case pred.Ge:
+		return pred.Le
+	}
+	return op
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"testing"
+
+	"icbe/internal/ir"
+	"icbe/internal/pred"
+)
+
+func TestCorrelationSourcesClassification(t *testing.T) {
+	p := build(t, `
+		func main() {
+			var a = input();
+			if (a > 0) { print(1); } else { return; }
+			var b = byte(input());
+			var q = alloc(2);
+			var d = input();
+			var l = d[0];
+			print(l);
+			var x = 0;
+			if (a > 0) { x = 1; }      // branch-correlated: always taken
+			if (b == -1) { print(9); } // byte-correlated: never
+			if (q == 0) { print(9); }  // alloc-correlated: never
+			if (d == 0) { print(9); }  // deref-correlated: never
+			if (x == 1) { print(x); }  // constant-correlated (partially)
+		}
+	`)
+	cases := []struct {
+		varSuffix string
+		op        pred.Op
+		c         int64
+		want      SourceKind
+	}{
+		{"b", pred.Eq, -1, SrcByte},
+		{"q", pred.Eq, 0, SrcAlloc},
+		{"d", pred.Eq, 0, SrcDeref},
+		{"x", pred.Eq, 1, SrcConstant},
+	}
+	for _, tc := range cases {
+		b := findBranch(t, p, tc.varSuffix, tc.op, tc.c)
+		res := analyze(t, p, b, inter())
+		srcs := res.CorrelationSources(p)
+		found := false
+		for _, s := range srcs {
+			if s.Kind == tc.want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no %v source in %+v", tc.varSuffix, tc.want, srcs)
+		}
+	}
+}
+
+func TestCorrelationSourcesBranchHint(t *testing.T) {
+	p := build(t, `
+		func main() {
+			var a = input();
+			if (a > 0) { print(1); }
+			if (a > 0) { print(2); }
+		}
+	`)
+	var first, second *ir.Node
+	p.LiveNodes(func(n *ir.Node) {
+		if n.Kind != ir.NBranch {
+			return
+		}
+		if first == nil || n.ID < first.ID {
+			second = first
+			first = n
+		} else {
+			second = n
+		}
+	})
+	res := analyze(t, p, second, inter())
+	srcs := res.CorrelationSources(p)
+	hinted := false
+	for _, s := range srcs {
+		if s.Kind == SrcBranch {
+			if s.Branch != first.ID {
+				t.Errorf("prediction hint points at branch %d, want %d", s.Branch, first.ID)
+			}
+			if !s.SameProc {
+				t.Error("source should be intraprocedural here")
+			}
+			hinted = true
+		}
+	}
+	if !hinted {
+		t.Errorf("no branch prediction hint in %+v", srcs)
+	}
+}
+
+func TestCorrelationSourcesInterprocedural(t *testing.T) {
+	p := build(t, `
+		func get() {
+			if (input() > 0) { return 0; }
+			return 7;
+		}
+		func main() {
+			var r = get();
+			if (r == 0) { print(1); }
+		}
+	`)
+	b := findBranch(t, p, "r", pred.Eq, 0)
+	res := analyze(t, p, b, inter())
+	interSrcs := 0
+	for _, s := range res.CorrelationSources(p) {
+		if !s.SameProc {
+			interSrcs++
+			if s.Kind != SrcConstant {
+				t.Errorf("source kind = %v, want constant returns", s.Kind)
+			}
+		}
+	}
+	if interSrcs != 2 {
+		t.Errorf("interprocedural sources = %d, want 2 (both returns)", interSrcs)
+	}
+}
+
+func TestInliningPriorities(t *testing.T) {
+	p := build(t, `
+		func classify(v) {
+			if (v == 0) { return 0; }
+			return 1;
+		}
+		func unrelated(v) { return v * 2; }
+		func main() {
+			var i = 0;
+			while (i < 10) {
+				var k = classify(input());
+				if (k == 0) { print(0); } else { print(1); }
+				var u = unrelated(i);
+				i = i + u - u + 1;
+			}
+		}
+	`)
+	pris := InliningPriorities(p, DefaultOptions(), nil)
+	if len(pris) == 0 {
+		t.Fatal("no priorities computed")
+	}
+	if pris[0].Name != "classify" {
+		t.Errorf("top priority = %s, want classify (%+v)", pris[0].Name, pris)
+	}
+	for _, pp := range pris {
+		if pp.Name == "unrelated" {
+			t.Error("unrelated procedure should generate no correlation credit")
+		}
+	}
+	if pris[0].Conds == 0 || pris[0].Weight == 0 {
+		t.Errorf("empty scores: %+v", pris[0])
+	}
+}
+
+func TestInliningPrioritiesWithProfile(t *testing.T) {
+	p := build(t, `
+		func hot() {
+			if (input() > 0) { return 0; }
+			return 1;
+		}
+		func cold() {
+			if (input() > 5) { return 0; }
+			return 1;
+		}
+		func main() {
+			var i = 0;
+			while (i < 100) {
+				var h = hot();
+				if (h == 0) { print(1); }
+				i = i + 1;
+			}
+			var c = cold();
+			if (c == 0) { print(2); }
+		}
+	`)
+	// Build a synthetic profile favoring hot's resolution sites.
+	exec := map[ir.NodeID]int64{}
+	hot := p.ProcByName("hot")
+	cold := p.ProcByName("cold")
+	p.LiveNodes(func(n *ir.Node) {
+		switch n.Proc {
+		case hot.Index:
+			exec[n.ID] = 100
+		case cold.Index:
+			exec[n.ID] = 1
+		}
+	})
+	pris := InliningPriorities(p, DefaultOptions(), exec)
+	if len(pris) < 2 {
+		t.Fatalf("priorities = %+v", pris)
+	}
+	if pris[0].Name != "hot" || pris[1].Name != "cold" {
+		t.Errorf("profile-weighted order wrong: %+v", pris)
+	}
+	if pris[0].Weight <= pris[1].Weight {
+		t.Errorf("weights not ordered: %+v", pris)
+	}
+}
+
+func TestSourceKindString(t *testing.T) {
+	kinds := []SourceKind{SrcConstant, SrcBranch, SrcByte, SrcDeref, SrcAlloc, SrcOther}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", int(k))
+		}
+	}
+}

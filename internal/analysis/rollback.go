@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"icbe/internal/ir"
+)
+
+// EdgeSupplier identifies one source of answers for a pair (n, q): the
+// answers collected for Query at predecessor Pred, filtered through Mask,
+// flow into A[n, q]. Restructuring uses the supplier relation to decide
+// which edges still connect nodes hosting a common answer (fix-edges) and
+// which answers remain available at a node (Figure 8 line 5).
+type EdgeSupplier struct {
+	Pred  ir.NodeID
+	Query *Query
+	Mask  AnswerSet
+	// FromExit marks the summary supplier crossing a procedure exit →
+	// call-site-exit edge; its TRANS answers stand for the transparent
+	// paths whose answers arrive through the call-site predecessor instead.
+	FromExit bool
+}
+
+type supplier struct {
+	Key  PairKey
+	Mask AnswerSet
+}
+
+// MaskAll passes every answer.
+const MaskAll = AnsTrue | AnsFalse | AnsUndef | AnsTrans
+
+const maskAll = MaskAll
+
+// rollback collects the resolved answers along the traversed paths: answers
+// propagate forward from their resolution sites and are set-unioned at
+// merge points (paper §3.1). The propagation structure mirrors the analysis
+// exactly, so the supplier sets are recomputed deterministically.
+func (r *run) rollback() {
+	res := r.res
+	res.Answers = make(map[PairKey]AnswerSet, len(r.raised))
+	res.Suppliers = make(map[PairKey][]EdgeSupplier)
+
+	// Build the supplier relation for every unresolved pair and its
+	// reverse (consumers).
+	suppliers := make(map[PairKey][]supplier)
+	consumers := make(map[PairKey][]PairKey)
+	for n, qs := range res.Queries {
+		for _, q := range qs {
+			pk := PairKey{n, q.ID}
+			if _, ok := res.Resolved[pk]; ok {
+				continue
+			}
+			edgeSups := r.suppliersOf(pk)
+			res.Suppliers[pk] = edgeSups
+			sups := make([]supplier, len(edgeSups))
+			for i, es := range edgeSups {
+				sups[i] = supplier{Key: PairKey{es.Pred, es.Query.ID}, Mask: es.Mask}
+			}
+			suppliers[pk] = sups
+			for _, s := range sups {
+				consumers[s.Key] = append(consumers[s.Key], pk)
+			}
+		}
+	}
+
+	// Seed with resolutions and propagate to a fixpoint.
+	worklist := make([]PairKey, 0, len(res.Resolved))
+	for pk, ans := range res.Resolved {
+		res.Answers[pk] = ans
+		worklist = append(worklist, pk)
+	}
+	for {
+		for len(worklist) > 0 {
+			pk := worklist[len(worklist)-1]
+			worklist = worklist[:len(worklist)-1]
+			for _, c := range consumers[pk] {
+				var union AnswerSet
+				for _, s := range suppliers[c] {
+					union |= res.Answers[s.Key] & s.Mask
+				}
+				if union != res.Answers[c] {
+					res.Answers[c] = union
+					worklist = append(worklist, c)
+				}
+			}
+		}
+		// A raised pair can end up with an empty answer set when its
+		// supplier chain delivers nothing (e.g. the chain was severed by
+		// truncation, or it passes only through TRANS-masked summary
+		// edges). The paper's rule applies: whatever remains unresolved is
+		// UNDEF. Such pairs become resolution sites — their partial
+		// supplier information must not constrain restructuring — and the
+		// forced answers propagate to their consumers before the rollback
+		// finishes.
+		var forced []PairKey
+		for n, qs := range res.Queries {
+			for _, q := range qs {
+				pk := PairKey{n, q.ID}
+				if res.Answers[pk] == 0 {
+					res.Answers[pk] = AnsUndef
+					res.Resolved[pk] = AnsUndef
+					delete(res.Suppliers, pk)
+					forced = append(forced, pk)
+				}
+			}
+		}
+		if len(forced) == 0 {
+			return
+		}
+		worklist = forced
+	}
+}
+
+// suppliersOf recomputes where the answers for an unresolved pair come
+// from, mirroring the propagation cases of process().
+func (r *run) suppliersOf(pk PairKey) []EdgeSupplier {
+	n := r.p.Node(pk.Node)
+	q := r.res.queries[pk.Query]
+	var sups []EdgeSupplier
+
+	switch n.Kind {
+	case ir.NEntry:
+		// Unresolved entry pairs are interprocedural normal queries with
+		// call-site predecessors.
+		for _, m := range n.Preds {
+			call := r.p.Node(m)
+			sq := r.substEntryLookup(q, call, q.Owner)
+			if sq != nil {
+				sups = append(sups, EdgeSupplier{Pred: m, Query: sq, Mask: maskAll})
+			}
+		}
+
+	case ir.NCallExit:
+		cv, cp := r.callExitContent(n, q)
+		call := r.p.CallPred(n)
+		exit := r.p.ExitPred(n)
+		if call == nil || exit == nil {
+			return nil
+		}
+		if !r.mustTraverse(n.Callee, cv) {
+			if sq := r.lookupQuery(cv, cp, q.Owner); sq != nil {
+				sups = append(sups, EdgeSupplier{Pred: call.ID, Query: sq, Mask: maskAll})
+			}
+			return sups
+		}
+		key := queryKey{v: cv, op: cp.Op, c: cp.C, owner: int(exit.ID)}
+		s := r.sneByKey[key]
+		if s == nil {
+			return nil
+		}
+		// Answers resolved inside the callee, minus transparency.
+		sups = append(sups, EdgeSupplier{Pred: exit.ID, Query: s.Qsn,
+			Mask: maskAll &^ AnsTrans, FromExit: true})
+		// Answers flowing across the transparent paths: the entry queries
+		// continued at the call node.
+		en := r.p.EntrySucc(call)
+		for _, qo := range s.Entries[en.ID] {
+			cq := r.substEntryLookup(qo, call, q.Owner)
+			if cq != nil {
+				sups = append(sups, EdgeSupplier{Pred: call.ID, Query: cq, Mask: maskAll})
+			}
+		}
+
+	default:
+		out := r.transfer(n, q)
+		if out.resolved {
+			// Resolved pairs never reach suppliersOf.
+			return nil
+		}
+		for _, m := range n.Preds {
+			sups = append(sups, EdgeSupplier{Pred: m, Query: out.next, Mask: maskAll})
+		}
+	}
+	return sups
+}
+
+// substEntryLookup is substEntry without interning: it returns nil when the
+// substituted query does not exist (possible only after truncation).
+func (r *run) substEntryLookup(q *Query, call *ir.Node, owner *SNE) *Query {
+	v := r.p.Vars[q.Var]
+	if v.IsGlobal() {
+		return r.lookupQuery(q.Var, q.P, owner)
+	}
+	for i, f := range r.p.Procs[call.Callee].Formals {
+		if f == q.Var {
+			return r.lookupQuery(call.Args[i], q.P, owner)
+		}
+	}
+	return nil
+}
+
+// DuplicationEstimate returns the upper bound on the number of new nodes
+// that must be created to isolate the correlated paths of this
+// conditional: a node hosting k answers for a query must be split k-ways,
+// and the copies needed for multiple queries multiply (paper §3.1). All
+// ICFG nodes are counted, including the synthetic assert/join nodes this
+// implementation materializes, since splitting duplicates them too; the
+// estimate saturates at a large cap to avoid overflow on cross products.
+func (r *Result) DuplicationEstimate(p *ir.Program) int {
+	const cap = 1 << 30
+	est := 0
+	for n, qs := range r.Queries {
+		if p.Node(n) == nil {
+			continue
+		}
+		copies := 1
+		for _, q := range qs {
+			if c := r.Answers[PairKey{n, q.ID}].Count(); c > 1 {
+				copies *= c
+				if copies > cap {
+					copies = cap
+					break
+				}
+			}
+		}
+		if copies > 1 {
+			est += copies - 1
+		}
+		if est > cap {
+			return cap
+		}
+	}
+	return est
+}
+
+// EstimatedBenefit estimates the number of dynamic instances of the
+// conditional whose outcome is decided, from the execution counts of the
+// nodes where queries resolved TRUE or FALSE (the paper's Figure 10
+// estimate).
+func (r *Result) EstimatedBenefit(execCount map[ir.NodeID]int64) int64 {
+	var total int64
+	for pk, ans := range r.Resolved {
+		if ans&(AnsTrue|AnsFalse) != 0 {
+			total += execCount[pk.Node]
+		}
+	}
+	return total
+}
+
+// ApproxBytes estimates the memory consumed by the analysis structures
+// (queries, pairs, summary node entries), for the Table 2 memory column.
+func (r *Result) ApproxBytes() int64 {
+	var b int64
+	b += int64(len(r.queries)) * 48
+	b += int64(r.PairsRaised) * 40 // raised set + worklist entries
+	b += int64(len(r.Resolved)) * 24
+	b += int64(len(r.Answers)) * 24
+	for _, s := range r.snes {
+		b += 64
+		b += int64(len(s.Waiters)) * 40
+		for _, qs := range s.Entries {
+			b += 16 + int64(len(qs))*8
+		}
+	}
+	return b
+}

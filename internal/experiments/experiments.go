@@ -1,0 +1,87 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) on the reproduction's workloads:
+//
+//   - Table 1: benchmark characteristics
+//   - Table 2: cost of the correlation analysis
+//   - Figure 9: statically detectable correlation (some/full, static count
+//     and dynamically weighted, intra vs inter)
+//   - Figure 10: per-conditional cost/benefit scatter
+//   - Figure 11: executed-conditional reduction vs code growth for a sweep
+//     of per-conditional duplication limits
+//   - the headline claim: at matched code growth, ICBE removes a multiple
+//     of what intraprocedural elimination removes
+//
+// Absolute values differ from the paper (different machines, synthetic
+// workloads standing in for SPEC95); the comparisons reproduce the shapes.
+package experiments
+
+import (
+	"fmt"
+
+	"icbe/internal/analysis"
+	"icbe/internal/ir"
+	"icbe/internal/profile"
+	"icbe/internal/progs"
+)
+
+// PaperTerminationLimit is the analysis budget used in the paper's
+// Figure 11 experiment (node-query pairs per conditional).
+const PaperTerminationLimit = 1000
+
+// PaperDupLimits is the paper's sweep of per-conditional duplication
+// limits N.
+var PaperDupLimits = []int{5, 10, 20, 50, 100, 200}
+
+// interOpts returns the ICBE analysis configuration.
+func interOpts(limit int) analysis.Options {
+	return analysis.Options{Interprocedural: true, ModSummaries: true, TerminationLimit: limit}
+}
+
+// intraOpts returns the baseline analysis configuration (intraprocedural
+// with MOD/USE summary information at call sites, per the paper).
+func intraOpts(limit int) analysis.Options {
+	return analysis.Options{Interprocedural: false, ModSummaries: true, TerminationLimit: limit}
+}
+
+// buildAndProfile compiles a workload and collects its ref profile.
+func buildAndProfile(w *progs.Workload) (*ir.Program, profile.Profile, error) {
+	p, err := ir.Build(w.Source)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	prof, _, err := profile.Collect(p, w.Ref)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: profiling failed: %w", w.Name, err)
+	}
+	return p, prof, nil
+}
+
+// analyzableBranches lists the analyzable conditionals of a program in ID
+// order.
+func analyzableBranches(p *ir.Program) []*ir.Node {
+	var out []*ir.Node
+	p.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NBranch && n.Analyzable() {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// allBranches counts every conditional.
+func allBranches(p *ir.Program) []*ir.Node {
+	var out []*ir.Node
+	p.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NBranch {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+func pct(part, whole float64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * part / whole
+}

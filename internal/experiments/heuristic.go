@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"icbe/internal/interp"
+	"icbe/internal/ir"
+	"icbe/internal/profile"
+	"icbe/internal/progs"
+	"icbe/internal/restructure"
+)
+
+// HeuristicRow compares the paper's growth-only duplication limit against
+// the profile-guided heuristic it proposes as future improvement ("a
+// better heuristic would also consider the amount of conditionals
+// eliminated, as opposed to the incurred code growth alone"): optimize a
+// conditional only when its estimated eliminated executions per duplicated
+// node reach a threshold.
+type HeuristicRow struct {
+	Name string
+	// Growth-only limit N=200.
+	LimitGrowthPct, LimitReductionPct float64
+	// Benefit-aware, threshold 1 execution/node on the train profile.
+	Ben1GrowthPct, Ben1ReductionPct float64
+	// Benefit-aware, threshold 25 executions/node.
+	Ben25GrowthPct, Ben25ReductionPct float64
+}
+
+// HeuristicComparison trains the benefit heuristic on the train input and
+// evaluates every variant on the ref input.
+func HeuristicComparison(ws []*progs.Workload, termLimit int) ([]HeuristicRow, error) {
+	var rows []HeuristicRow
+	for _, w := range ws {
+		p, err := ir.Build(w.Source)
+		if err != nil {
+			return nil, err
+		}
+		trainProf, _, err := profile.Collect(p, w.Train)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		base, err := interp.Run(p, interp.Options{Input: w.Ref})
+		if err != nil {
+			return nil, err
+		}
+		opsBefore := ir.Collect(p).Operations
+		measure := func(opts restructure.DriverOptions) (growth, reduction float64, err error) {
+			dr := restructure.Optimize(p, opts)
+			run, err := interp.Run(dr.Program, interp.Options{Input: w.Ref})
+			if err != nil {
+				return 0, 0, err
+			}
+			growth = pct(float64(ir.Collect(dr.Program).Operations-opsBefore), float64(opsBefore))
+			reduction = pct(float64(base.CondExecs-run.CondExecs), float64(base.CondExecs))
+			return growth, reduction, nil
+		}
+		row := HeuristicRow{Name: w.Name}
+		if row.LimitGrowthPct, row.LimitReductionPct, err = measure(restructure.DriverOptions{
+			Analysis: interOpts(termLimit), MaxDuplication: 200,
+		}); err != nil {
+			return nil, err
+		}
+		if row.Ben1GrowthPct, row.Ben1ReductionPct, err = measure(restructure.DriverOptions{
+			Analysis: interOpts(termLimit), MaxDuplication: 200,
+			Profile: trainProf, MinBenefitPerNode: 1,
+		}); err != nil {
+			return nil, err
+		}
+		if row.Ben25GrowthPct, row.Ben25ReductionPct, err = measure(restructure.DriverOptions{
+			Analysis: interOpts(termLimit), MaxDuplication: 200,
+			Profile: trainProf, MinBenefitPerNode: 25,
+		}); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatHeuristic renders the heuristic comparison.
+func FormatHeuristic(rows []HeuristicRow) string {
+	var sb strings.Builder
+	sb.WriteString("Duplication-limit vs profile-guided benefit heuristic (train profile, ref evaluation)\n")
+	fmt.Fprintf(&sb, "%-10s | %19s | %19s | %19s\n",
+		"", "limit N=200", "benefit >= 1/node", "benefit >= 25/node")
+	fmt.Fprintf(&sb, "%-10s | %8s %9s | %8s %9s | %8s %9s\n",
+		"program", "growth%", "reduct%", "growth%", "reduct%", "growth%", "reduct%")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s | %8.1f %9.1f | %8.1f %9.1f | %8.1f %9.1f\n",
+			r.Name, r.LimitGrowthPct, r.LimitReductionPct,
+			r.Ben1GrowthPct, r.Ben1ReductionPct,
+			r.Ben25GrowthPct, r.Ben25ReductionPct)
+	}
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"icbe/internal/inline"
+	"icbe/internal/interp"
+	"icbe/internal/ir"
+	"icbe/internal/progs"
+	"icbe/internal/restructure"
+)
+
+// InliningRow compares the two routes to interprocedural branch
+// elimination the paper discusses in §5: ICBE's interprocedural
+// restructuring (duplicating only correlated paths, with entry/exit
+// splitting) versus pre-pass inlining followed by purely intraprocedural
+// elimination (duplicating whole callees per call site).
+type InliningRow struct {
+	Name string
+	// ICBE route.
+	ICBEGrowthPct    float64
+	ICBEReductionPct float64
+	// Inline-then-intraprocedural route.
+	InlineGrowthPct    float64
+	InlineReductionPct float64
+	// InlinedCalls counts call sites integrated by the pre-pass.
+	InlinedCalls int
+}
+
+// InliningComparison measures both routes on every workload.
+func InliningComparison(ws []*progs.Workload, termLimit, dupLimit int) ([]InliningRow, error) {
+	var rows []InliningRow
+	for _, w := range ws {
+		p, err := ir.Build(w.Source)
+		if err != nil {
+			return nil, err
+		}
+		base, err := interp.Run(p, interp.Options{Input: w.Ref})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		opsBefore := ir.Collect(p).Operations
+		row := InliningRow{Name: w.Name}
+
+		// Route 1: ICBE.
+		icbe := restructure.Optimize(p, restructure.DriverOptions{
+			Analysis:       interOpts(termLimit),
+			MaxDuplication: dupLimit,
+		})
+		run1, err := interp.Run(icbe.Program, interp.Options{Input: w.Ref})
+		if err != nil {
+			return nil, fmt.Errorf("%s icbe: %w", w.Name, err)
+		}
+		row.ICBEGrowthPct = pct(float64(ir.Collect(icbe.Program).Operations-opsBefore), float64(opsBefore))
+		row.ICBEReductionPct = pct(float64(base.CondExecs-run1.CondExecs), float64(base.CondExecs))
+
+		// Route 2: exhaustive pre-pass inlining, then the intraprocedural
+		// eliminator.
+		inlined := ir.Clone(p)
+		row.InlinedCalls = inline.Exhaustive(inlined, 200)
+		intra := restructure.Optimize(inlined, restructure.DriverOptions{
+			Analysis:       intraOpts(termLimit),
+			MaxDuplication: dupLimit,
+		})
+		run2, err := interp.Run(intra.Program, interp.Options{Input: w.Ref})
+		if err != nil {
+			return nil, fmt.Errorf("%s inline: %w", w.Name, err)
+		}
+		row.InlineGrowthPct = pct(float64(ir.Collect(intra.Program).Operations-opsBefore), float64(opsBefore))
+		row.InlineReductionPct = pct(float64(base.CondExecs-run2.CondExecs), float64(base.CondExecs))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatInlining renders the comparison table.
+func FormatInlining(rows []InliningRow) string {
+	var sb strings.Builder
+	sb.WriteString("Inlining vs ICBE (paper §5): growth and executed-conditional reduction\n")
+	fmt.Fprintf(&sb, "%-10s | %20s | %27s\n", "", "ICBE restructuring", "inline + intraprocedural")
+	fmt.Fprintf(&sb, "%-10s | %9s %10s | %9s %10s %6s\n",
+		"program", "growth%", "reduct%", "growth%", "reduct%", "calls")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s | %9.1f %10.1f | %9.1f %10.1f %6d\n",
+			r.Name, r.ICBEGrowthPct, r.ICBEReductionPct,
+			r.InlineGrowthPct, r.InlineReductionPct, r.InlinedCalls)
+	}
+	return sb.String()
+}

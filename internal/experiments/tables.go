@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"icbe/internal/analysis"
+	"icbe/internal/ir"
+	"icbe/internal/progs"
+)
+
+// Table1Row mirrors the paper's Table 1: program size and conditional
+// density, static and dynamic.
+type Table1Row struct {
+	Name       string
+	Paper      string
+	Lines      int
+	Procedures int
+	AllNodes   int
+	CondNodes  int
+	// StaticPct is conditionals / all executable (operation) nodes;
+	// DynamicPct weights both by ref-input execution counts (the paper's
+	// cond/prog static and dynamic columns).
+	StaticPct  float64
+	DynamicPct float64
+}
+
+// Table1 computes the benchmark characteristics table.
+func Table1(ws []*progs.Workload) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, w := range ws {
+		p, prof, err := buildAndProfile(w)
+		if err != nil {
+			return nil, err
+		}
+		st := ir.Collect(p)
+		row := Table1Row{
+			Name:       w.Name,
+			Paper:      w.Paper,
+			Lines:      p.SourceLines,
+			Procedures: st.Procs,
+			AllNodes:   st.AllNodes,
+			CondNodes:  st.Conditionals,
+			StaticPct:  pct(float64(st.Conditionals), float64(st.Operations)),
+		}
+		row.DynamicPct = pct(float64(prof.CondExecutions(p)), float64(prof.OperationExecutions(p)))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders Table 1 as aligned text.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: Benchmark programs\n")
+	fmt.Fprintf(&sb, "%-10s %-28s %6s %6s %8s %6s %9s %10s\n",
+		"program", "stands in for", "lines", "procs", "nodes", "cond", "cond/prog", "cond/prog")
+	fmt.Fprintf(&sb, "%-10s %-28s %6s %6s %8s %6s %9s %10s\n",
+		"", "", "", "", "", "", "static%", "dynamic%")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %-28s %6d %6d %8d %6d %9.1f %10.1f\n",
+			r.Name, r.Paper, r.Lines, r.Procedures, r.AllNodes, r.CondNodes, r.StaticPct, r.DynamicPct)
+	}
+	return sb.String()
+}
+
+// Table2Row mirrors the paper's Table 2: the cost of correlation analysis.
+type Table2Row struct {
+	Name string
+	// OverallSec includes parsing, IR construction, and analysis of every
+	// analyzable conditional; AnalysisSec is the analysis alone.
+	OverallSec  float64
+	AnalysisSec float64
+	// ProgRepBytes approximates the memory of the program representation;
+	// AnalysisBytes approximates the peak memory of queries and summary
+	// nodes.
+	ProgRepBytes  int64
+	AnalysisBytes int64
+	// PairsTotal counts node-query pairs processed over all conditionals;
+	// PairsPerCond divides by the number of analyzed conditionals.
+	PairsTotal   int
+	PairsPerCond float64
+}
+
+// Table2 measures analysis cost with the paper's termination limit.
+func Table2(ws []*progs.Workload, limit int) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, w := range ws {
+		t0 := time.Now()
+		p, err := ir.Build(w.Source)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{Name: w.Name, ProgRepBytes: progRepBytes(p)}
+		an := analysis.New(p, interOpts(limit))
+		ta := time.Now()
+		nconds := 0
+		for _, b := range analyzableBranches(p) {
+			res := an.AnalyzeBranch(b.ID)
+			if res == nil {
+				continue
+			}
+			nconds++
+			row.PairsTotal += res.PairsProcessed
+			if mb := res.ApproxBytes(); mb > 0 {
+				row.AnalysisBytes += mb
+			}
+		}
+		row.AnalysisSec = time.Since(ta).Seconds()
+		row.OverallSec = time.Since(t0).Seconds()
+		if nconds > 0 {
+			row.PairsPerCond = float64(row.PairsTotal) / float64(nconds)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// progRepBytes approximates the memory of the internal program
+// representation (nodes, edges, variables).
+func progRepBytes(p *ir.Program) int64 {
+	var b int64
+	p.LiveNodes(func(n *ir.Node) {
+		b += 200 + int64(len(n.Succs)+len(n.Preds)+len(n.Args))*8
+	})
+	b += int64(len(p.Vars)) * 64
+	return b
+}
+
+// FormatTable2 renders Table 2 as aligned text.
+func FormatTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: The cost of correlation analysis\n")
+	fmt.Fprintf(&sb, "%-10s %12s %12s %12s %12s %12s %10s\n",
+		"program", "overall[s]", "analysis[s]", "progrep[KB]", "analysis[KB]", "pairs", "per cond")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %12.4f %12.4f %12.1f %12.1f %12d %10.1f\n",
+			r.Name, r.OverallSec, r.AnalysisSec,
+			float64(r.ProgRepBytes)/1024, float64(r.AnalysisBytes)/1024,
+			r.PairsTotal, r.PairsPerCond)
+	}
+	return sb.String()
+}

@@ -1,0 +1,276 @@
+package inline
+
+import (
+	"testing"
+
+	"icbe/internal/analysis"
+	"icbe/internal/interp"
+	"icbe/internal/ir"
+	"icbe/internal/restructure"
+)
+
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := ir.Build(src)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func firstCall(p *ir.Program, callee string) ir.NodeID {
+	target := ir.NoNode
+	p.LiveNodes(func(n *ir.Node) {
+		if target == ir.NoNode && n.Kind == ir.NCall && p.Procs[n.Callee].Name == callee {
+			target = n.ID
+		}
+	})
+	return target
+}
+
+func sameOutput(t *testing.T, a, b *ir.Program, inputs [][]int64) {
+	t.Helper()
+	for _, in := range inputs {
+		r1, err := interp.Run(a, interp.Options{Input: in})
+		if err != nil {
+			t.Fatalf("original: %v", err)
+		}
+		r2, err := interp.Run(b, interp.Options{Input: in})
+		if err != nil {
+			t.Fatalf("inlined: %v\n%s", err, b.Dump())
+		}
+		if len(r1.Output) != len(r2.Output) {
+			t.Fatalf("output mismatch on %v: %v vs %v", in, r1.Output, r2.Output)
+		}
+		for i := range r1.Output {
+			if r1.Output[i] != r2.Output[i] {
+				t.Fatalf("output mismatch on %v: %v vs %v", in, r1.Output, r2.Output)
+			}
+		}
+	}
+}
+
+func TestInlineSimpleCall(t *testing.T) {
+	src := `
+		func add(a, b) { return a + b; }
+		func main() {
+			var s = add(3, 4);
+			print(s);
+			print(add(s, 10));
+		}
+	`
+	p := build(t, src)
+	q := ir.Clone(p)
+	if err := Call(q, firstCall(q, "add")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Validate(q); err != nil {
+		t.Fatalf("invalid after inline: %v\n%s", err, q.Dump())
+	}
+	sameOutput(t, p, q, [][]int64{nil})
+	// One call remains.
+	calls := 0
+	q.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NCall {
+			calls++
+		}
+	})
+	if calls != 1 {
+		t.Errorf("calls after inlining one site = %d, want 1", calls)
+	}
+}
+
+func TestInlineCallWithBranches(t *testing.T) {
+	src := `
+		func classify(v) {
+			if (v < 0) { return -1; }
+			if (v == 0) { return 0; }
+			return 1;
+		}
+		func main() {
+			var v = input();
+			print(classify(v));
+			print(classify(0 - v));
+		}
+	`
+	p := build(t, src)
+	q := ir.Clone(p)
+	if err := Call(q, firstCall(q, "classify")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Validate(q); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	sameOutput(t, p, q, [][]int64{{5}, {0}, {-3}})
+}
+
+func TestInlineNestedCalls(t *testing.T) {
+	src := `
+		func inner(x) { return x * 2; }
+		func outer(x) { return inner(x) + 1; }
+		func main() { print(outer(input())); }
+	`
+	p := build(t, src)
+	q := ir.Clone(p)
+	if err := Call(q, firstCall(q, "outer")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Validate(q); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, q.Dump())
+	}
+	sameOutput(t, p, q, [][]int64{{7}, {-2}})
+	// The cloned nested call must still enter inner.
+	if firstCall(q, "inner") == ir.NoNode {
+		t.Error("nested call lost")
+	}
+}
+
+func TestInlineGlobalsShared(t *testing.T) {
+	src := `
+		var g;
+		func bump() { g = g + 1; return g; }
+		func main() {
+			print(bump());
+			print(bump());
+			print(g);
+		}
+	`
+	p := build(t, src)
+	q := ir.Clone(p)
+	if err := Call(q, firstCall(q, "bump")); err != nil {
+		t.Fatal(err)
+	}
+	sameOutput(t, p, q, [][]int64{nil})
+}
+
+func TestInlineRecursiveCalleeViaWrapper(t *testing.T) {
+	// Inlining a call to a recursive procedure: the body's recursive call
+	// stays a call.
+	src := `
+		func fact(n) {
+			if (n <= 1) { return 1; }
+			return n * fact(n - 1);
+		}
+		func main() { print(fact(6)); }
+	`
+	p := build(t, src)
+	q := ir.Clone(p)
+	if err := Call(q, firstCall(q, "fact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Validate(q); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	sameOutput(t, p, q, [][]int64{nil})
+}
+
+func TestInlineDiscardedResult(t *testing.T) {
+	src := `
+		var g;
+		func touch(v) { g = v; return v; }
+		func main() {
+			touch(42);
+			print(g);
+		}
+	`
+	p := build(t, src)
+	q := ir.Clone(p)
+	if err := Call(q, firstCall(q, "touch")); err != nil {
+		t.Fatal(err)
+	}
+	sameOutput(t, p, q, [][]int64{nil})
+}
+
+func TestExhaustiveInlining(t *testing.T) {
+	src := `
+		func a(x) { return x + 1; }
+		func b(x) { return a(x) * 2; }
+		func c(x) { return b(x) - a(x); }
+		func main() { print(c(input())); }
+	`
+	p := build(t, src)
+	q := ir.Clone(p)
+	n := Exhaustive(q, 100)
+	if n == 0 {
+		t.Fatal("nothing inlined")
+	}
+	if err := ir.Validate(q); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if got := firstCall(q, "a"); got != ir.NoNode {
+		t.Error("calls remain after exhaustive inlining")
+	}
+	sameOutput(t, p, q, [][]int64{{10}, {-4}})
+}
+
+func TestExhaustiveSkipsRecursion(t *testing.T) {
+	src := `
+		func even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+		func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+		func main() { print(even(8)); print(odd(8)); }
+	`
+	p := build(t, src)
+	q := ir.Clone(p)
+	Exhaustive(q, 100)
+	if err := ir.Validate(q); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	sameOutput(t, p, q, [][]int64{nil})
+}
+
+func TestInlineErrors(t *testing.T) {
+	p := build(t, `func f() { return 1; } func main() { print(f()); }`)
+	if err := Call(p, 99999); err == nil {
+		t.Error("expected error for bad node id")
+	}
+	var printNode ir.NodeID
+	p.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NPrint {
+			printNode = n.ID
+		}
+	})
+	if err := Call(p, printNode); err == nil {
+		t.Error("expected error for non-call node")
+	}
+}
+
+// TestInlineThenIntraEliminate reproduces the paper's §5 scenario: after
+// inlining the procedures involved in a correlation, a purely
+// intraprocedural eliminator can remove the branch.
+func TestInlineThenIntraEliminate(t *testing.T) {
+	src := `
+		func get() {
+			if (input() > 0) { return 0; }
+			return 7;
+		}
+		func main() {
+			var r = get();
+			if (r == 0) { print(1); } else { print(2); }
+		}
+	`
+	p := build(t, src)
+
+	// Intraprocedural elimination alone finds nothing.
+	intra := restructure.DriverOptions{Analysis: analysis.Options{ModSummaries: true, TerminationLimit: 1000}, MaxDuplication: 200}
+	before := restructure.Optimize(p, intra)
+	if before.Optimized != 0 {
+		t.Fatalf("intra alone optimized %d", before.Optimized)
+	}
+
+	// After inlining get() into main, it succeeds.
+	q := ir.Clone(p)
+	if err := Call(q, firstCall(q, "get")); err != nil {
+		t.Fatal(err)
+	}
+	after := restructure.Optimize(q, intra)
+	if after.Optimized == 0 {
+		t.Fatalf("intra after inlining optimized nothing\n%s", q.Dump())
+	}
+	inputs := [][]int64{{3}, {0}, {-1}}
+	sameOutput(t, p, after.Program, inputs)
+	r1, _ := interp.Run(p, interp.Options{Input: inputs[0]})
+	r2, _ := interp.Run(after.Program, interp.Options{Input: inputs[0]})
+	if r2.CondExecs >= r1.CondExecs {
+		t.Errorf("no reduction: %d vs %d", r2.CondExecs, r1.CondExecs)
+	}
+}

@@ -1,0 +1,328 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"icbe/internal/ir"
+)
+
+func run(t *testing.T, src string, input ...int64) *Result {
+	t.Helper()
+	p, err := ir.Build(src)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := Run(p, Options{Input: input, Profile: true})
+	if err != nil {
+		t.Fatalf("Run: %v\n%s", err, p.Dump())
+	}
+	return res
+}
+
+func runErr(t *testing.T, src string, input ...int64) error {
+	t.Helper()
+	p, err := ir.Build(src)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	_, err = Run(p, Options{Input: input})
+	if err == nil {
+		t.Fatalf("Run succeeded, expected runtime error")
+	}
+	return err
+}
+
+func wantOutput(t *testing.T, res *Result, want ...int64) {
+	t.Helper()
+	if len(res.Output) != len(want) {
+		t.Fatalf("output = %v, want %v", res.Output, want)
+	}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Fatalf("output = %v, want %v", res.Output, want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	res := run(t, `
+		func main() {
+			print(2 + 3 * 4);
+			print(10 / 3);
+			print(10 % 3);
+			print(-7);
+			var x = 5;
+			print(-x);
+			print((2 + 3) * 4);
+		}
+	`)
+	wantOutput(t, res, 14, 3, 1, -7, -5, 20)
+}
+
+func TestGlobalsAndLocals(t *testing.T) {
+	res := run(t, `
+		var g = 100;
+		func bump() { g = g + 1; return g; }
+		func main() {
+			var a = bump();
+			var b = bump();
+			print(a);
+			print(b);
+			print(g);
+		}
+	`)
+	wantOutput(t, res, 101, 102, 102)
+}
+
+func TestControlFlow(t *testing.T) {
+	res := run(t, `
+		func main() {
+			var i = 0;
+			var sum = 0;
+			while (i < 5) {
+				i = i + 1;
+				if (i == 3) { continue; }
+				if (i == 5) { break; }
+				sum = sum + i;
+			}
+			print(sum); // 1 + 2 + 4 = 7
+			print(i);
+		}
+	`)
+	wantOutput(t, res, 7, 5)
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+		func classify(x) {
+			if (x < 0) { return -1; }
+			else if (x == 0) { return 0; }
+			else { return 1; }
+		}
+		func main() {
+			print(classify(-5));
+			print(classify(0));
+			print(classify(9));
+		}
+	`
+	res := run(t, src)
+	wantOutput(t, res, -1, 0, 1)
+}
+
+func TestCallsAndRecursion(t *testing.T) {
+	res := run(t, `
+		func fib(n) {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		func main() { print(fib(10)); }
+	`)
+	wantOutput(t, res, 55)
+}
+
+func TestCallByValue(t *testing.T) {
+	res := run(t, `
+		func change(x) { x = 99; return x; }
+		func main() {
+			var a = 1;
+			var r = change(a);
+			print(a);
+			print(r);
+		}
+	`)
+	wantOutput(t, res, 1, 99)
+}
+
+func TestRecursionLocalIsolation(t *testing.T) {
+	res := run(t, `
+		func down(n) {
+			var local = n * 10;
+			if (n > 0) { down(n - 1); }
+			print(local);
+			return 0;
+		}
+		func main() { down(3); }
+	`)
+	wantOutput(t, res, 0, 10, 20, 30)
+}
+
+func TestHeapAndLists(t *testing.T) {
+	res := run(t, `
+		// Build list 3 -> 2 -> 1 and sum it.
+		func cons(v, next) {
+			var c = alloc(2);
+			c[0] = v;
+			c[1] = next;
+			return c;
+		}
+		func sum(list) {
+			var s = 0;
+			while (list != 0) {
+				s = s + list[0];
+				list = list[1];
+			}
+			return s;
+		}
+		func main() {
+			var l = cons(1, 0);
+			l = cons(2, l);
+			l = cons(3, l);
+			print(sum(l));
+		}
+	`)
+	wantOutput(t, res, 6)
+}
+
+func TestByteBuiltin(t *testing.T) {
+	res := run(t, `
+		func main() {
+			var x = 300;
+			print(byte(x));   // 300 & 255 = 44
+			print(byte(-1));  // constant-folded: 255
+			var y = -1;
+			print(byte(y));   // 255
+		}
+	`)
+	wantOutput(t, res, 44, 255, 255)
+}
+
+func TestInputAndEOF(t *testing.T) {
+	res := run(t, `
+		func main() {
+			var c = input();
+			while (c != -1) {
+				print(c);
+				c = input();
+			}
+			print(1000);
+		}
+	`, 10, 20, 30)
+	wantOutput(t, res, 10, 20, 30, 1000)
+}
+
+func TestInputExhaustedReturnsMinusOne(t *testing.T) {
+	res := run(t, `func main() { print(input()); print(input()); }`, 7)
+	wantOutput(t, res, 7, -1)
+}
+
+func TestProfileCounts(t *testing.T) {
+	p, err := ir.Build(`
+		func main() {
+			var i = 0;
+			while (i < 4) { i = i + 1; }
+			print(i);
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br *ir.Node
+	p.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NBranch {
+			br = n
+		}
+	})
+	if res.ExecCount[br.ID] != 5 { // 4 true + 1 false evaluation
+		t.Errorf("branch executed %d times, want 5", res.ExecCount[br.ID])
+	}
+	if res.CondExecs != 5 {
+		t.Errorf("CondExecs = %d, want 5", res.CondExecs)
+	}
+	if res.Operations <= 0 || res.Steps < res.Operations {
+		t.Errorf("steps %d < operations %d", res.Steps, res.Operations)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"div0", `func main() { var x = input(); print(1 / x); }`, "division by zero"},
+		{"mod0", `func main() { var x = input(); print(1 % x); }`, "modulo by zero"},
+		{"nilderef", `func main() { var p = 0; print(p[0]); }`, "nil pointer"},
+		{"nilstore", `func main() { var p = 0; p[0] = 1; }`, "nil pointer"},
+		{"oob", `func main() { var p = alloc(2); print(p[5]); }`, "out of bounds"},
+		{"negalloc", `func main() { var n = -1; var p = alloc(n); print(p); }`, "invalid allocation"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := runErr(t, tc.src, 0)
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p, err := ir.Build(`func main() { while (1) { var x = 1; print(x); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(p, Options{MaxSteps: 100})
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("err = %v, want step limit", err)
+	}
+}
+
+func TestWrapAroundDivision(t *testing.T) {
+	res := run(t, `
+		func main() {
+			var min = -9223372036854775807 - 1;
+			var m1 = -1;
+			print(min / m1);
+			print(min % m1);
+		}
+	`)
+	wantOutput(t, res, -9223372036854775808, 0)
+}
+
+func TestVarVarBranch(t *testing.T) {
+	res := run(t, `
+		func max(a, b) {
+			if (a > b) { return a; }
+			return b;
+		}
+		func main() { print(max(3, 9)); print(max(9, 3)); }
+	`)
+	wantOutput(t, res, 9, 9)
+}
+
+func TestMultipleCallSitesSameCallee(t *testing.T) {
+	res := run(t, `
+		func twice(x) { return x * 2; }
+		func main() {
+			print(twice(1));
+			print(twice(twice(2)));
+		}
+	`)
+	wantOutput(t, res, 2, 8)
+}
+
+func TestDeepRecursionWithinLimit(t *testing.T) {
+	res := run(t, `
+		func count(n) {
+			if (n == 0) { return 0; }
+			return 1 + count(n - 1);
+		}
+		func main() { print(count(1000)); }
+	`)
+	wantOutput(t, res, 1000)
+}
+
+func TestBareConditionTruthiness(t *testing.T) {
+	res := run(t, `
+		func main() {
+			var x = 5;
+			if (x) { print(1); } else { print(0); }
+			x = 0;
+			if (x) { print(1); } else { print(0); }
+		}
+	`)
+	wantOutput(t, res, 1, 0)
+}

@@ -1,0 +1,41 @@
+package ir
+
+// Clone returns a deep copy of the program. The copy shares nothing mutable
+// with the original, so it can be restructured independently (the
+// optimization drivers clone before transforming, keeping the original for
+// comparison runs).
+func Clone(p *Program) *Program {
+	q := &Program{
+		MainProc:    p.MainProc,
+		SourceLines: p.SourceLines,
+	}
+	q.Vars = make([]*Var, len(p.Vars))
+	for i, v := range p.Vars {
+		cv := *v
+		q.Vars[i] = &cv
+	}
+	q.Procs = make([]*Proc, len(p.Procs))
+	for i, pr := range p.Procs {
+		cp := &Proc{
+			Name:    pr.Name,
+			Index:   pr.Index,
+			RetVar:  pr.RetVar,
+			Formals: append([]VarID(nil), pr.Formals...),
+			Entries: append([]NodeID(nil), pr.Entries...),
+			Exits:   append([]NodeID(nil), pr.Exits...),
+		}
+		q.Procs[i] = cp
+	}
+	q.Nodes = make([]*Node, len(p.Nodes))
+	for i, n := range p.Nodes {
+		if n == nil {
+			continue
+		}
+		cn := *n
+		cn.Args = append([]VarID(nil), n.Args...)
+		cn.Succs = append([]NodeID(nil), n.Succs...)
+		cn.Preds = append([]NodeID(nil), n.Preds...)
+		q.Nodes[i] = &cn
+	}
+	return q
+}

@@ -1,0 +1,499 @@
+// Package ir defines the interprocedural control flow graph (ICFG) that the
+// ICBE analysis and restructuring operate on, and the lowering from MiniC
+// ASTs onto it.
+//
+// The ICFG follows the paper's representation (Bodík/Gupta/Soffa, PLDI'97,
+// Figure 3): the control flow graphs of all procedures are combined by
+// connecting procedure entry and exit nodes with their call sites. Each
+// procedure may have multiple entry nodes and multiple exit nodes (created
+// by entry/exit splitting). The graph is kept in *call-site normal form*:
+//
+//	(a) each call site node has exactly one procedure-entry successor, and
+//	(b) each call-site-exit node has exactly one call-site predecessor and
+//	    one procedure-exit predecessor.
+//
+// Nodes hold at most one statement. Branch out-edges materialize their
+// assertions as synthetic Assert nodes so that the correlation analysis is
+// purely node-based.
+package ir
+
+import (
+	"fmt"
+
+	"icbe/internal/pred"
+)
+
+// VarID identifies a variable in the program's variable arena.
+type VarID int
+
+// NoVar marks an absent variable (e.g. a discarded call result).
+const NoVar VarID = -1
+
+// NodeID identifies a node in the program's node arena.
+type NodeID int
+
+// NoNode marks an absent node reference.
+const NoNode NodeID = -1
+
+// VarKind classifies variables.
+type VarKind int
+
+// Variable kinds. Temps are compiler-generated; Ret holds a procedure's
+// return value.
+const (
+	VarGlobal VarKind = iota
+	VarParam
+	VarLocal
+	VarTemp
+	VarRet
+)
+
+func (k VarKind) String() string {
+	switch k {
+	case VarGlobal:
+		return "global"
+	case VarParam:
+		return "param"
+	case VarLocal:
+		return "local"
+	case VarTemp:
+		return "temp"
+	case VarRet:
+		return "ret"
+	}
+	return fmt.Sprintf("VarKind(%d)", int(k))
+}
+
+// Var is a program variable. Globals have Proc == -1.
+type Var struct {
+	ID   VarID
+	Name string
+	Kind VarKind
+	Proc int   // owning procedure index, -1 for globals
+	Init int64 // initial value (globals only)
+}
+
+// IsGlobal reports whether the variable is a global.
+func (v *Var) IsGlobal() bool { return v.Kind == VarGlobal }
+
+// NodeKind enumerates ICFG node kinds.
+type NodeKind int
+
+// Node kinds.
+const (
+	NEntry    NodeKind = iota // procedure entry (dummy)
+	NExit                     // procedure exit (dummy)
+	NCall                     // call site node (dummy, carries arg bindings)
+	NCallExit                 // call-site exit: dst := returned value
+	NAssign                   // dst := rhs
+	NBranch                   // conditional branch on (var relop operand)
+	NAssert                   // synthetic assertion (var relop const) holds here
+	NStore                    // heap[ptr+idx] := val
+	NPrint                    // append val to program output
+	NNop                      // synthetic empty node (joins, loop headers)
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case NEntry:
+		return "entry"
+	case NExit:
+		return "exit"
+	case NCall:
+		return "call"
+	case NCallExit:
+		return "callexit"
+	case NAssign:
+		return "assign"
+	case NBranch:
+		return "branch"
+	case NAssert:
+		return "assert"
+	case NStore:
+		return "store"
+	case NPrint:
+		return "print"
+	case NNop:
+		return "nop"
+	}
+	return fmt.Sprintf("NodeKind(%d)", int(k))
+}
+
+// RHSKind enumerates right-hand sides of assignments.
+type RHSKind int
+
+// Assignment right-hand-side kinds.
+const (
+	RConst RHSKind = iota // constant
+	RCopy                 // copy of another variable
+	RNeg                  // arithmetic negation of a variable
+	RByte                 // low 8 bits of a variable; result in [0,255]
+	RBinop                // binary arithmetic on two operands
+	RLoad                 // heap load ptr[idx]
+	RAlloc                // heap allocation of size cells
+	RInput                // next input value, or -1 when exhausted
+)
+
+func (k RHSKind) String() string {
+	switch k {
+	case RConst:
+		return "const"
+	case RCopy:
+		return "copy"
+	case RNeg:
+		return "neg"
+	case RByte:
+		return "byte"
+	case RBinop:
+		return "binop"
+	case RLoad:
+		return "load"
+	case RAlloc:
+		return "alloc"
+	case RInput:
+		return "input"
+	}
+	return fmt.Sprintf("RHSKind(%d)", int(k))
+}
+
+// BinOp enumerates arithmetic operators on the IR level.
+type BinOp int
+
+// IR arithmetic operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+func (o BinOp) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	}
+	return "?"
+}
+
+// Operand is a variable or an immediate constant.
+type Operand struct {
+	IsConst bool
+	Const   int64
+	Var     VarID
+}
+
+// ConstOp returns a constant operand.
+func ConstOp(c int64) Operand { return Operand{IsConst: true, Const: c} }
+
+// VarOp returns a variable operand.
+func VarOp(v VarID) Operand { return Operand{Var: v} }
+
+func (o Operand) String() string {
+	if o.IsConst {
+		return fmt.Sprintf("%d", o.Const)
+	}
+	return fmt.Sprintf("v%d", int(o.Var))
+}
+
+// RHS is the right-hand side of an assignment node.
+type RHS struct {
+	Kind  RHSKind
+	Const int64   // RConst
+	Src   VarID   // RCopy, RNeg, RByte; pointer for RLoad
+	Op    BinOp   // RBinop
+	A, B  Operand // RBinop operands; RLoad index in A; RAlloc size in A
+}
+
+// Node is a single ICFG node. The payload fields used depend on Kind.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	Proc int // owning procedure index
+
+	// NAssign / NCallExit (Dst): destination variable; NoVar when the call
+	// result is discarded.
+	Dst VarID
+	RHS RHS
+
+	// NBranch: condition (CondVar CondOp CondRHS). Analyzable when CondRHS
+	// is a constant. Succs[0] is the true successor, Succs[1] the false
+	// successor.
+	CondVar VarID
+	CondOp  pred.Op
+	CondRHS Operand
+
+	// NAssert: the fact (AVar APred) holds on entry to this node's
+	// successor. Assert nodes are synthetic.
+	AVar  VarID
+	APred pred.Pred
+
+	// NCall: callee procedure index and argument variables (1:1 with the
+	// callee's formals). NCallExit: Callee is the procedure returned from.
+	Callee int
+	Args   []VarID
+
+	// NStore: heap[Ptr+Idx] := Val.
+	Ptr VarID
+	Idx Operand
+	Val Operand // also NPrint value
+
+	Succs []NodeID
+	Preds []NodeID
+
+	// Synthetic nodes (entry, exit, call, asserts, nops) carry no program
+	// operation; they are excluded from operation counts and may be
+	// duplicated freely.
+	Synthetic bool
+
+	Line int // source line, for diagnostics
+}
+
+// IsOperation reports whether the node represents a real program operation
+// (counted in code-size and path-length metrics).
+func (n *Node) IsOperation() bool {
+	switch n.Kind {
+	case NAssign, NBranch, NStore, NPrint:
+		return true
+	case NCall:
+		return true
+	case NCallExit:
+		return n.Dst != NoVar
+	}
+	return false
+}
+
+// IsBranch reports whether the node is a conditional branch.
+func (n *Node) IsBranch() bool { return n.Kind == NBranch }
+
+// Analyzable reports whether a branch node matches the (var relop const)
+// pattern handled by the correlation analysis.
+func (n *Node) Analyzable() bool { return n.Kind == NBranch && n.CondRHS.IsConst }
+
+// CondPred returns the predicate of an analyzable branch.
+func (n *Node) CondPred() pred.Pred {
+	if !n.Analyzable() {
+		panic(fmt.Sprintf("ir: CondPred on non-analyzable node %d (%s)", n.ID, n.Kind))
+	}
+	return pred.Pred{Op: n.CondOp, C: n.CondRHS.Const}
+}
+
+// TrueSucc returns the true-edge successor of a branch.
+func (n *Node) TrueSucc() NodeID { return n.Succs[0] }
+
+// FalseSucc returns the false-edge successor of a branch.
+func (n *Node) FalseSucc() NodeID { return n.Succs[1] }
+
+// Proc is a procedure of the program. After restructuring a procedure may
+// have several entries and exits.
+type Proc struct {
+	Name    string
+	Index   int
+	Formals []VarID
+	RetVar  VarID
+	Entries []NodeID
+	Exits   []NodeID
+}
+
+// Program is a complete ICFG with its variable arena.
+type Program struct {
+	Procs []*Proc
+	Vars  []*Var
+	// Nodes is the node arena; deleted nodes are nil.
+	Nodes    []*Node
+	MainProc int
+	// SourceLines is the number of source lines the program was built from
+	// (for Table 1 reporting).
+	SourceLines int
+}
+
+// Node returns the node with the given id, or nil if deleted/out of range.
+func (p *Program) Node(id NodeID) *Node {
+	if id < 0 || int(id) >= len(p.Nodes) {
+		return nil
+	}
+	return p.Nodes[id]
+}
+
+// Var returns the variable with the given id.
+func (p *Program) Var(id VarID) *Var { return p.Vars[id] }
+
+// NewVar appends a variable to the arena.
+func (p *Program) NewVar(name string, kind VarKind, proc int) VarID {
+	id := VarID(len(p.Vars))
+	p.Vars = append(p.Vars, &Var{ID: id, Name: name, Kind: kind, Proc: proc})
+	return id
+}
+
+// NewNode appends a node of the given kind to the arena.
+func (p *Program) NewNode(kind NodeKind, proc int) *Node {
+	n := &Node{ID: NodeID(len(p.Nodes)), Kind: kind, Proc: proc, Dst: NoVar}
+	switch kind {
+	case NEntry, NExit, NCall, NAssert, NNop:
+		n.Synthetic = true
+	}
+	p.Nodes = append(p.Nodes, n)
+	return n
+}
+
+// AddEdge inserts the edge from → to, keeping Succs/Preds consistent.
+// Parallel edges are permitted only for branches whose two arms reach the
+// same node; elsewhere a duplicate edge is ignored.
+func (p *Program) AddEdge(from, to NodeID) {
+	f, t := p.Nodes[from], p.Nodes[to]
+	if f.Kind != NBranch {
+		for _, s := range f.Succs {
+			if s == to {
+				return
+			}
+		}
+	}
+	f.Succs = append(f.Succs, to)
+	t.Preds = append(t.Preds, from)
+}
+
+// RemoveEdge deletes one instance of the edge from → to.
+func (p *Program) RemoveEdge(from, to NodeID) {
+	f, t := p.Nodes[from], p.Nodes[to]
+	f.Succs = removeOne(f.Succs, to)
+	t.Preds = removeOne(t.Preds, from)
+}
+
+func removeOne(ids []NodeID, x NodeID) []NodeID {
+	for i, id := range ids {
+		if id == x {
+			return append(ids[:i:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// RedirectSucc replaces the successor old of node from with new, preserving
+// edge order (important for branch true/false arms).
+func (p *Program) RedirectSucc(from, old, new NodeID) {
+	f := p.Nodes[from]
+	replaced := false
+	for i, s := range f.Succs {
+		if s == old {
+			f.Succs[i] = new
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		panic(fmt.Sprintf("ir: RedirectSucc: %d is not a successor of %d", old, from))
+	}
+	p.Nodes[old].Preds = removeOne(p.Nodes[old].Preds, from)
+	p.Nodes[new].Preds = append(p.Nodes[new].Preds, from)
+}
+
+// DeleteNode removes a node and all its incident edges from the graph.
+func (p *Program) DeleteNode(id NodeID) {
+	n := p.Nodes[id]
+	if n == nil {
+		return
+	}
+	for _, s := range append([]NodeID(nil), n.Succs...) {
+		p.RemoveEdge(id, s)
+	}
+	for _, m := range append([]NodeID(nil), n.Preds...) {
+		p.RemoveEdge(m, id)
+	}
+	p.Nodes[id] = nil
+}
+
+// EntrySucc returns the unique procedure-entry successor of a call node.
+func (p *Program) EntrySucc(call *Node) *Node {
+	var entry *Node
+	for _, s := range call.Succs {
+		if sn := p.Nodes[s]; sn != nil && sn.Kind == NEntry {
+			if entry != nil {
+				panic(fmt.Sprintf("ir: call node %d has multiple entry successors", call.ID))
+			}
+			entry = sn
+		}
+	}
+	if entry == nil {
+		panic(fmt.Sprintf("ir: call node %d has no entry successor", call.ID))
+	}
+	return entry
+}
+
+// CallExitSuccs returns the call-site-exit successors of a call node.
+func (p *Program) CallExitSuccs(call *Node) []*Node {
+	var out []*Node
+	for _, s := range call.Succs {
+		if sn := p.Nodes[s]; sn != nil && sn.Kind == NCallExit {
+			out = append(out, sn)
+		}
+	}
+	return out
+}
+
+// CallPred returns the call-site predecessor of a call-site-exit node, or
+// nil if there is not exactly one.
+func (p *Program) CallPred(ce *Node) *Node {
+	var call *Node
+	for _, m := range ce.Preds {
+		if mn := p.Nodes[m]; mn != nil && mn.Kind == NCall {
+			if call != nil {
+				return nil
+			}
+			call = mn
+		}
+	}
+	return call
+}
+
+// ExitPred returns the procedure-exit predecessor of a call-site-exit node,
+// or nil if there is not exactly one.
+func (p *Program) ExitPred(ce *Node) *Node {
+	var exit *Node
+	for _, m := range ce.Preds {
+		if mn := p.Nodes[m]; mn != nil && mn.Kind == NExit {
+			if exit != nil {
+				return nil
+			}
+			exit = mn
+		}
+	}
+	return exit
+}
+
+// LiveNodes iterates over all non-deleted nodes.
+func (p *Program) LiveNodes(f func(*Node)) {
+	for _, n := range p.Nodes {
+		if n != nil {
+			f(n)
+		}
+	}
+}
+
+// ProcNodes returns all live nodes belonging to the given procedure.
+func (p *Program) ProcNodes(proc int) []*Node {
+	var out []*Node
+	p.LiveNodes(func(n *Node) {
+		if n.Proc == proc {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// ProcByName returns the procedure with the given name, or nil.
+func (p *Program) ProcByName(name string) *Proc {
+	for _, pr := range p.Procs {
+		if pr.Name == name {
+			return pr
+		}
+	}
+	return nil
+}

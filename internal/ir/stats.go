@@ -1,0 +1,37 @@
+package ir
+
+// Stats summarizes the size of an ICFG in the units the paper reports:
+// high-level nodes (operations) and conditional nodes.
+type Stats struct {
+	Procs int
+	// AllNodes counts every live node including synthetic ones (entries,
+	// exits, call sites, asserts, nops) — the paper's "all nodes" column
+	// includes unexecutable label nodes similarly.
+	AllNodes int
+	// Operations counts nodes that perform a program operation (assign,
+	// branch, store, print, call, and value-carrying call exits).
+	Operations int
+	// Conditionals counts branch nodes.
+	Conditionals int
+	// AnalyzableConds counts branch nodes of the (var relop const) form the
+	// analysis handles.
+	AnalyzableConds int
+}
+
+// Collect computes the program's size statistics.
+func Collect(p *Program) Stats {
+	st := Stats{Procs: len(p.Procs)}
+	p.LiveNodes(func(n *Node) {
+		st.AllNodes++
+		if n.IsOperation() {
+			st.Operations++
+		}
+		if n.IsBranch() {
+			st.Conditionals++
+			if n.Analyzable() {
+				st.AnalyzableConds++
+			}
+		}
+	})
+	return st
+}

@@ -1,0 +1,190 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks the structural invariants of the ICFG, including
+// call-site normal form. It returns an error describing every violation
+// found (joined), or nil.
+func Validate(p *Program) error {
+	var errs []error
+	bad := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	// Arena consistency and edge symmetry.
+	for i, n := range p.Nodes {
+		if n == nil {
+			continue
+		}
+		if int(n.ID) != i {
+			bad("node at index %d has ID %d", i, n.ID)
+		}
+		if n.Proc < 0 || n.Proc >= len(p.Procs) {
+			bad("node %d has invalid proc %d", n.ID, n.Proc)
+			continue
+		}
+		for _, s := range n.Succs {
+			sn := p.Node(s)
+			if sn == nil {
+				bad("node %d has dangling successor %d", n.ID, s)
+				continue
+			}
+			if count(sn.Preds, n.ID) != count(n.Succs, s) {
+				bad("edge %d->%d asymmetric (succs %d, preds %d)",
+					n.ID, s, count(n.Succs, s), count(sn.Preds, n.ID))
+			}
+		}
+		for _, m := range n.Preds {
+			if p.Node(m) == nil {
+				bad("node %d has dangling predecessor %d", n.ID, m)
+			}
+		}
+	}
+
+	// Per-kind shape.
+	p.LiveNodes(func(n *Node) {
+		switch n.Kind {
+		case NBranch:
+			if len(n.Succs) != 2 {
+				bad("branch %d has %d successors, want 2", n.ID, len(n.Succs))
+			}
+		case NExit:
+			for _, s := range n.Succs {
+				if sn := p.Node(s); sn != nil && sn.Kind != NCallExit {
+					bad("exit %d has non-callexit successor %d (%s)", n.ID, s, sn.Kind)
+				}
+			}
+			if !containsID(p.Procs[n.Proc].Exits, n.ID) {
+				bad("exit %d not listed in proc %q exits", n.ID, p.Procs[n.Proc].Name)
+			}
+		case NEntry:
+			for _, m := range n.Preds {
+				if mn := p.Node(m); mn != nil && mn.Kind != NCall {
+					bad("entry %d has non-call predecessor %d (%s)", n.ID, m, mn.Kind)
+				}
+			}
+			if !containsID(p.Procs[n.Proc].Entries, n.ID) {
+				bad("entry %d not listed in proc %q entries", n.ID, p.Procs[n.Proc].Name)
+			}
+		case NCall:
+			callee := n.Callee
+			if callee < 0 || callee >= len(p.Procs) {
+				bad("call %d has invalid callee %d", n.ID, callee)
+				return
+			}
+			if len(n.Args) != len(p.Procs[callee].Formals) {
+				bad("call %d passes %d args to %q which has %d formals",
+					n.ID, len(n.Args), p.Procs[callee].Name, len(p.Procs[callee].Formals))
+			}
+			entries, callExits := 0, 0
+			for _, s := range n.Succs {
+				sn := p.Node(s)
+				if sn == nil {
+					continue
+				}
+				switch sn.Kind {
+				case NEntry:
+					entries++
+					if sn.Proc != callee {
+						bad("call %d to %q enters proc %q", n.ID, p.Procs[callee].Name, p.Procs[sn.Proc].Name)
+					}
+				case NCallExit:
+					callExits++
+					if sn.Proc != n.Proc {
+						bad("call %d has callexit %d in a different proc", n.ID, s)
+					}
+				default:
+					bad("call %d has invalid successor kind %s", n.ID, sn.Kind)
+				}
+			}
+			// Normal form (a): exactly one procedure-entry successor.
+			if entries != 1 {
+				bad("call %d has %d entry successors, want 1 (normal form)", n.ID, entries)
+			}
+			if callExits < 1 {
+				bad("call %d has no call-site-exit successor", n.ID)
+			}
+		case NCallExit:
+			calls, exits := 0, 0
+			for _, m := range n.Preds {
+				mn := p.Node(m)
+				if mn == nil {
+					continue
+				}
+				switch mn.Kind {
+				case NCall:
+					calls++
+					if mn.Callee != n.Callee {
+						bad("callexit %d callee mismatch with call %d", n.ID, m)
+					}
+				case NExit:
+					exits++
+					if mn.Proc != n.Callee {
+						bad("callexit %d returns from proc %q, want %q",
+							n.ID, p.Procs[mn.Proc].Name, p.Procs[n.Callee].Name)
+					}
+				default:
+					bad("callexit %d has invalid predecessor kind %s", n.ID, mn.Kind)
+				}
+			}
+			// Normal form (b): one call-site predecessor, one exit
+			// predecessor.
+			if calls != 1 || exits != 1 {
+				bad("callexit %d has %d call preds and %d exit preds, want 1/1 (normal form)",
+					n.ID, calls, exits)
+			}
+		}
+		// Every node except exits must flow somewhere.
+		if n.Kind != NExit && len(n.Succs) == 0 {
+			bad("node %d (%s) has no successors", n.ID, n.Kind)
+		}
+		if n.Kind != NBranch && n.Kind != NCall && n.Kind != NExit && len(n.Succs) > 1 {
+			bad("node %d (%s) has %d successors, want at most 1", n.ID, n.Kind, len(n.Succs))
+		}
+	})
+
+	// Procedure entry/exit lists refer to live nodes of the right kind. A
+	// procedure whose every call site was optimized away may be fully
+	// pruned (no entries and no nodes) — that is valid dead-code removal.
+	for _, pr := range p.Procs {
+		if len(pr.Entries) == 0 && len(p.ProcNodes(pr.Index)) > 0 {
+			bad("proc %q has nodes but no entries", pr.Name)
+		}
+		for _, e := range pr.Entries {
+			n := p.Node(e)
+			if n == nil || n.Kind != NEntry || n.Proc != pr.Index {
+				bad("proc %q entry %d invalid", pr.Name, e)
+			}
+		}
+		for _, e := range pr.Exits {
+			n := p.Node(e)
+			if n == nil || n.Kind != NExit || n.Proc != pr.Index {
+				bad("proc %q exit %d invalid", pr.Name, e)
+			}
+		}
+	}
+
+	return errors.Join(errs...)
+}
+
+func count(ids []NodeID, x NodeID) int {
+	c := 0
+	for _, id := range ids {
+		if id == x {
+			c++
+		}
+	}
+	return c
+}
+
+func containsID(ids []NodeID, x NodeID) bool {
+	for _, id := range ids {
+		if id == x {
+			return true
+		}
+	}
+	return false
+}

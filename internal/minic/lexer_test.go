@@ -1,0 +1,153 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("var x = 42; // comment\nfunc f(a, b) { return a + b; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokVar, TokIdent, TokAssign, TokNumber, TokSemi,
+		TokFunc, TokIdent, TokLParen, TokIdent, TokComma, TokIdent, TokRParen,
+		TokLBrace, TokReturn, TokIdent, TokPlus, TokIdent, TokSemi, TokRBrace,
+		TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[3].Val != 42 {
+		t.Errorf("number value = %d, want 42", toks[3].Val)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := LexAll("== != < <= > >= = + - * / %")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokEq, TokNe, TokLt, TokLe, TokGt, TokGe, TokAssign,
+		TokPlus, TokMinus, TokStar, TokSlash, TokPercent, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexCharLiterals(t *testing.T) {
+	cases := map[string]int64{
+		"'a'":   'a',
+		"'\\n'": '\n',
+		"'\\t'": '\t',
+		"'\\0'": 0,
+		"'\\''": '\'',
+		"' '":   ' ',
+	}
+	for src, want := range cases {
+		toks, err := LexAll(src)
+		if err != nil {
+			t.Errorf("LexAll(%q): %v", src, err)
+			continue
+		}
+		if toks[0].Kind != TokChar || toks[0].Val != want {
+			t.Errorf("LexAll(%q) = %v val %d, want char %d", src, toks[0].Kind, toks[0].Val, want)
+		}
+	}
+}
+
+func TestLexBlockComment(t *testing.T) {
+	toks, err := LexAll("a /* ignore \n all this */ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("block comment not skipped: %v", toks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"@", "unexpected character"},
+		{"!x", "unexpected character '!'"},
+		{"123abc", "malformed number"},
+		{"99999999999999999999", "out of range"},
+		{"'ab'", "unterminated character literal"},
+		{"'\\q'", "unknown escape"},
+		{"'", "unterminated character literal"},
+		{"/* never closed", "unterminated block comment"},
+	}
+	for _, tc := range cases {
+		_, err := LexAll(tc.src)
+		if err == nil {
+			t.Errorf("LexAll(%q) succeeded, want error containing %q", tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("LexAll(%q) error = %q, want substring %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := LexAll("ifx if while0 while returned return")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokIdent, TokIf, TokIdent, TokWhile, TokIdent, TokReturn, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := LexAll("x 5 'c' +")
+	if s := toks[0].String(); !strings.Contains(s, "x") {
+		t.Errorf("ident token string = %q", s)
+	}
+	if s := toks[1].String(); !strings.Contains(s, "5") {
+		t.Errorf("number token string = %q", s)
+	}
+	if s := toks[2].String(); !strings.Contains(s, "c") {
+		t.Errorf("char token string = %q", s)
+	}
+	if s := toks[3].String(); s != "'+'" {
+		t.Errorf("plus token string = %q", s)
+	}
+}

@@ -1,0 +1,512 @@
+package minic
+
+import (
+	"icbe/internal/pred"
+)
+
+// Parser is a recursive-descent parser for MiniC.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete MiniC program from source text.
+func Parse(src string) (*Program, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		switch p.cur().Kind {
+		case TokVar:
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case TokFunc:
+			fn, err := p.parseProc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Procs = append(prog.Procs, fn)
+		default:
+			return nil, errf(p.cur().Pos, "expected 'var' or 'func' at top level, found %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseGlobal() (*Global, error) {
+	kw := p.next() // 'var'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	g := &Global{Name: name.Text, Pos: kw.Pos}
+	if p.accept(TokAssign) {
+		neg := p.accept(TokMinus)
+		num := p.cur()
+		if num.Kind != TokNumber && num.Kind != TokChar {
+			return nil, errf(num.Pos, "global initializer must be a constant, found %s", num)
+		}
+		p.next()
+		g.HasInit = true
+		g.Init = num.Val
+		if neg {
+			g.Init = -g.Init
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *Parser) parseProc() (*Proc, error) {
+	kw := p.next() // 'func'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fn := &Proc{Name: name.Text, Pos: kw.Pos}
+	if !p.at(TokRParen) {
+		for {
+			pn, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, Param{Name: pn.Text, Pos: pn.Pos})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*Block, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, errf(p.cur().Pos, "unexpected end of input inside block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // '}'
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokVar:
+		return p.parseVarDecl()
+	case TokIf:
+		return p.parseIf()
+	case TokWhile:
+		return p.parseWhile()
+	case TokReturn:
+		kw := p.next()
+		s := &ReturnStmt{Pos: kw.Pos}
+		if !p.at(TokSemi) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = e
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TokBreak:
+		kw := p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: kw.Pos}, nil
+	case TokContinue:
+		kw := p.next()
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: kw.Pos}, nil
+	case TokPrint:
+		kw := p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{Value: e, Pos: kw.Pos}, nil
+	case TokIdent:
+		return p.parseSimpleStmt()
+	}
+	return nil, errf(p.cur().Pos, "expected statement, found %s", p.cur())
+}
+
+func (p *Parser) parseVarDecl() (Stmt, error) {
+	kw := p.next() // 'var'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Name: name.Text, Pos: kw.Pos}
+	if p.accept(TokAssign) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseSimpleStmt parses statements starting with an identifier:
+// assignment, store, or call statement.
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	name := p.next()
+	switch p.cur().Kind {
+	case TokAssign:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name.Text, Value: e, Pos: name.Pos}, nil
+
+	case TokLBracket:
+		p.next()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &StoreStmt{Ptr: name.Text, Index: idx, Value: val, Pos: name.Pos}, nil
+
+	case TokLParen:
+		call, err := p.parseCallRest(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &CallStmt{Call: call, Pos: name.Pos}, nil
+	}
+	return nil, errf(p.cur().Pos, "expected '=', '[' or '(' after identifier %q, found %s", name.Text, p.cur())
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	kw := p.next() // 'if'
+	cond, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Pos: kw.Pos}
+	if p.accept(TokElse) {
+		if p.at(TokIf) {
+			elif, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = elif
+		} else {
+			blk, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = &elseBlock{blk: blk}
+		}
+	}
+	return s, nil
+}
+
+// elseBlock adapts a plain else block to the Stmt interface.
+type elseBlock struct{ blk *Block }
+
+func (*elseBlock) stmt() {}
+
+// Position returns the position of the first statement in the block, or a
+// zero position for an empty block.
+func (e *elseBlock) Position() Pos {
+	if len(e.blk.Stmts) > 0 {
+		return e.blk.Stmts[0].Position()
+	}
+	return Pos{}
+}
+
+// ElseBlock extracts the block of a plain else branch, if s is one.
+func ElseBlock(s Stmt) (*Block, bool) {
+	if eb, ok := s.(*elseBlock); ok {
+		return eb.blk, true
+	}
+	return nil, false
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	kw := p.next() // 'while'
+	cond, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: kw.Pos}, nil
+}
+
+func relopOf(k TokKind) (pred.Op, bool) {
+	switch k {
+	case TokEq:
+		return pred.Eq, true
+	case TokNe:
+		return pred.Ne, true
+	case TokLt:
+		return pred.Lt, true
+	case TokLe:
+		return pred.Le, true
+	case TokGt:
+		return pred.Gt, true
+	case TokGe:
+		return pred.Ge, true
+	}
+	return 0, false
+}
+
+// parseCond parses a parenthesized condition `(lhs relop rhs)` or `(expr)`
+// which is shorthand for `(expr != 0)`.
+func (p *Parser) parseCond() (*Cond, error) {
+	lp, err := p.expect(TokLParen)
+	if err != nil {
+		return nil, err
+	}
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	c := &Cond{Lhs: lhs, Pos: lp.Pos}
+	if op, ok := relopOf(p.cur().Kind); ok {
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Op = op
+		c.Rhs = rhs
+	} else {
+		c.Op = pred.Ne
+		c.Rhs = &NumLit{Val: 0, Pos: lp.Pos}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Expression grammar:
+//
+//	expr    := mulexpr (("+"|"-") mulexpr)*
+//	mulexpr := unary (("*"|"/"|"%") unary)*
+//	unary   := "-" unary | primary
+//	primary := number | char | ident | ident "(" args ")" | ident "[" expr "]" | "(" expr ")"
+func (p *Parser) parseExpr() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.cur().Kind {
+		case TokPlus:
+			op = OpAdd
+		case TokMinus:
+			op = OpSub
+		default:
+			return l, nil
+		}
+		opTok := p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r, Pos: opTok.Pos}
+	}
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.cur().Kind {
+		case TokStar:
+			op = OpMul
+		case TokSlash:
+			op = OpDiv
+		case TokPercent:
+			op = OpMod
+		default:
+			return l, nil
+		}
+		opTok := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r, Pos: opTok.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.at(TokMinus) {
+		minus := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := x.(*NumLit); ok {
+			return &NumLit{Val: -n.Val, Pos: minus.Pos}, nil
+		}
+		return &NegExpr{X: x, Pos: minus.Pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokNumber, TokChar:
+		t := p.next()
+		return &NumLit{Val: t.Val, Pos: t.Pos}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		name := p.next()
+		switch p.cur().Kind {
+		case TokLParen:
+			return p.parseCallRest(name)
+		case TokLBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Ptr: name.Text, Index: idx, Pos: name.Pos}, nil
+		}
+		return &VarRef{Name: name.Text, Pos: name.Pos}, nil
+	}
+	return nil, errf(p.cur().Pos, "expected expression, found %s", p.cur())
+}
+
+// parseCallRest parses the argument list after `name(`'s identifier; the
+// opening parenthesis has not yet been consumed.
+func (p *Parser) parseCallRest(name Token) (*CallExpr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	call := &CallExpr{Name: name.Text, Pos: name.Pos}
+	if !p.at(TokRParen) {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return call, nil
+}

@@ -1,0 +1,289 @@
+package minic
+
+import "fmt"
+
+// SymKind classifies resolved symbols.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymGlobal SymKind = iota
+	SymParam
+	SymLocal
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymGlobal:
+		return "global"
+	case SymParam:
+		return "param"
+	case SymLocal:
+		return "local"
+	}
+	return fmt.Sprintf("SymKind(%d)", int(k))
+}
+
+// Symbol is a resolved variable.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	Proc int // procedure index, or -1 for globals
+	Pos  Pos
+}
+
+// Info is the result of semantic analysis: procedure indices and the
+// resolution of every variable reference, ready for IR construction.
+type Info struct {
+	ProcIdx    map[string]int
+	GlobalSyms []*Symbol
+	ProcSyms   [][]*Symbol // per procedure: params first, then locals in declaration order
+
+	Uses       map[*VarRef]*Symbol
+	DeclSyms   map[*VarDecl]*Symbol
+	AssignSyms map[*AssignStmt]*Symbol
+	StoreSyms  map[*StoreStmt]*Symbol // resolution of the pointer identifier
+	LoadSyms   map[*IndexExpr]*Symbol // resolution of the pointer identifier
+}
+
+type checker struct {
+	prog *Program
+	info *Info
+
+	procIdx   int
+	scopes    []map[string]*Symbol // innermost last; scopes[0] is globals
+	loopDepth int
+	errs      []*Error
+}
+
+// Check performs semantic analysis on a parsed program. It verifies that a
+// `main` procedure with no parameters exists, that all names resolve, that
+// calls match procedure arity, and that break/continue appear inside loops.
+// The first error encountered in source order is returned.
+func Check(prog *Program) (*Info, error) {
+	c := &checker{
+		prog: prog,
+		info: &Info{
+			ProcIdx:    make(map[string]int),
+			Uses:       make(map[*VarRef]*Symbol),
+			DeclSyms:   make(map[*VarDecl]*Symbol),
+			AssignSyms: make(map[*AssignStmt]*Symbol),
+			StoreSyms:  make(map[*StoreStmt]*Symbol),
+			LoadSyms:   make(map[*IndexExpr]*Symbol),
+		},
+	}
+	c.run()
+	if len(c.errs) > 0 {
+		return nil, c.errs[0]
+	}
+	return c.info, nil
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...interface{}) {
+	c.errs = append(c.errs, errf(pos, format, args...))
+}
+
+func (c *checker) run() {
+	globals := make(map[string]*Symbol)
+	for _, g := range c.prog.Globals {
+		if IsBuiltin(g.Name) {
+			c.errorf(g.Pos, "cannot declare global %q: name is a builtin", g.Name)
+			continue
+		}
+		if _, dup := globals[g.Name]; dup {
+			c.errorf(g.Pos, "duplicate global variable %q", g.Name)
+			continue
+		}
+		sym := &Symbol{Name: g.Name, Kind: SymGlobal, Proc: -1, Pos: g.Pos}
+		globals[g.Name] = sym
+		c.info.GlobalSyms = append(c.info.GlobalSyms, sym)
+	}
+	c.scopes = []map[string]*Symbol{globals}
+
+	for i, fn := range c.prog.Procs {
+		if IsBuiltin(fn.Name) {
+			c.errorf(fn.Pos, "cannot define procedure %q: name is a builtin", fn.Name)
+		}
+		if _, dup := c.info.ProcIdx[fn.Name]; dup {
+			c.errorf(fn.Pos, "duplicate procedure %q", fn.Name)
+			continue
+		}
+		if _, isGlobal := globals[fn.Name]; isGlobal {
+			c.errorf(fn.Pos, "procedure %q conflicts with a global variable", fn.Name)
+		}
+		c.info.ProcIdx[fn.Name] = i
+	}
+	c.info.ProcSyms = make([][]*Symbol, len(c.prog.Procs))
+
+	mainIdx, ok := c.info.ProcIdx["main"]
+	if !ok {
+		c.errorf(Pos{Line: 1, Col: 1}, "program has no 'main' procedure")
+	} else if n := len(c.prog.Procs[mainIdx].Params); n != 0 {
+		c.errorf(c.prog.Procs[mainIdx].Pos, "'main' must take no parameters, has %d", n)
+	}
+
+	for i, fn := range c.prog.Procs {
+		c.procIdx = i
+		c.checkProc(fn)
+	}
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*Symbol)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(name string, kind SymKind, pos Pos) *Symbol {
+	top := c.scopes[len(c.scopes)-1]
+	if IsBuiltin(name) {
+		c.errorf(pos, "cannot declare %q: name is a builtin", name)
+	}
+	if prev, dup := top[name]; dup {
+		c.errorf(pos, "duplicate declaration of %q (previous at %s)", name, prev.Pos)
+		return prev
+	}
+	sym := &Symbol{Name: name, Kind: kind, Proc: c.procIdx, Pos: pos}
+	top[name] = sym
+	c.info.ProcSyms[c.procIdx] = append(c.info.ProcSyms[c.procIdx], sym)
+	return sym
+}
+
+func (c *checker) lookup(name string, pos Pos) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if sym, ok := c.scopes[i][name]; ok {
+			return sym
+		}
+	}
+	c.errorf(pos, "undeclared variable %q", name)
+	// Recover with a fake local so later checks continue.
+	return &Symbol{Name: name, Kind: SymLocal, Proc: c.procIdx, Pos: pos}
+}
+
+func (c *checker) checkProc(fn *Proc) {
+	c.pushScope()
+	defer c.popScope()
+	for _, prm := range fn.Params {
+		c.declare(prm.Name, SymParam, prm.Pos)
+	}
+	c.checkBlock(fn.Body)
+}
+
+func (c *checker) checkBlock(b *Block) {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+}
+
+func (c *checker) checkStmt(s Stmt) {
+	switch s := s.(type) {
+	case *VarDecl:
+		// The initializer is checked in the enclosing scope: `var x = x;`
+		// refers to an outer x.
+		if s.Init != nil {
+			c.checkExpr(s.Init)
+		}
+		c.info.DeclSyms[s] = c.declare(s.Name, SymLocal, s.Pos)
+	case *AssignStmt:
+		c.checkExpr(s.Value)
+		c.info.AssignSyms[s] = c.lookup(s.Name, s.Pos)
+	case *StoreStmt:
+		c.info.StoreSyms[s] = c.lookup(s.Ptr, s.Pos)
+		c.checkExpr(s.Index)
+		c.checkExpr(s.Value)
+	case *CallStmt:
+		c.checkCall(s.Call, true)
+	case *IfStmt:
+		c.checkCond(s.Cond)
+		c.checkBlock(s.Then)
+		if s.Else != nil {
+			if blk, ok := ElseBlock(s.Else); ok {
+				c.checkBlock(blk)
+			} else {
+				c.checkStmt(s.Else)
+			}
+		}
+	case *WhileStmt:
+		c.checkCond(s.Cond)
+		c.loopDepth++
+		c.checkBlock(s.Body)
+		c.loopDepth--
+	case *ReturnStmt:
+		if s.Value != nil {
+			c.checkExpr(s.Value)
+		}
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			c.errorf(s.Pos, "'break' outside loop")
+		}
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			c.errorf(s.Pos, "'continue' outside loop")
+		}
+	case *PrintStmt:
+		c.checkExpr(s.Value)
+	default:
+		panic(fmt.Sprintf("minic: unknown statement %T", s))
+	}
+}
+
+func (c *checker) checkCond(cd *Cond) {
+	c.checkExpr(cd.Lhs)
+	c.checkExpr(cd.Rhs)
+}
+
+func (c *checker) checkExpr(e Expr) {
+	switch e := e.(type) {
+	case *NumLit:
+	case *VarRef:
+		c.info.Uses[e] = c.lookup(e.Name, e.Pos)
+	case *BinExpr:
+		c.checkExpr(e.L)
+		c.checkExpr(e.R)
+	case *NegExpr:
+		c.checkExpr(e.X)
+	case *CallExpr:
+		c.checkCall(e, false)
+	case *IndexExpr:
+		c.info.LoadSyms[e] = c.lookup(e.Ptr, e.Pos)
+		c.checkExpr(e.Index)
+	default:
+		panic(fmt.Sprintf("minic: unknown expression %T", e))
+	}
+}
+
+func (c *checker) checkCall(call *CallExpr, isStmt bool) {
+	for _, a := range call.Args {
+		c.checkExpr(a)
+	}
+	switch call.Name {
+	case BuiltinAlloc:
+		if len(call.Args) != 1 {
+			c.errorf(call.Pos, "alloc takes 1 argument, got %d", len(call.Args))
+		}
+		return
+	case BuiltinByte:
+		if len(call.Args) != 1 {
+			c.errorf(call.Pos, "byte takes 1 argument, got %d", len(call.Args))
+		}
+		return
+	case BuiltinInput:
+		if len(call.Args) != 0 {
+			c.errorf(call.Pos, "input takes no arguments, got %d", len(call.Args))
+		}
+		return
+	}
+	idx, ok := c.info.ProcIdx[call.Name]
+	if !ok {
+		c.errorf(call.Pos, "call to undefined procedure %q", call.Name)
+		return
+	}
+	fn := c.prog.Procs[idx]
+	if len(call.Args) != len(fn.Params) {
+		c.errorf(call.Pos, "procedure %q takes %d arguments, got %d",
+			call.Name, len(fn.Params), len(call.Args))
+	}
+	if call.Name == "main" {
+		c.errorf(call.Pos, "'main' cannot be called")
+	}
+	_ = isStmt
+}

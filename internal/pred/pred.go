@@ -1,0 +1,455 @@
+// Package pred implements the small predicate algebra used by the ICBE
+// correlation analysis. Queries and branch assertions in the paper are
+// restricted to the form (var relop const); this package decides, given a
+// fact about a variable's value (an exact constant, a value range, or a
+// previously established relational assertion), whether a query predicate is
+// implied true, implied false, or left undetermined.
+//
+// Facts and predicates are both represented through their satisfying sets
+// over the integers, modeled as normalized unions of closed intervals with
+// optional infinite endpoints. All arithmetic is exact over int64 with
+// explicit handling of the representation limits.
+package pred
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a relational operator appearing in a predicate (v Op C).
+type Op int
+
+// The six relational operators of MiniC conditionals.
+const (
+	Eq Op = iota // ==
+	Ne           // !=
+	Lt           // <
+	Le           // <=
+	Gt           // >
+	Ge           // >=
+)
+
+var opNames = [...]string{Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">="}
+
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// ParseOp converts a source-level operator token to an Op.
+func ParseOp(s string) (Op, bool) {
+	switch s {
+	case "==":
+		return Eq, true
+	case "!=":
+		return Ne, true
+	case "<":
+		return Lt, true
+	case "<=":
+		return Le, true
+	case ">":
+		return Gt, true
+	case ">=":
+		return Ge, true
+	}
+	return 0, false
+}
+
+// Negate returns the operator computing the logical negation: !(v Op c) ==
+// (v Negate(Op) c).
+func (o Op) Negate() Op {
+	switch o {
+	case Eq:
+		return Ne
+	case Ne:
+		return Eq
+	case Lt:
+		return Ge
+	case Le:
+		return Gt
+	case Gt:
+		return Le
+	case Ge:
+		return Lt
+	}
+	panic(fmt.Sprintf("pred: invalid operator %d", int(o)))
+}
+
+// Eval evaluates (v Op c) for a concrete value v.
+func (o Op) Eval(v, c int64) bool {
+	switch o {
+	case Eq:
+		return v == c
+	case Ne:
+		return v != c
+	case Lt:
+		return v < c
+	case Le:
+		return v <= c
+	case Gt:
+		return v > c
+	case Ge:
+		return v >= c
+	}
+	panic(fmt.Sprintf("pred: invalid operator %d", int(o)))
+}
+
+// Pred is a predicate (v Op C) about an unnamed variable v.
+type Pred struct {
+	Op Op
+	C  int64
+}
+
+func (p Pred) String() string { return fmt.Sprintf("%s %d", p.Op, p.C) }
+
+// Negate returns the logical complement of p.
+func (p Pred) Negate() Pred { return Pred{Op: p.Op.Negate(), C: p.C} }
+
+// Eval evaluates the predicate for the concrete value v.
+func (p Pred) Eval(v int64) bool { return p.Op.Eval(v, p.C) }
+
+// Sat returns the set of integer values satisfying p.
+func (p Pred) Sat() Set {
+	switch p.Op {
+	case Eq:
+		return Set{{Fin(p.C), Fin(p.C)}}
+	case Ne:
+		s := Set{}
+		if p.C != math.MinInt64 {
+			s = append(s, Interval{NegInf(), Fin(p.C - 1)})
+		}
+		if p.C != math.MaxInt64 {
+			s = append(s, Interval{Fin(p.C + 1), PosInf()})
+		}
+		return s
+	case Lt:
+		if p.C == math.MinInt64 {
+			return Set{}
+		}
+		return Set{{NegInf(), Fin(p.C - 1)}}
+	case Le:
+		return Set{{NegInf(), Fin(p.C)}}
+	case Gt:
+		if p.C == math.MaxInt64 {
+			return Set{}
+		}
+		return Set{{Fin(p.C + 1), PosInf()}}
+	case Ge:
+		return Set{{Fin(p.C), PosInf()}}
+	}
+	panic(fmt.Sprintf("pred: invalid operator %d", int(p.Op)))
+}
+
+// Outcome is the three-valued result of deciding a predicate under a fact.
+type Outcome int
+
+// Outcomes of Decide: the predicate always holds, never holds, or is not
+// determined by the fact.
+const (
+	Unknown Outcome = iota
+	True
+	False
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	default:
+		return "unknown"
+	}
+}
+
+// Decide reports whether every value in fact satisfies p (True), no value in
+// fact satisfies p (False), or neither (Unknown). An empty fact set denotes
+// unreachable state; Decide returns True for it (any answer is sound; True
+// keeps the common x != x style degenerate cases deterministic).
+func Decide(fact Set, p Pred) Outcome {
+	sat := p.Sat()
+	if fact.SubsetOf(sat) {
+		return True
+	}
+	if !fact.Intersects(sat) {
+		return False
+	}
+	return Unknown
+}
+
+// Bound is an interval endpoint: a finite int64 or one of the infinities.
+type Bound struct {
+	inf int8 // -1 = -inf, 0 = finite, +1 = +inf
+	v   int64
+}
+
+// NegInf returns the -infinity bound.
+func NegInf() Bound { return Bound{inf: -1} }
+
+// PosInf returns the +infinity bound.
+func PosInf() Bound { return Bound{inf: 1} }
+
+// Fin returns a finite bound with value v.
+func Fin(v int64) Bound { return Bound{v: v} }
+
+// IsNegInf reports whether b is -infinity.
+func (b Bound) IsNegInf() bool { return b.inf < 0 }
+
+// IsPosInf reports whether b is +infinity.
+func (b Bound) IsPosInf() bool { return b.inf > 0 }
+
+// Finite reports whether b is a finite value.
+func (b Bound) Finite() bool { return b.inf == 0 }
+
+// Value returns the finite value of b; it panics on an infinite bound.
+func (b Bound) Value() int64 {
+	if b.inf != 0 {
+		panic("pred: Value on infinite bound")
+	}
+	return b.v
+}
+
+// Cmp compares two bounds: -1 if b < c, 0 if equal, +1 if b > c.
+func (b Bound) Cmp(c Bound) int {
+	if b.inf != c.inf {
+		if b.inf < c.inf {
+			return -1
+		}
+		return 1
+	}
+	if b.inf != 0 {
+		return 0
+	}
+	switch {
+	case b.v < c.v:
+		return -1
+	case b.v > c.v:
+		return 1
+	}
+	return 0
+}
+
+func (b Bound) String() string {
+	switch {
+	case b.inf < 0:
+		return "-inf"
+	case b.inf > 0:
+		return "+inf"
+	}
+	return fmt.Sprintf("%d", b.v)
+}
+
+// succ returns the bound one greater than b (finite bounds only; saturates
+// at +inf when b is MaxInt64).
+func (b Bound) succ() Bound {
+	if !b.Finite() {
+		return b
+	}
+	if b.v == math.MaxInt64 {
+		return PosInf()
+	}
+	return Fin(b.v + 1)
+}
+
+// Interval is a closed integer interval [Lo, Hi]; Lo/Hi may be infinite.
+type Interval struct {
+	Lo, Hi Bound
+}
+
+// Empty reports whether the interval contains no integers.
+func (iv Interval) Empty() bool { return iv.Lo.Cmp(iv.Hi) > 0 }
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v int64) bool {
+	return iv.Lo.Cmp(Fin(v)) <= 0 && Fin(v).Cmp(iv.Hi) <= 0
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%s,%s]", iv.Lo, iv.Hi)
+}
+
+// Set is a normalized union of disjoint, sorted, non-adjacent intervals.
+type Set []Interval
+
+// All returns the set of all integers.
+func All() Set { return Set{{NegInf(), PosInf()}} }
+
+// Single returns the singleton set {v}.
+func Single(v int64) Set { return Set{{Fin(v), Fin(v)}} }
+
+// Range returns the set [lo, hi] with finite endpoints. An inverted range is
+// empty.
+func Range(lo, hi int64) Set {
+	if lo > hi {
+		return Set{}
+	}
+	return Set{{Fin(lo), Fin(hi)}}
+}
+
+// RangeBounds returns the set [lo, hi] for arbitrary bounds.
+func RangeBounds(lo, hi Bound) Set {
+	iv := Interval{lo, hi}
+	if iv.Empty() {
+		return Set{}
+	}
+	return Set{iv}
+}
+
+// Normalize sorts and merges overlapping or adjacent intervals, dropping
+// empty ones. It returns a fresh normalized set.
+func Normalize(ivs []Interval) Set {
+	var nonEmpty []Interval
+	for _, iv := range ivs {
+		if !iv.Empty() {
+			nonEmpty = append(nonEmpty, iv)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return Set{}
+	}
+	// Insertion sort by Lo: sets here are tiny (≤ 3 intervals in practice).
+	for i := 1; i < len(nonEmpty); i++ {
+		for j := i; j > 0 && nonEmpty[j].Lo.Cmp(nonEmpty[j-1].Lo) < 0; j-- {
+			nonEmpty[j], nonEmpty[j-1] = nonEmpty[j-1], nonEmpty[j]
+		}
+	}
+	out := Set{nonEmpty[0]}
+	for _, iv := range nonEmpty[1:] {
+		last := &out[len(out)-1]
+		// Merge if iv.Lo <= last.Hi+1 (overlapping or adjacent).
+		if iv.Lo.Cmp(last.Hi.succ()) <= 0 {
+			if iv.Hi.Cmp(last.Hi) > 0 {
+				last.Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// Empty reports whether the set contains no integers.
+func (s Set) Empty() bool { return len(s) == 0 }
+
+// Contains reports whether v is a member of the set.
+func (s Set) Contains(v int64) bool {
+	for _, iv := range s {
+		if iv.Contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersect returns the normalized intersection of s and t.
+func (s Set) Intersect(t Set) Set {
+	var out []Interval
+	for _, a := range s {
+		for _, b := range t {
+			lo := a.Lo
+			if b.Lo.Cmp(lo) > 0 {
+				lo = b.Lo
+			}
+			hi := a.Hi
+			if b.Hi.Cmp(hi) < 0 {
+				hi = b.Hi
+			}
+			iv := Interval{lo, hi}
+			if !iv.Empty() {
+				out = append(out, iv)
+			}
+		}
+	}
+	return Normalize(out)
+}
+
+// Union returns the normalized union of s and t.
+func (s Set) Union(t Set) Set {
+	all := make([]Interval, 0, len(s)+len(t))
+	all = append(all, s...)
+	all = append(all, t...)
+	return Normalize(all)
+}
+
+// Intersects reports whether s and t share at least one integer.
+func (s Set) Intersects(t Set) bool {
+	for _, a := range s {
+		for _, b := range t {
+			lo := a.Lo
+			if b.Lo.Cmp(lo) > 0 {
+				lo = b.Lo
+			}
+			hi := a.Hi
+			if b.Hi.Cmp(hi) < 0 {
+				hi = b.Hi
+			}
+			if !(Interval{lo, hi}).Empty() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every integer in s is also in t.
+func (s Set) SubsetOf(t Set) bool {
+	for _, a := range s {
+		if !t.covers(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// covers reports whether interval a is fully contained in the set.
+func (s Set) covers(a Interval) bool {
+	for _, b := range s {
+		if b.Lo.Cmp(a.Lo) <= 0 && a.Hi.Cmp(b.Hi) <= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports set equality (both sets must be normalized).
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i].Lo.Cmp(t[i].Lo) != 0 || s[i].Hi.Cmp(t[i].Hi) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Set) String() string {
+	if len(s) == 0 {
+		return "{}"
+	}
+	out := ""
+	for i, iv := range s {
+		if i > 0 {
+			out += " ∪ "
+		}
+		out += iv.String()
+	}
+	return out
+}
+
+// ShiftSat returns the satisfying set of (w Op C') where the original query
+// was (v Op C) and v = w + k: solving for w shifts the constant by -k. It
+// reports ok=false when the shifted constant would overflow int64, in which
+// case the caller must give up on arithmetic back-substitution.
+func ShiftSat(p Pred, k int64) (Pred, bool) {
+	c := p.C
+	// compute c - k with overflow check
+	r := c - k
+	if (k > 0 && r > c) || (k < 0 && r < c) {
+		return Pred{}, false
+	}
+	return Pred{Op: p.Op, C: r}, true
+}

@@ -1,0 +1,64 @@
+// Package profile holds dynamic execution profiles of ICFG programs — the
+// per-node execution counts the paper collects from the ref input set and
+// uses to weight its dynamic measurements (Figure 9 right column, Figure 10
+// y-axis, Figure 11 y-axis).
+package profile
+
+import (
+	"icbe/internal/interp"
+	"icbe/internal/ir"
+)
+
+// Profile maps node IDs to execution counts.
+type Profile map[ir.NodeID]int64
+
+// FromResult extracts the profile of an instrumented run.
+func FromResult(res *interp.Result) Profile {
+	p := make(Profile, len(res.ExecCount))
+	for id, c := range res.ExecCount {
+		p[id] = c
+	}
+	return p
+}
+
+// Collect runs the program on the input with profiling enabled and returns
+// its profile together with the run result.
+func Collect(prog *ir.Program, input []int64) (Profile, *interp.Result, error) {
+	res, err := interp.Run(prog, interp.Options{Input: input, Profile: true})
+	if err != nil {
+		return nil, res, err
+	}
+	return FromResult(res), res, nil
+}
+
+// Merge adds the counts of other into p.
+func (p Profile) Merge(other Profile) {
+	for id, c := range other {
+		p[id] += c
+	}
+}
+
+// Of returns the execution count of a node.
+func (p Profile) Of(id ir.NodeID) int64 { return p[id] }
+
+// CondExecutions sums the execution counts of all conditional branch nodes.
+func (p Profile) CondExecutions(prog *ir.Program) int64 {
+	var total int64
+	prog.LiveNodes(func(n *ir.Node) {
+		if n.IsBranch() {
+			total += p[n.ID]
+		}
+	})
+	return total
+}
+
+// OperationExecutions sums the execution counts of all operation nodes.
+func (p Profile) OperationExecutions(prog *ir.Program) int64 {
+	var total int64
+	prog.LiveNodes(func(n *ir.Node) {
+		if n.IsOperation() {
+			total += p[n.ID]
+		}
+	})
+	return total
+}

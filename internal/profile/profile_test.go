@@ -1,0 +1,78 @@
+package profile
+
+import (
+	"testing"
+
+	"icbe/internal/ir"
+)
+
+const src = `
+	func main() {
+		var i = 0;
+		while (i < 5) {
+			print(i);
+			i = i + 1;
+		}
+	}
+`
+
+func TestCollectAndQueries(t *testing.T) {
+	p, err := ir.Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, res, err := Collect(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 5 {
+		t.Fatalf("output = %v", res.Output)
+	}
+	if got := prof.CondExecutions(p); got != 6 { // 5 true + 1 false
+		t.Errorf("CondExecutions = %d, want 6", got)
+	}
+	if prof.OperationExecutions(p) <= prof.CondExecutions(p) {
+		t.Error("operations should exceed conditionals")
+	}
+	var br *ir.Node
+	p.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NBranch {
+			br = n
+		}
+	})
+	if prof.Of(br.ID) != 6 {
+		t.Errorf("Of(branch) = %d, want 6", prof.Of(br.ID))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	p, _ := ir.Build(src)
+	prof1, _, err := Collect(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof2, _, _ := Collect(p, nil)
+	prof1.Merge(prof2)
+	if got := prof1.CondExecutions(p); got != 12 {
+		t.Errorf("merged CondExecutions = %d, want 12", got)
+	}
+}
+
+func TestCollectPropagatesErrors(t *testing.T) {
+	p, _ := ir.Build(`func main() { var x = input(); print(1 / x); }`)
+	if _, _, err := Collect(p, []int64{0}); err == nil {
+		t.Error("expected runtime error")
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	p, _ := ir.Build(src)
+	_, res, err := Collect(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := FromResult(res)
+	if len(prof) == 0 {
+		t.Error("empty profile")
+	}
+}

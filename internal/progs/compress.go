@@ -1,0 +1,104 @@
+package progs
+
+// Compress plays the role of 129.compress: a run-length encoder whose byte
+// I/O goes through library-style getbyte/putbyte procedures. The EOF
+// sentinel returned by getbyte is re-tested by the main loop (full
+// interprocedural correlation through the byte conversion), and the emit
+// helper re-tests run lengths the caller established.
+func Compress() *Workload {
+	return &Workload{
+		Name:        "compress",
+		Paper:       "129.compress",
+		Description: "run-length encoder over getbyte/putbyte library procedures with an EOF sentinel",
+		Source:      compressSrc,
+		Ref:         runsInput(5000, 23),
+		Train:       runsInput(400, 5),
+	}
+}
+
+// runsInput generates byte data with runs (compressible) mixed with noise.
+func runsInput(n int, seed uint64) []int64 {
+	r := newRng(seed)
+	out := make([]int64, 0, n)
+	for len(out) < n {
+		if r.intn(3) == 0 {
+			b := r.intn(256)
+			runLen := 2 + r.intn(12)
+			for j := int64(0); j < runLen && len(out) < n; j++ {
+				out = append(out, b)
+			}
+		} else {
+			out = append(out, r.intn(256))
+		}
+	}
+	return out
+}
+
+const compressSrc = `
+// compress: run-length encoding through a byte-I/O library layer.
+var outcount;
+var escapes;
+
+// getbyte returns the next input byte in [0,255], or -1 at end of input.
+// The caller's EOF test is fully correlated with these two return paths.
+func getbyte() {
+	var c = input();
+	if (c == -1) { return -1; }
+	return byte(c);
+}
+
+func putbyte(b) {
+	print(b);
+	outcount = outcount + 1;
+	return 0;
+}
+
+// emit writes one run. Short runs are emitted literally; longer runs use
+// an escape triple. The run-length test repeats a bound the callers
+// already maintain.
+func emit(run, b) {
+	if (run <= 0) { return 0; }
+	if (run < 4) {
+		var i = 0;
+		while (i < run) {
+			putbyte(b);
+			i = i + 1;
+		}
+		return run;
+	}
+	putbyte(27);
+	putbyte(run);
+	putbyte(b);
+	escapes = escapes + 1;
+	return 3;
+}
+
+func main() {
+	outcount = 0;
+	escapes = 0;
+	var cur = getbyte();
+	if (cur == -1) {
+		print(0);
+		return;
+	}
+	var run = 1;
+	var c = getbyte();
+	while (c != -1) {
+		if (c == cur) {
+			run = run + 1;
+			if (run == 200) {
+				emit(run, cur);
+				run = 0;
+			}
+		} else {
+			emit(run, cur);
+			cur = c;
+			run = 1;
+		}
+		c = getbyte();
+	}
+	emit(run, cur);
+	print(outcount);
+	print(escapes);
+}
+`

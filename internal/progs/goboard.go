@@ -1,0 +1,118 @@
+package progs
+
+// GoBoard plays the role of 099.go: grid scanning where every cell access
+// goes through a bounds-checking accessor whose sanity test repeats the
+// check its own inbounds helper already performed — a hot, fully
+// correlated interprocedural conditional.
+func GoBoard() *Workload {
+	return &Workload{
+		Name:        "goboard",
+		Paper:       "099.go",
+		Description: "9x9 board scan: bounds-checked accessors, neighbor counting, liberty-style aggregation",
+		Source:      goBoardSrc,
+		Ref:         boardInput(25, 81, 59),
+		Train:       boardInput(3, 81, 13),
+	}
+}
+
+// boardInput generates `boards` boards of `cells` cell values in 0..2.
+func boardInput(boards, cells int, seed uint64) []int64 {
+	r := newRng(seed)
+	out := make([]int64, 0, boards*cells)
+	for b := 0; b < boards; b++ {
+		for i := 0; i < cells; i++ {
+			out = append(out, r.intn(3))
+		}
+	}
+	return out
+}
+
+const goBoardSrc = `
+// goboard: scanning a 9x9 board with bounds-checked accessors.
+var size;
+var board;
+
+// inbounds selects its boolean result with if-statements; get() re-tests
+// that result — the fully correlated pair the optimizer removes.
+func inbounds(x, y) {
+	if (x < 0) { return 0; }
+	if (x >= size) { return 0; }
+	if (y < 0) { return 0; }
+	if (y >= size) { return 0; }
+	return 1;
+}
+
+// get returns the stone at (x,y) or -1 off the board.
+func get(x, y) {
+	var ok = inbounds(x, y);
+	if (ok == 0) { return -1; }
+	return board[y * size + x];
+}
+
+// neighbors counts the 4-neighbors of (x,y) holding value v.
+func neighbors(x, y, v) {
+	var n = 0;
+	if (get(x - 1, y) == v) { n = n + 1; }
+	if (get(x + 1, y) == v) { n = n + 1; }
+	if (get(x, y - 1) == v) { n = n + 1; }
+	if (get(x, y + 1) == v) { n = n + 1; }
+	return n;
+}
+
+// liberties counts empty neighbors of an occupied point.
+func liberties(x, y) {
+	var s = get(x, y);
+	if (s <= 0) { return 0; }
+	return neighbors(x, y, 0);
+}
+
+// scan aggregates statistics over one board position.
+func scan() {
+	var y = 0;
+	var stones = 0;
+	var libs = 0;
+	var caps = 0;
+	while (y < size) {
+		var x = 0;
+		while (x < size) {
+			var s = get(x, y);
+			if (s > 0) {
+				stones = stones + 1;
+				var l = liberties(x, y);
+				libs = libs + l;
+				if (l == 0) { caps = caps + 1; }
+			}
+			x = x + 1;
+		}
+		y = y + 1;
+	}
+	return stones * 10000 + libs * 10 + caps;
+}
+
+// loadboard reads one position; returns 0 when the input is exhausted.
+func loadboard() {
+	var i = 0;
+	while (i < size * size) {
+		var v = input();
+		if (v == -1) { return 0; }
+		board[i] = v;
+		i = i + 1;
+	}
+	return 1;
+}
+
+func main() {
+	size = 9;
+	board = alloc(81);
+	var total = 0;
+	var boards = 0;
+	var more = loadboard();
+	while (more == 1) {
+		total = total + scan();
+		boards = boards + 1;
+		more = loadboard();
+	}
+	print(boards);
+	print(total);
+}
+`

@@ -1,0 +1,122 @@
+package progs
+
+// Lisp plays the role of 130.li: cons-cell list processing where the nil
+// test is performed both by the list-walking callers (through the isnil
+// library predicate) and again inside car/cdr — the paper's linked-list
+// example. Pointer dereferences add the non-nil correlation source.
+func Lisp() *Workload {
+	return &Workload{
+		Name:        "lisp",
+		Paper:       "130.li",
+		Description: "cons-cell list library (car/cdr/isnil with repeated nil checks) under length/sum/reverse/filter",
+		Source:      lispSrc,
+		Ref:         numberInput(1200, 1000, 31),
+		Train:       numberInput(80, 1000, 3),
+	}
+}
+
+// numberInput generates n nonnegative values below max.
+func numberInput(n int, max int64, seed uint64) []int64 {
+	r := newRng(seed)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.intn(max)
+	}
+	return out
+}
+
+const lispSrc = `
+// lisp: a cons-cell list module in the style of a Lisp runtime.
+var cells;
+
+func cons(v, next) {
+	var c = alloc(2);
+	c[0] = v;
+	c[1] = next;
+	cells = cells + 1;
+	return c;
+}
+
+// car/cdr guard against nil even though most callers already checked —
+// the modular-checking idiom the paper measures.
+func car(l) {
+	if (l == 0) { return -1; }
+	return l[0];
+}
+
+func cdr(l) {
+	if (l == 0) { return 0; }
+	return l[1];
+}
+
+func isnil(l) {
+	if (l == 0) { return 1; }
+	return 0;
+}
+
+func length(l) {
+	var n = 0;
+	while (isnil(l) == 0) {
+		n = n + 1;
+		l = cdr(l);
+	}
+	return n;
+}
+
+func sum(l) {
+	var s = 0;
+	while (isnil(l) == 0) {
+		s = s + car(l);
+		l = cdr(l);
+	}
+	return s;
+}
+
+func reverse(l) {
+	var r = 0;
+	while (isnil(l) == 0) {
+		r = cons(car(l), r);
+		l = cdr(l);
+	}
+	return r;
+}
+
+func nth(l, k) {
+	while (k > 0) {
+		if (isnil(l) == 1) { return -1; }
+		l = cdr(l);
+		k = k - 1;
+	}
+	return car(l);
+}
+
+// countabove walks the list testing each element — the comparison inside
+// the loop correlates with values the generator bounded.
+func countabove(l, bound) {
+	var n = 0;
+	while (isnil(l) == 0) {
+		var h = car(l);
+		if (h > bound) { n = n + 1; }
+		l = cdr(l);
+	}
+	return n;
+}
+
+func main() {
+	cells = 0;
+	var l = 0;
+	var v = input();
+	while (v != -1) {
+		l = cons(v, l);
+		v = input();
+	}
+	print(length(l));
+	print(sum(l));
+	var r = reverse(l);
+	print(car(r));
+	print(nth(r, 3));
+	print(countabove(r, 500));
+	print(countabove(r, 900));
+	print(cells);
+}
+`

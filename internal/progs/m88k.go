@@ -1,0 +1,117 @@
+package progs
+
+// M88k plays the role of 124.m88ksim: an instruction-set interpreter whose
+// decode procedure classifies opcodes with constant returns the dispatch
+// loop re-tests (entry/exit splitting across decode), plus a loop-carried
+// run flag tested by the loop condition and a condition-flag register set
+// in one helper and tested in another.
+func M88k() *Workload {
+	return &Workload{
+		Name:        "m88k",
+		Paper:       "124.m88ksim",
+		Description: "toy ISA interpreter: decode classifier + dispatch loop + flag register correlations",
+		Source:      m88kSrc,
+		Ref:         isaInput(3000, 47),
+		Train:       isaInput(250, 9),
+	}
+}
+
+// isaInput generates (opcode, argument) pairs; opcode 5 (halt) is rare.
+func isaInput(n int, seed uint64) []int64 {
+	r := newRng(seed)
+	out := make([]int64, 0, 2*n)
+	for i := 0; i < n; i++ {
+		op := r.intn(5) // halt excluded; the stream ends by exhaustion
+		arg := r.intn(100)
+		out = append(out, op, arg)
+	}
+	return out
+}
+
+const m88kSrc = `
+// m88k: a toy accumulator ISA interpreter.
+var acc;
+var flag;
+var mem;
+var steps;
+var bad;
+
+// decode maps an opcode to its class: 0 = ALU, 1 = memory, 2 = conditional,
+// 3 = halt, -1 = illegal. Every return is a constant, so the dispatch tests
+// in run() are fully correlated with the decode paths.
+func decode(op) {
+	if (op == 0) { return 0; }
+	if (op == 1) { return 0; }
+	if (op == 2) { return 1; }
+	if (op == 3) { return 1; }
+	if (op == 4) { return 2; }
+	if (op == 5) { return 3; }
+	return -1;
+}
+
+// alu executes an arithmetic instruction and sets the zero flag — which
+// the conditional instruction class tests later.
+func alu(op, arg) {
+	if (op == 0) {
+		acc = acc + arg;
+	} else {
+		acc = acc - arg;
+	}
+	if (acc == 0) { flag = 1; } else { flag = 0; }
+	return acc;
+}
+
+func memop(op, arg) {
+	var a = arg % 64;
+	if (a < 0) { a = a + 64; }
+	if (op == 2) {
+		mem[a] = acc;
+		return acc;
+	}
+	acc = mem[a];
+	return acc;
+}
+
+func run() {
+	var running = 1;
+	while (running == 1) {
+		var op = input();
+		if (op == -1) {
+			running = 0;
+		} else {
+			var arg = input();
+			if (arg == -1) {
+				running = 0;
+			} else {
+				var cls = decode(op);
+				if (cls == 0) {
+					alu(op, arg);
+				} else if (cls == 1) {
+					memop(op, arg);
+				} else if (cls == 2) {
+					if (flag == 1) { acc = acc + arg; }
+				} else if (cls == 3) {
+					running = 0;
+				} else {
+					bad = bad + 1;
+				}
+				steps = steps + 1;
+			}
+		}
+	}
+	return steps;
+}
+
+func main() {
+	acc = 0;
+	flag = 0;
+	steps = 0;
+	bad = 0;
+	mem = alloc(64);
+	var total = run();
+	print(acc);
+	print(total);
+	print(flag);
+	print(bad);
+}
+`

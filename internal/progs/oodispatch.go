@@ -1,0 +1,121 @@
+package progs
+
+// OODispatch models the paper's §5 discussion of object-oriented dynamic
+// dispatch: call sites invoking member procedures of polymorphic types
+// dispatch on the receiver's concrete type tag. Lowered to a procedural
+// language, the dispatcher is an if-chain over the tag — and the tag tests
+// inside the dispatched methods (and in later dispatches on the same
+// receiver) are correlated with the dispatcher's tests. ICBE's entry/exit
+// splitting then plays the role the paper assigns it: separating the
+// per-type paths so repeated dispatches and in-method type checks
+// disappear, exactly like type-directed cloning but without duplicating
+// whole procedures.
+func OODispatch() *Workload {
+	return &Workload{
+		Name:        "oodispatch",
+		Paper:       "§5 virtual dispatch / C++ virtual functions",
+		Description: "shape objects with type tags, if-chain dispatcher, repeated dispatch on the same receiver",
+		Source:      ooDispatchSrc,
+		Ref:         shapeInput(1500, 83),
+		Train:       shapeInput(120, 19),
+	}
+}
+
+// shapeInput generates (tag, a, b) triples; tags 1..3.
+func shapeInput(n int, seed uint64) []int64 {
+	r := newRng(seed)
+	out := make([]int64, 0, 3*n)
+	for i := 0; i < n; i++ {
+		out = append(out, 1+r.intn(3), 1+r.intn(20), 1+r.intn(20))
+	}
+	return out
+}
+
+const ooDispatchSrc = `
+// oodispatch: class hierarchy Shape { Square, Rect, Tri } with virtual
+// area() and perimeter(), lowered to tag dispatch. As a compiler lowering
+// OO code would, the type tag is loaded from the object header once and
+// then flows through scalar parameters — the form the paper's scalar
+// correlation analysis (and ours) tracks.
+// Object layout: obj[0] = type tag (1 square, 2 rect, 3 tri), obj[1] = a,
+// obj[2] = b.
+var made;
+
+func newshape(tag, a, b) {
+	var o = alloc(3);
+	o[0] = tag;
+	o[1] = a;
+	o[2] = b;
+	made = made + 1;
+	return o;
+}
+
+// Per-type methods re-validate their receiver's tag (defensive checks the
+// dispatcher already performed — the paper's repeated-test idiom).
+func squarearea(o, tag) {
+	if (tag != 1) { return -1; }
+	return o[1] * o[1];
+}
+
+func rectarea(o, tag) {
+	if (tag != 2) { return -1; }
+	return o[1] * o[2];
+}
+
+func triarea(o, tag) {
+	if (tag != 3) { return -1; }
+	return o[1] * o[2] / 2;
+}
+
+// area is the virtual-call site: dynamic dispatch over the tag. After
+// entry splitting, each caller that knows the tag enters the matching
+// method directly — the paper's devirtualization effect.
+func area(o, tag) {
+	if (tag == 1) { return squarearea(o, tag); }
+	if (tag == 2) { return rectarea(o, tag); }
+	if (tag == 3) { return triarea(o, tag); }
+	return -1;
+}
+
+// perimeter dispatches on the same receiver again; its tests correlate
+// with area's when both are called on one object.
+func perimeter(o, tag) {
+	if (tag == 1) { return 4 * o[1]; }
+	if (tag == 2) { return 2 * o[1] + 2 * o[2]; }
+	if (tag == 3) { return o[1] + o[2] + o[1] + o[2]; }
+	return -1;
+}
+
+func main() {
+	made = 0;
+	var areas = 0;
+	var perims = 0;
+	var squares = 0;
+	var bad = 0;
+	var tag = input();
+	while (tag != -1) {
+		var a = input();
+		var b = input();
+		if (a == -1) { tag = -1; }
+		else if (b == -1) { tag = -1; }
+		else {
+			if (tag < 1) { tag = 1; }
+			if (tag > 3) { tag = 3; }
+			var o = newshape(tag, a, b);
+			// Load the header tag once; every later test correlates.
+			var tg = o[0];
+			var ar = area(o, tg);
+			if (ar < 0) { bad = bad + 1; }
+			else { areas = areas + ar; }
+			perims = perims + perimeter(o, tg);
+			if (tg == 1) { squares = squares + 1; }
+			tag = input();
+		}
+	}
+	print(made);
+	print(areas);
+	print(perims);
+	print(squares);
+	print(bad);
+}
+`

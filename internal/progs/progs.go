@@ -1,0 +1,77 @@
+// Package progs provides the benchmark workloads of the reproduction. The
+// paper evaluates ICBE on the integer SPEC95 suite (099.go, 124.m88ksim,
+// 129.compress, 130.li, 134.perl) plus the ICC compiler itself; those
+// sources are proprietary, so each workload here is a synthetic MiniC
+// program written to exhibit the correlation idioms the paper identifies as
+// the source of interprocedural branch correlation:
+//
+//   - a procedure selects its return value with an if-statement and the
+//     caller tests the returned value again (the fgetc/EOF pattern);
+//   - procedures include sanity checks on parameters that the caller (or a
+//     previous call to a related procedure) already performed;
+//   - calls to procedures of the same library module propagate values that
+//     each procedure re-tests;
+//   - loop-carried flag variables are assigned inside the loop and tested
+//     by the loop condition.
+//
+// Every workload comes with deterministic ref and train inputs produced by
+// a seeded generator, standing in for the SPEC ref/train input sets.
+package progs
+
+// Workload is one benchmark program with its inputs.
+type Workload struct {
+	// Name identifies the workload in tables.
+	Name string
+	// Paper names the SPEC95 program whose role this workload plays.
+	Paper string
+	// Description summarizes what the program computes and which
+	// correlation idioms it exercises.
+	Description string
+	// Source is the MiniC program text.
+	Source string
+	// Ref is the large profiling input (the paper's ref set); Train is a
+	// small input for quick runs.
+	Ref   []int64
+	Train []int64
+}
+
+// All returns every workload, in a fixed order.
+func All() []*Workload {
+	return []*Workload{
+		Stdio(),
+		Compress(),
+		Lisp(),
+		M88k(),
+		GoBoard(),
+		Scanner(),
+		OODispatch(),
+	}
+}
+
+// ByName returns the named workload or nil.
+func ByName(name string) *Workload {
+	for _, w := range All() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// rng is a deterministic generator (splitmix-style) for workload inputs.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int64) int64 {
+	return int64(r.next() % uint64(n))
+}

@@ -1,0 +1,242 @@
+package progs
+
+import (
+	"testing"
+
+	"icbe/internal/analysis"
+	"icbe/internal/interp"
+	"icbe/internal/ir"
+	"icbe/internal/restructure"
+)
+
+func TestWorkloadsBuildAndRun(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := ir.Build(w.Source)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if err := ir.Validate(p); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			for _, in := range [][]int64{w.Train, w.Ref} {
+				res, err := interp.Run(p, interp.Options{Input: in})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if len(res.Output) == 0 {
+					t.Error("no output produced")
+				}
+				if res.CondExecs == 0 {
+					t.Error("no conditionals executed")
+				}
+			}
+		})
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, w := range All() {
+		p, _ := ir.Build(w.Source)
+		r1, err1 := interp.Run(p, interp.Options{Input: w.Ref})
+		r2, err2 := interp.Run(p, interp.Options{Input: w.Ref})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v %v", w.Name, err1, err2)
+		}
+		for i := range r1.Output {
+			if r1.Output[i] != r2.Output[i] {
+				t.Fatalf("%s: nondeterministic output", w.Name)
+			}
+		}
+		// Regenerating the workload must give the same inputs.
+		w2 := ByName(w.Name)
+		if len(w2.Ref) != len(w.Ref) {
+			t.Fatalf("%s: input generation not deterministic", w.Name)
+		}
+		for i := range w.Ref {
+			if w.Ref[i] != w2.Ref[i] {
+				t.Fatalf("%s: input generation not deterministic", w.Name)
+			}
+		}
+	}
+}
+
+func TestWorkloadsOptimizeCorrectly(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := ir.Build(w.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dr := restructure.Optimize(p, restructure.DriverOptions{
+				Analysis:       analysis.DefaultOptions(),
+				MaxDuplication: 100,
+			})
+			if dr.Optimized == 0 {
+				t.Errorf("no conditionals optimized in %s", w.Name)
+			}
+			if err := ir.Validate(dr.Program); err != nil {
+				t.Fatalf("optimized program invalid: %v", err)
+			}
+			for _, in := range [][]int64{w.Train, w.Ref, nil} {
+				r1, err := interp.Run(p, interp.Options{Input: in})
+				if err != nil {
+					t.Fatalf("original: %v", err)
+				}
+				r2, err := interp.Run(dr.Program, interp.Options{Input: in})
+				if err != nil {
+					t.Fatalf("optimized: %v", err)
+				}
+				if len(r1.Output) != len(r2.Output) {
+					t.Fatalf("output length mismatch: %d vs %d", len(r1.Output), len(r2.Output))
+				}
+				for i := range r1.Output {
+					if r1.Output[i] != r2.Output[i] {
+						t.Fatalf("output[%d] mismatch: %d vs %d", i, r1.Output[i], r2.Output[i])
+					}
+				}
+				if r2.Operations > r1.Operations {
+					t.Errorf("safety violated: %d ops after vs %d before", r2.Operations, r1.Operations)
+				}
+				if r2.CondExecs > r1.CondExecs {
+					t.Errorf("conditionals increased: %d vs %d", r2.CondExecs, r1.CondExecs)
+				}
+			}
+			// On the ref input the optimizer must show a real win.
+			r1, _ := interp.Run(p, interp.Options{Input: w.Ref})
+			r2, _ := interp.Run(dr.Program, interp.Options{Input: w.Ref})
+			if r2.CondExecs >= r1.CondExecs {
+				t.Errorf("no dynamic conditional reduction: %d -> %d", r1.CondExecs, r2.CondExecs)
+			} else {
+				t.Logf("%s: executed conditionals %d -> %d (%.1f%% removed), optimized %d branches",
+					w.Name, r1.CondExecs, r2.CondExecs,
+					100*float64(r1.CondExecs-r2.CondExecs)/float64(r1.CondExecs), dr.Optimized)
+			}
+		})
+	}
+}
+
+func TestInterBeatsIntraOnWorkloads(t *testing.T) {
+	totalInter, totalIntra, totalBase := int64(0), int64(0), int64(0)
+	for _, w := range All() {
+		p, err := ir.Build(w.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		interDr := restructure.Optimize(p, restructure.DriverOptions{
+			Analysis:       analysis.DefaultOptions(),
+			MaxDuplication: 100,
+		})
+		intraDr := restructure.Optimize(p, restructure.DriverOptions{
+			Analysis:       analysis.Options{ModSummaries: true},
+			MaxDuplication: 100,
+		})
+		rBase, _ := interp.Run(p, interp.Options{Input: w.Ref})
+		rInter, err := interp.Run(interDr.Program, interp.Options{Input: w.Ref})
+		if err != nil {
+			t.Fatalf("%s inter: %v", w.Name, err)
+		}
+		rIntra, err := interp.Run(intraDr.Program, interp.Options{Input: w.Ref})
+		if err != nil {
+			t.Fatalf("%s intra: %v", w.Name, err)
+		}
+		totalBase += rBase.CondExecs
+		totalInter += rInter.CondExecs
+		totalIntra += rIntra.CondExecs
+		t.Logf("%-9s conds: base %7d  intra %7d  inter %7d", w.Name, rBase.CondExecs, rIntra.CondExecs, rInter.CondExecs)
+	}
+	if totalInter >= totalIntra {
+		t.Errorf("interprocedural ICBE should beat intra overall: inter %d, intra %d", totalInter, totalIntra)
+	}
+	interRemoved := totalBase - totalInter
+	intraRemoved := totalBase - totalIntra
+	t.Logf("total removed: inter %d, intra %d (ratio %.2f)", interRemoved, intraRemoved,
+		float64(interRemoved)/float64(intraRemoved+1))
+}
+
+func TestByName(t *testing.T) {
+	if ByName("stdio") == nil || ByName("nosuch") != nil {
+		t.Error("ByName lookup wrong")
+	}
+	names := map[string]bool{}
+	for _, w := range All() {
+		if names[w.Name] {
+			t.Errorf("duplicate workload name %s", w.Name)
+		}
+		names[w.Name] = true
+		if w.Paper == "" || w.Description == "" || len(w.Ref) == 0 || len(w.Train) == 0 {
+			t.Errorf("workload %s incomplete", w.Name)
+		}
+		if len(w.Train) >= len(w.Ref) {
+			t.Errorf("workload %s: train input should be smaller than ref", w.Name)
+		}
+	}
+}
+
+// TestWorkloadsSimplifyAfterOptimize composes the full pipeline per
+// workload: optimize, compact, and verify output equality with fewer
+// interpreter steps and unchanged operation counts.
+func TestWorkloadsSimplifyAfterOptimize(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := ir.Build(w.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dr := restructure.Optimize(p, restructure.DriverOptions{
+				Analysis:       analysis.DefaultOptions(),
+				MaxDuplication: 100,
+			})
+			q := ir.Clone(dr.Program)
+			removed := ir.Simplify(q)
+			if err := ir.Validate(q); err != nil {
+				t.Fatalf("invalid after simplify: %v", err)
+			}
+			r1, err := interp.Run(dr.Program, interp.Options{Input: w.Train})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := interp.Run(q, interp.Options{Input: w.Train})
+			if err != nil {
+				t.Fatalf("simplified run: %v", err)
+			}
+			for i := range r1.Output {
+				if r1.Output[i] != r2.Output[i] {
+					t.Fatalf("output mismatch at %d", i)
+				}
+			}
+			if r2.Operations != r1.Operations {
+				t.Errorf("operations changed: %d -> %d", r1.Operations, r2.Operations)
+			}
+			if removed > 0 && r2.Steps >= r1.Steps {
+				t.Errorf("steps not reduced: %d -> %d (removed %d nodes)", r1.Steps, r2.Steps, removed)
+			}
+		})
+	}
+}
+
+// TestWorkloadDescendantsReporting checks the driver's branch-descendant
+// bookkeeping stays within the requeue cap and reports live nodes.
+func TestWorkloadDescendantsReporting(t *testing.T) {
+	p, err := ir.Build(Stdio().Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := restructure.Optimize(p, restructure.DriverOptions{
+		Analysis:       analysis.DefaultOptions(),
+		MaxDuplication: 100,
+	})
+	if len(dr.Reports) == 0 {
+		t.Fatal("no reports")
+	}
+	seen := map[ir.NodeID]bool{}
+	for _, rep := range dr.Reports {
+		if seen[rep.Cond] {
+			t.Errorf("conditional %d reported twice", rep.Cond)
+		}
+		seen[rep.Cond] = true
+	}
+}

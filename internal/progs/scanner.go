@@ -1,0 +1,180 @@
+package progs
+
+// Scanner plays the role of 134.perl: a tokenizer with a pushback buffer
+// whose state flag is tested on every read, a character classifier whose
+// result every caller re-tests, and mode procedures (string/number/word
+// scanning) that re-test characters the dispatcher already classified.
+func Scanner() *Workload {
+	return &Workload{
+		Name:        "scanner",
+		Paper:       "134.perl",
+		Description: "tokenizer: pushback flag, class() dispatcher, per-token scanners re-testing classes",
+		Source:      scannerSrc,
+		Ref:         scriptInput(3500, 71),
+		Train:       scriptInput(300, 17),
+	}
+}
+
+// scriptInput generates script-like text: words, numbers, quoted strings,
+// whitespace and punctuation.
+func scriptInput(n int, seed uint64) []int64 {
+	r := newRng(seed)
+	out := make([]int64, 0, n)
+	for len(out) < n {
+		switch r.intn(8) {
+		case 0:
+			out = append(out, ' ')
+		case 1:
+			out = append(out, '\n')
+		case 2: // number
+			k := 1 + r.intn(5)
+			for j := int64(0); j < k && len(out) < n; j++ {
+				out = append(out, '0'+r.intn(10))
+			}
+			out = append(out, ' ')
+		case 3: // quoted string
+			out = append(out, '\'')
+			k := r.intn(10)
+			for j := int64(0); j < k && len(out) < n; j++ {
+				out = append(out, 'a'+r.intn(26))
+			}
+			out = append(out, '\'')
+		case 4:
+			out = append(out, ';')
+		default: // word
+			k := 1 + r.intn(7)
+			for j := int64(0); j < k && len(out) < n; j++ {
+				out = append(out, 'a'+r.intn(26))
+			}
+			out = append(out, ' ')
+		}
+	}
+	return out[:n]
+}
+
+const scannerSrc = `
+// scanner: a perl-style tokenizer with one-character pushback.
+var pending;
+var haspending;
+
+// nextc returns the next character or -1 at end of input. The pushback
+// flag is a loop-carried correlation source: pushback() sets it, the next
+// nextc() call tests it.
+func nextc() {
+	if (haspending == 1) {
+		haspending = 0;
+		return pending;
+	}
+	var c = input();
+	if (c == -1) { return -1; }
+	return byte(c);
+}
+
+func pushback(c) {
+	pending = c;
+	haspending = 1;
+	return 0;
+}
+
+// class maps a character to a token class: 0 other, 1 alpha, 2 digit,
+// 3 space, 4 quote. Constant returns make every dispatch test correlated.
+func class(c) {
+	if (c == 32) { return 3; }
+	if (c == 10) { return 3; }
+	if (c == 39) { return 4; }
+	if (c >= 48) {
+		if (c <= 57) { return 2; }
+	}
+	if (c >= 97) {
+		if (c <= 122) { return 1; }
+	}
+	return 0;
+}
+
+// scanstring consumes a quoted string; returns its length, or -1 when the
+// input ends before the closing quote.
+func scanstring() {
+	var n = 0;
+	var c = nextc();
+	while (c != -1) {
+		if (c == 39) { return n; }
+		n = n + 1;
+		c = nextc();
+	}
+	return -1;
+}
+
+// scannumber accumulates digits, pushing back the terminator. It re-tests
+// the digit class the dispatcher established for the first character.
+func scannumber(first) {
+	var v = first - 48;
+	var c = nextc();
+	while (c != -1) {
+		var k = class(c);
+		if (k == 2) {
+			v = v * 10 + c - 48;
+			c = nextc();
+		} else {
+			pushback(c);
+			return v;
+		}
+	}
+	return v;
+}
+
+// scanword counts word characters, pushing back the terminator.
+func scanword(first) {
+	var n = 1;
+	var c = nextc();
+	while (c != -1) {
+		var k = class(c);
+		if (k == 1) {
+			n = n + 1;
+			c = nextc();
+		} else {
+			pushback(c);
+			return n;
+		}
+	}
+	return n;
+}
+
+func main() {
+	haspending = 0;
+	pending = 0;
+	var words = 0;
+	var numbers = 0;
+	var strings = 0;
+	var others = 0;
+	var numsum = 0;
+	var wordchars = 0;
+	var strchars = 0;
+	var c = nextc();
+	while (c != -1) {
+		var k = class(c);
+		if (k == 1) {
+			wordchars = wordchars + scanword(c);
+			words = words + 1;
+		} else if (k == 2) {
+			numsum = numsum + scannumber(c);
+			numbers = numbers + 1;
+		} else if (k == 4) {
+			var len = scanstring();
+			if (len >= 0) {
+				strings = strings + 1;
+				strchars = strchars + len;
+			}
+		} else if (k == 0) {
+			others = others + 1;
+		}
+		c = nextc();
+	}
+	print(words);
+	print(numbers);
+	print(strings);
+	print(others);
+	print(numsum);
+	print(wordchars);
+	print(strchars);
+}
+`

@@ -1,0 +1,137 @@
+package progs
+
+// Stdio is the paper's running example scaled up: a buffered character
+// reader (fillbuf/fgetc, Figure 1) under a word/line/digit counter that
+// calls small classification procedures whose integer results the caller
+// re-tests. The fgetc EOF test is fully correlated interprocedurally (the
+// byte conversion yields [0,255]; the refill failure path yields -1), and
+// every classifier call site is an entry/exit-splitting opportunity.
+func Stdio() *Workload {
+	return &Workload{
+		Name:        "stdio",
+		Paper:       "129.compress (I/O layer) / Figure 1",
+		Description: "buffered reader with fgetc/fillbuf plus a word-count-style scanner over classifier procedures",
+		Source:      stdioSrc,
+		Ref:         textInput(4000, 11),
+		Train:       textInput(300, 7),
+	}
+}
+
+// textInput generates printable text bytes with spaces, newlines and
+// digits.
+func textInput(n int, seed uint64) []int64 {
+	r := newRng(seed)
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		switch r.intn(10) {
+		case 0:
+			out = append(out, ' ')
+		case 1:
+			out = append(out, '\n')
+		case 2, 3:
+			out = append(out, '0'+r.intn(10))
+		default:
+			out = append(out, 'a'+r.intn(26))
+		}
+	}
+	return out
+}
+
+const stdioSrc = `
+// stdio: buffered character input (the paper's Figure 1) under a scanner.
+var bufcap;
+var bufptr;
+var bufpos;
+var buflen;
+
+// fillbuf refills the buffer from the input stream. It returns the number
+// of bytes read, or -1 when the stream is exhausted.
+func fillbuf() {
+	var n = 0;
+	while (n < bufcap) {
+		var c = input();
+		if (c == -1) {
+			if (n == 0) { return -1; }
+			buflen = n;
+			bufpos = 0;
+			return n;
+		}
+		bufptr[n] = c;
+		n = n + 1;
+	}
+	buflen = n;
+	bufpos = 0;
+	return n;
+}
+
+// fgetc returns the next character, or -1 at end of file. The returned
+// character is a byte in [0,255]; the caller's EOF test is therefore fully
+// correlated with the two return paths.
+func fgetc() {
+	if (bufpos >= buflen) {
+		var r = fillbuf();
+		if (r == -1) { return -1; }
+	}
+	var c = byte(bufptr[bufpos]);
+	bufpos = bufpos + 1;
+	return c;
+}
+
+// Classifiers in the style of ctype.h: each selects its boolean result
+// with if-statements, and each caller tests that result again.
+func isspace(c) {
+	if (c == 32) { return 1; }
+	if (c == 10) { return 1; }
+	if (c == 9) { return 1; }
+	return 0;
+}
+
+func isdigit(c) {
+	if (c < 48) { return 0; }
+	if (c > 57) { return 0; }
+	return 1;
+}
+
+func isalpha(c) {
+	if (c < 97) { return 0; }
+	if (c > 122) { return 0; }
+	return 1;
+}
+
+func main() {
+	bufcap = 64;
+	bufptr = alloc(64);
+	buflen = 0;
+	bufpos = 0;
+	var words = 0;
+	var digits = 0;
+	var lines = 0;
+	var letters = 0;
+	var inword = 0;
+	var c = fgetc();
+	while (c != -1) {
+		if (c == 10) { lines = lines + 1; }
+		var sp = isspace(c);
+		if (sp == 1) {
+			inword = 0;
+		} else {
+			if (inword == 0) {
+				words = words + 1;
+				inword = 1;
+			}
+			var d = isdigit(c);
+			if (d == 1) {
+				digits = digits + c - 48;
+			} else {
+				var a = isalpha(c);
+				if (a == 1) { letters = letters + 1; }
+			}
+		}
+		c = fgetc();
+	}
+	print(words);
+	print(digits);
+	print(lines);
+	print(letters);
+}
+`

@@ -1,0 +1,257 @@
+package randprog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"icbe/internal/analysis"
+	"icbe/internal/inline"
+	"icbe/internal/interp"
+	"icbe/internal/ir"
+	"icbe/internal/restructure"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, Config{})
+	b := Generate(42, Config{})
+	if a != b {
+		t.Fatal("same seed produced different programs")
+	}
+	if Generate(43, Config{}) == a {
+		t.Fatal("different seeds produced the same program")
+	}
+	if !strings.Contains(a, "func main()") {
+		t.Fatal("no main generated")
+	}
+}
+
+func TestGeneratedProgramsCompileAndTerminate(t *testing.T) {
+	for seed := uint64(0); seed < 60; seed++ {
+		src := Generate(seed, Config{})
+		p, err := ir.Build(src)
+		if err != nil {
+			t.Fatalf("seed %d: build failed: %v\n%s", seed, err, src)
+		}
+		if err := ir.Validate(p); err != nil {
+			t.Fatalf("seed %d: invalid graph: %v", seed, err)
+		}
+		if _, err := interp.Run(p, interp.Options{Input: inputFor(seed), MaxSteps: 5_000_000}); err != nil {
+			t.Fatalf("seed %d: run failed: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+func inputFor(seed uint64) []int64 {
+	r := rng{s: seed ^ 0xABCDEF}
+	in := make([]int64, 8)
+	for i := range in {
+		in[i] = int64(r.intn(21) - 10)
+	}
+	return in
+}
+
+// TestOptimizerPropertyDifferential is the central property test: for many
+// random programs, many inputs, and several optimizer configurations, the
+// optimized program must produce identical output and never execute more
+// operations or conditionals than the original.
+func TestOptimizerPropertyDifferential(t *testing.T) {
+	seeds := 150
+	if testing.Short() {
+		seeds = 15
+	}
+	// Every config caps per-conditional duplication, as the paper's
+	// optimizer does (N ≤ 200): unbounded path duplication is worst-case
+	// exponential (§3.3) and is gated by the duplication estimate.
+	configs := []restructure.DriverOptions{
+		{Analysis: analysis.Options{Interprocedural: true, ModSummaries: true, TerminationLimit: 1000}, MaxDuplication: 200},
+		{Analysis: analysis.Options{Interprocedural: true, ModSummaries: true, TerminationLimit: 1000}, MaxDuplication: 10},
+		{Analysis: analysis.Options{Interprocedural: true, TerminationLimit: 50}, MaxDuplication: 50},
+		{Analysis: analysis.Options{Interprocedural: true, ModSummaries: true, ArithSubst: true, TerminationLimit: 1000}, MaxDuplication: 100},
+		{Analysis: analysis.Options{Interprocedural: false, ModSummaries: true, TerminationLimit: 1000}, MaxDuplication: 200},
+		{Analysis: analysis.Options{Interprocedural: true, ModSummaries: true, TerminationLimit: 1000}, MaxDuplication: 100, FullOnly: true},
+	}
+	for seed := uint64(0); seed < uint64(seeds); seed++ {
+		src := Generate(seed, Config{})
+		p, err := ir.Build(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for ci, cfg := range configs {
+			dr := restructure.Optimize(p, cfg)
+			for _, rep := range dr.Reports {
+				// Declining ambiguous transparency is the documented safe
+				// behavior; anything else is a bug.
+				if rep.Err != nil && !errors.Is(rep.Err, restructure.ErrAmbiguousTransparency) {
+					t.Errorf("seed %d cfg %d: restructuring error on line %d: %v",
+						seed, ci, rep.Line, rep.Err)
+				}
+			}
+			if err := ir.Validate(dr.Program); err != nil {
+				t.Fatalf("seed %d cfg %d: optimized graph invalid: %v", seed, ci, err)
+			}
+			for trial := uint64(0); trial < 3; trial++ {
+				in := inputFor(seed*31 + trial)
+				r1, err := interp.Run(p, interp.Options{Input: in, MaxSteps: 5_000_000})
+				if err != nil {
+					t.Fatalf("seed %d: original failed: %v", seed, err)
+				}
+				r2, err := interp.Run(dr.Program, interp.Options{Input: in, MaxSteps: 5_000_000})
+				if err != nil {
+					t.Fatalf("seed %d cfg %d: optimized failed: %v\nsource:\n%s", seed, ci, err, src)
+				}
+				if len(r1.Output) != len(r2.Output) {
+					t.Fatalf("seed %d cfg %d: output length %d vs %d\nsource:\n%s",
+						seed, ci, len(r1.Output), len(r2.Output), src)
+				}
+				for i := range r1.Output {
+					if r1.Output[i] != r2.Output[i] {
+						t.Fatalf("seed %d cfg %d: output[%d] %d vs %d\nsource:\n%s",
+							seed, ci, i, r1.Output[i], r2.Output[i], src)
+					}
+				}
+				if r2.Operations > r1.Operations {
+					t.Fatalf("seed %d cfg %d: safety violated (%d ops vs %d)\nsource:\n%s",
+						seed, ci, r2.Operations, r1.Operations, src)
+				}
+				if r2.CondExecs > r1.CondExecs {
+					t.Fatalf("seed %d cfg %d: conditionals increased (%d vs %d)",
+						seed, ci, r2.CondExecs, r1.CondExecs)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalysisOnlyNeverCrashes fuzzes the analysis across random programs
+// with all option combinations.
+func TestAnalysisOnlyNeverCrashes(t *testing.T) {
+	for seed := uint64(100); seed < 130; seed++ {
+		src := Generate(seed, Config{Procs: 4, MaxDepth: 4})
+		p, err := ir.Build(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, interp := range []bool{false, true} {
+			for _, mod := range []bool{false, true} {
+				for _, arith := range []bool{false, true} {
+					an := analysis.New(p, analysis.Options{
+						Interprocedural: interp, ModSummaries: mod,
+						ArithSubst: arith, TerminationLimit: 300,
+					})
+					p.LiveNodes(func(n *ir.Node) {
+						if n.Kind == ir.NBranch && n.Analyzable() {
+							res := an.AnalyzeBranch(n.ID)
+							if res == nil {
+								t.Fatalf("nil result for analyzable branch")
+							}
+							if res.RootAnswers() == 0 && !res.Truncated {
+								// A reachable conditional must get some answer.
+								for _, e := range p.Procs[p.MainProc].Entries {
+									_ = e
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestInlinerPropertyDifferential checks that exhaustive inlining preserves
+// semantics on random programs, and composes correctly with the
+// intraprocedural optimizer (the paper's §5 alternative route).
+func TestInlinerPropertyDifferential(t *testing.T) {
+	seeds := 80
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := uint64(0); seed < uint64(seeds); seed++ {
+		src := Generate(seed, Config{})
+		p, err := ir.Build(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := ir.Clone(p)
+		inline.Exhaustive(q, 50)
+		if err := ir.Validate(q); err != nil {
+			t.Fatalf("seed %d: invalid after inlining: %v", seed, err)
+		}
+		dr := restructure.Optimize(q, restructure.DriverOptions{
+			Analysis:       analysis.Options{ModSummaries: true, TerminationLimit: 1000},
+			MaxDuplication: 100,
+		})
+		if err := ir.Validate(dr.Program); err != nil {
+			t.Fatalf("seed %d: invalid after inline+intra: %v", seed, err)
+		}
+		for trial := uint64(0); trial < 3; trial++ {
+			in := inputFor(seed*17 + trial)
+			r1, err := interp.Run(p, interp.Options{Input: in, MaxSteps: 5_000_000})
+			if err != nil {
+				t.Fatalf("seed %d: original failed: %v", seed, err)
+			}
+			for _, variant := range []*ir.Program{q, dr.Program} {
+				r2, err := interp.Run(variant, interp.Options{Input: in, MaxSteps: 5_000_000})
+				if err != nil {
+					t.Fatalf("seed %d: variant failed: %v\n%s", seed, err, src)
+				}
+				if len(r1.Output) != len(r2.Output) {
+					t.Fatalf("seed %d: output length mismatch\n%s", seed, src)
+				}
+				for i := range r1.Output {
+					if r1.Output[i] != r2.Output[i] {
+						t.Fatalf("seed %d: output mismatch at %d\n%s", seed, i, src)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSimplifyPropertyDifferential checks graph compaction on random
+// optimized programs: identical output, identical operation counts, and
+// never more interpreter steps.
+func TestSimplifyPropertyDifferential(t *testing.T) {
+	for seed := uint64(200); seed < 260; seed++ {
+		src := Generate(seed, Config{})
+		p, err := ir.Build(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dr := restructure.Optimize(p, restructure.DriverOptions{
+			Analysis:       analysis.Options{Interprocedural: true, ModSummaries: true, TerminationLimit: 1000},
+			MaxDuplication: 100,
+		})
+		q := ir.Clone(dr.Program)
+		ir.Simplify(q)
+		if err := ir.Validate(q); err != nil {
+			t.Fatalf("seed %d: invalid after simplify: %v", seed, err)
+		}
+		for trial := uint64(0); trial < 2; trial++ {
+			in := inputFor(seed*13 + trial)
+			r1, err := interp.Run(dr.Program, interp.Options{Input: in, MaxSteps: 5_000_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := interp.Run(q, interp.Options{Input: in, MaxSteps: 5_000_000})
+			if err != nil {
+				t.Fatalf("seed %d: simplified failed: %v", seed, err)
+			}
+			if len(r1.Output) != len(r2.Output) {
+				t.Fatalf("seed %d: output mismatch", seed)
+			}
+			for i := range r1.Output {
+				if r1.Output[i] != r2.Output[i] {
+					t.Fatalf("seed %d: output mismatch", seed)
+				}
+			}
+			if r2.Operations != r1.Operations {
+				t.Fatalf("seed %d: operations changed %d -> %d", seed, r1.Operations, r2.Operations)
+			}
+			if r2.Steps > r1.Steps {
+				t.Fatalf("seed %d: steps grew %d -> %d", seed, r1.Steps, r2.Steps)
+			}
+		}
+	}
+}

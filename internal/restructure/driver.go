@@ -1,0 +1,167 @@
+package restructure
+
+import (
+	"icbe/internal/analysis"
+	"icbe/internal/ir"
+)
+
+// DriverOptions configures the one-by-one optimization driver.
+type DriverOptions struct {
+	// Analysis configures the correlation analysis (interprocedural or the
+	// intraprocedural baseline, termination limit, substitution power).
+	Analysis analysis.Options
+	// MaxDuplication is the per-conditional code-duplication limit N: a
+	// conditional is optimized only when the analysis estimates at most N
+	// new operation nodes (paper §4 "Eliminated Branches"). Zero means
+	// unlimited.
+	MaxDuplication int
+	// FullOnly restricts optimization to fully correlated conditionals
+	// (outcome known along every incoming path).
+	FullOnly bool
+	// Profile supplies node execution counts; with MinBenefitPerNode > 0
+	// the driver implements the heuristic the paper suggests as an
+	// improvement over the growth-only limit (§4: "a better heuristic
+	// would also consider the amount of conditionals eliminated"): a
+	// conditional is optimized only when its estimated eliminated dynamic
+	// instances per duplicated node reach the threshold.
+	Profile           map[ir.NodeID]int64
+	MinBenefitPerNode float64
+}
+
+// CondReport records the per-conditional outcome of a driver run.
+type CondReport struct {
+	// Cond is the branch node in the input program.
+	Cond ir.NodeID
+	Line int
+	// Analyzable is false for branches not of the (var relop const) form.
+	Analyzable bool
+	// Answers is the root answer set found by the analysis.
+	Answers analysis.AnswerSet
+	// Full reports full correlation (no UNDEF path).
+	Full bool
+	// DupEstimate is the analysis' upper bound on new operation nodes.
+	DupEstimate int
+	// Benefit is the profile-based estimate of decided dynamic instances
+	// (0 without a profile).
+	Benefit int64
+	// PairsProcessed is the analysis cost for this conditional.
+	PairsProcessed int
+	// Applied reports that restructuring was performed for this branch.
+	Applied bool
+	// Removed counts eliminated branch copies when applied.
+	Removed int
+	// Err records a restructuring failure (the program is left untouched).
+	Err error
+}
+
+// DriverResult is the outcome of optimizing a whole program.
+type DriverResult struct {
+	// Program is the optimized program (the input is never mutated).
+	Program *ir.Program
+	// Reports holds one entry per conditional branch considered, in node
+	// order.
+	Reports []CondReport
+	// Optimized counts conditionals for which restructuring was applied.
+	Optimized int
+	// PairsTotal sums the analysis cost over all conditionals.
+	PairsTotal int
+}
+
+// Optimize applies ICBE to every analyzable conditional of the program, one
+// by one: each conditional is analyzed on the current (already partially
+// restructured) program, and restructured when correlation was found and
+// the estimated code growth is within the per-conditional limit. The input
+// program is left unmodified.
+func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
+	work := ir.Clone(p)
+	out := &DriverResult{}
+
+	// The work queue starts with the conditionals of the input program.
+	// When restructuring one conditional splits another into copies, the
+	// copies are requeued so the duplication-limit sweep stays monotone; a
+	// cap bounds the total work on pathological programs.
+	var queue []ir.NodeID
+	queued := make(map[ir.NodeID]bool)
+	p.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NBranch {
+			queue = append(queue, n.ID)
+			queued[n.ID] = true
+		}
+	})
+	maxWork := 8*len(queue) + 64
+
+	for qi := 0; qi < len(queue) && qi < maxWork; qi++ {
+		b := queue[qi]
+		node := work.Node(b)
+		rep := CondReport{Cond: b}
+		if node == nil || node.Kind != ir.NBranch {
+			// Consumed by an earlier restructuring (split or eliminated).
+			continue
+		}
+		rep.Line = node.Line
+		if !node.Analyzable() {
+			out.Reports = append(out.Reports, rep)
+			continue
+		}
+		rep.Analyzable = true
+
+		// Analyze and restructure on a scratch clone so a failed
+		// restructuring cannot corrupt the working program.
+		scratch := ir.Clone(work)
+		an := analysis.New(scratch, opts.Analysis)
+		res := an.AnalyzeBranch(b)
+		if res == nil {
+			out.Reports = append(out.Reports, rep)
+			continue
+		}
+		rep.Answers = res.RootAnswers()
+		rep.Full = res.FullCorrelation()
+		rep.DupEstimate = res.DuplicationEstimate(scratch)
+		rep.PairsProcessed = res.PairsProcessed
+		out.PairsTotal += res.PairsProcessed
+
+		apply := res.HasCorrelation()
+		if opts.FullOnly && !res.FullCorrelation() {
+			apply = false
+		}
+		if opts.MaxDuplication > 0 && rep.DupEstimate > opts.MaxDuplication {
+			apply = false
+		}
+		if opts.Profile != nil {
+			rep.Benefit = res.EstimatedBenefit(opts.Profile)
+			if opts.MinBenefitPerNode > 0 {
+				denom := float64(rep.DupEstimate)
+				if denom < 1 {
+					denom = 1
+				}
+				if float64(rep.Benefit)/denom < opts.MinBenefitPerNode {
+					apply = false
+				}
+			}
+		}
+		if apply {
+			oc, err := Eliminate(scratch, res)
+			if err != nil {
+				rep.Err = err
+			} else {
+				rep.Applied = true
+				rep.Removed = oc.BranchCopiesRemoved
+				out.Optimized++
+				work = scratch
+				// Requeue branch copies created as a side effect of this
+				// restructuring (including surviving copies of b itself).
+				for _, copies := range oc.BranchDescendants {
+					for _, c := range copies {
+						if !queued[c] {
+							queued[c] = true
+							queue = append(queue, c)
+						}
+					}
+				}
+			}
+		}
+		out.Reports = append(out.Reports, rep)
+	}
+	out.Program = work
+	return out
+}

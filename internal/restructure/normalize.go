@@ -1,0 +1,245 @@
+package restructure
+
+import (
+	"fmt"
+
+	"icbe/internal/ir"
+)
+
+// normalize restores call-site normal form after splitting (the paper's
+// final conversion step in Figure 7): every call-site-exit node is
+// duplicated so that each copy has exactly one call-site predecessor and
+// one procedure-exit predecessor. Only (call, exit) combinations that are
+// possible — the exit is reachable from the entry the call invokes, and the
+// pair's answers are consistent with the node's — are materialized.
+func (r *rest) normalize() error {
+	// Verify normal form (a): each call has one entry successor.
+	var err error
+	r.p.LiveNodes(func(n *ir.Node) {
+		if err != nil || n.Kind != ir.NCall {
+			return
+		}
+		entries := 0
+		for _, s := range n.Succs {
+			if sn := r.p.Node(s); sn != nil && sn.Kind == ir.NEntry {
+				entries++
+			}
+		}
+		if entries != 1 {
+			err = fmt.Errorf("restructure: call %d has %d entry successors after splitting", n.ID, entries)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	reach := newReachCache(r.p)
+	var ces []*ir.Node
+	r.p.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NCallExit {
+			ces = append(ces, n)
+		}
+	})
+	for _, ce := range ces {
+		calls, exits := r.callExitPreds(ce)
+		if len(calls) == 1 && len(exits) == 1 {
+			continue
+		}
+		if len(calls) == 0 || len(exits) == 0 {
+			// Unreachable remnant; pruning removes it.
+			continue
+		}
+		for _, c := range calls {
+			entry := r.p.EntrySucc(r.p.Node(c))
+			for _, e := range exits {
+				if !reach.reaches(entry.ID, e) {
+					continue
+				}
+				if !r.pairConsistent(ce, c, e) {
+					continue
+				}
+				copyNode := r.cloneNode(ce)
+				// The clone duplicated every incident edge; keep only this
+				// pair's predecessors (successors stay).
+				for _, m := range append([]ir.NodeID(nil), copyNode.Preds...) {
+					mn := r.p.Node(m)
+					if mn == nil {
+						continue
+					}
+					if (mn.Kind == ir.NCall && m != c) || (mn.Kind == ir.NExit && m != e) {
+						r.p.RemoveEdge(m, copyNode.ID)
+					}
+				}
+			}
+		}
+		r.removeNode(ce.ID)
+	}
+	return nil
+}
+
+// pairConsistent reports whether a (call, exit) predecessor pair can
+// deliver any of the node's answers for every query the analysis raised at
+// it. Unvisited call-site exits (no queries) are unconstrained.
+func (r *rest) pairConsistent(ce *ir.Node, call, exit ir.NodeID) bool {
+	for _, q := range r.queriesAt(ce.ID) {
+		a := r.ans[ce.ID][q.ID]
+		if a == 0 {
+			continue
+		}
+		sups := r.suppliers(ce.ID, q)
+		if len(sups) == 0 {
+			continue
+		}
+		if !hasExitSupplier(sups) {
+			if r.pairAnswer(call, ir.NoNode, sups)&a == 0 {
+				return false
+			}
+			continue
+		}
+		if r.pairAnswer(call, exit, sups)&a == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// reachCache answers intraprocedural reachability queries from procedure
+// entries (treating call → call-site-exit as the local fallthrough).
+type reachCache struct {
+	p    *ir.Program
+	from map[ir.NodeID]map[ir.NodeID]bool
+}
+
+func newReachCache(p *ir.Program) *reachCache {
+	return &reachCache{p: p, from: make(map[ir.NodeID]map[ir.NodeID]bool)}
+}
+
+func (rc *reachCache) reaches(entry, target ir.NodeID) bool {
+	seen, ok := rc.from[entry]
+	if !ok {
+		seen = make(map[ir.NodeID]bool)
+		proc := rc.p.Node(entry).Proc
+		stack := []ir.NodeID{entry}
+		seen[entry] = true
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range rc.p.Node(id).Succs {
+				sn := rc.p.Node(s)
+				if sn == nil || sn.Proc != proc || seen[s] {
+					continue
+				}
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+		rc.from[entry] = seen
+	}
+	return seen[target]
+}
+
+// prune removes entry copies that lost all their call sites and every node
+// no longer reachable from its procedure's entries — this implements the
+// paper's observation that statements reachable only from a bypassed
+// original entry can be deleted. It also cascades the structural
+// consequences of unreachability proven by the analysis: call-site exits
+// whose exit (or call) predecessor died can never receive control; calls
+// with no remaining return point never complete; non-exit nodes with no
+// successors are dead ends; and a branch with exactly one surviving arm
+// always takes it and becomes unconditional.
+func (r *rest) prune() {
+	for {
+		changed := false
+		// Drop dead entries (never for main, which is invoked externally,
+		// and never for procedures that were already uncalled on input).
+		for _, pr := range r.p.Procs {
+			if pr.Index == r.p.MainProc {
+				continue
+			}
+			for _, e := range append([]ir.NodeID(nil), pr.Entries...) {
+				n := r.p.Node(e)
+				if n != nil && len(n.Preds) == 0 && !r.initiallyDead[e] {
+					r.removeNode(e)
+					changed = true
+				}
+			}
+		}
+		// Remove nodes unreachable from the remaining entries.
+		for _, pr := range r.p.Procs {
+			seen := make(map[ir.NodeID]bool)
+			var stack []ir.NodeID
+			for _, e := range pr.Entries {
+				if r.p.Node(e) != nil {
+					seen[e] = true
+					stack = append(stack, e)
+				}
+			}
+			for len(stack) > 0 {
+				id := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, s := range r.p.Node(id).Succs {
+					sn := r.p.Node(s)
+					if sn == nil || sn.Proc != pr.Index || seen[s] {
+						continue
+					}
+					seen[s] = true
+					stack = append(stack, s)
+				}
+			}
+			for _, n := range r.p.ProcNodes(pr.Index) {
+				if !seen[n.ID] {
+					r.removeNode(n.ID)
+					changed = true
+				}
+			}
+		}
+		// Structural cascades.
+		var victims []ir.NodeID
+		var unbranch []ir.NodeID
+		r.p.LiveNodes(func(n *ir.Node) {
+			switch n.Kind {
+			case ir.NCallExit:
+				calls, exits := r.callExitPreds(n)
+				if len(calls) == 0 || len(exits) == 0 {
+					victims = append(victims, n.ID)
+				}
+			case ir.NCall:
+				if len(r.p.CallExitSuccs(n)) == 0 {
+					victims = append(victims, n.ID)
+				}
+			case ir.NBranch:
+				switch len(n.Succs) {
+				case 0:
+					victims = append(victims, n.ID)
+				case 1:
+					unbranch = append(unbranch, n.ID)
+				}
+			case ir.NExit:
+			default:
+				if len(n.Succs) == 0 {
+					victims = append(victims, n.ID)
+				}
+			}
+		})
+		for _, id := range victims {
+			if r.p.Node(id) != nil {
+				r.removeNode(id)
+				changed = true
+			}
+		}
+		// A branch whose other arm was proven unreachable always takes the
+		// surviving arm.
+		for _, id := range unbranch {
+			n := r.p.Node(id)
+			if n == nil || len(n.Succs) != 1 {
+				continue
+			}
+			n.Kind = ir.NNop
+			n.Synthetic = true
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}

@@ -1,0 +1,701 @@
+// Package restructure implements the ICBE code restructuring algorithm
+// (Bodík/Gupta/Soffa, PLDI'97, Figure 8). Given the rolled-back answer sets
+// of the correlation analysis, it splits every node hosting multiple
+// answers to a query so that each copy hosts a single answer, isolating the
+// correlated paths; copies of the analyzed conditional whose answer is TRUE
+// or FALSE become unconditional and are removed.
+//
+// Splitting procedure entry nodes (entry splitting) and procedure exit
+// nodes (exit splitting) happens with no special machinery — they are nodes
+// of the ICFG like any other — but requires a final normalization pass that
+// restores call-site normal form: call-site-exit nodes are duplicated so
+// each has exactly one call-site predecessor and one procedure-exit
+// predecessor (the paper's "converted to call site normal form").
+//
+// The transformation is safe: it never adds operations to any path. Its
+// correctness is additionally checked at runtime by the interpreter, which
+// verifies every assert node it executes.
+package restructure
+
+import (
+	"errors"
+	"fmt"
+
+	"icbe/internal/analysis"
+	"icbe/internal/ir"
+)
+
+// ErrAmbiguousTransparency reports that a conditional cannot be safely
+// eliminated because a summary query was symbolically transformed inside a
+// callee on one path and left untouched on another: both reach the
+// procedure entry and the single TRANS answer conflates the two path
+// classes, whose continuations in the caller may decide the conditional
+// differently. The four-answer lattice of the paper cannot separate such
+// paths, so restructuring declines (the analysis answers themselves remain
+// correct as sets).
+var ErrAmbiguousTransparency = errors.New("restructure: transparent paths carry distinct continuation queries; cannot isolate correlated paths")
+
+// Outcome reports what one Eliminate call did.
+type Outcome struct {
+	// BranchCopiesRemoved counts conditional copies converted to
+	// unconditional flow (>= 1 when the optimization succeeded).
+	BranchCopiesRemoved int
+	// Splits counts node-splitting operations performed.
+	Splits int
+	// NodesCreated counts nodes created by splitting and normalization.
+	NodesCreated int
+	// BranchDescendants maps each original branch node that was split away
+	// to its surviving branch copies, so a driver can keep considering
+	// them for optimization.
+	BranchDescendants map[ir.NodeID][]ir.NodeID
+}
+
+// Eliminate restructures the program to eliminate the analyzed conditional
+// along its correlated paths. The program is mutated in place; on error it
+// may be left inconsistent, so callers clone first and discard on failure.
+func Eliminate(p *ir.Program, res *analysis.Result) (*Outcome, error) {
+	if res == nil {
+		return nil, fmt.Errorf("restructure: nil analysis result")
+	}
+	if p.Node(res.Cond) == nil {
+		return nil, fmt.Errorf("restructure: conditional %d no longer exists", res.Cond)
+	}
+	r := &rest{
+		p:      p,
+		res:    res,
+		orig:   make(map[ir.NodeID]ir.NodeID),
+		ans:    make(map[ir.NodeID]map[int]analysis.AnswerSet),
+		inWL:   make(map[ir.NodeID]bool),
+		origTF: make(map[ir.NodeID][2]ir.NodeID),
+	}
+	r.init()
+	if err := r.checkTransparencyUnambiguous(); err != nil {
+		return nil, err
+	}
+	if err := r.mainLoop(); err != nil {
+		return nil, err
+	}
+	// Remove subgraphs disconnected by edge fixing before the strict arm
+	// and normal-form checks.
+	r.prune()
+	if p.Node(res.Cond) == nil && r.liveCondCopies() == 0 {
+		return nil, fmt.Errorf("restructure: conditional %d vanished during splitting", res.Cond)
+	}
+	if err := r.reorderBranchArms(); err != nil {
+		return nil, err
+	}
+	if err := r.normalize(); err != nil {
+		return nil, err
+	}
+	r.eliminateConditional()
+	r.prune()
+	if err := ir.Validate(p); err != nil {
+		return nil, fmt.Errorf("restructure: produced invalid graph: %w", err)
+	}
+	r.out.BranchDescendants = make(map[ir.NodeID][]ir.NodeID)
+	p.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NBranch {
+			if o := r.origOf(n.ID); o != n.ID {
+				r.out.BranchDescendants[o] = append(r.out.BranchDescendants[o], n.ID)
+			}
+		}
+	})
+	return &r.out, nil
+}
+
+type rest struct {
+	p   *ir.Program
+	res *analysis.Result
+
+	// orig maps copies to the analysis-time node they descend from;
+	// analysis-time nodes are absent (identity).
+	orig map[ir.NodeID]ir.NodeID
+	// ans holds the current answer sets per live node (indexed by query
+	// ID); only nodes visited by the analysis appear.
+	ans map[ir.NodeID]map[int]analysis.AnswerSet
+
+	wl   []ir.NodeID
+	inWL map[ir.NodeID]bool
+
+	// origTF snapshots the original (true, false) arm IDs of every branch
+	// in the visited region, so arm order can be restored after splitting.
+	origTF map[ir.NodeID][2]ir.NodeID
+	// initiallyDead records entries that already had no call sites in the
+	// input (dead procedures are not this transformation's business);
+	// pruning only removes entries that lost their call sites here.
+	initiallyDead map[ir.NodeID]bool
+
+	out   Outcome
+	steps int
+}
+
+func (r *rest) origOf(id ir.NodeID) ir.NodeID {
+	if o, ok := r.orig[id]; ok {
+		return o
+	}
+	return id
+}
+
+func (r *rest) queriesAt(id ir.NodeID) []*analysis.Query {
+	return r.res.Queries[r.origOf(id)]
+}
+
+func (r *rest) resolvedAt(id ir.NodeID, q *analysis.Query) (analysis.AnswerSet, bool) {
+	a, ok := r.res.Resolved[analysis.PairKey{Node: r.origOf(id), Query: q.ID}]
+	return a, ok
+}
+
+func (r *rest) suppliers(id ir.NodeID, q *analysis.Query) []analysis.EdgeSupplier {
+	return r.res.Suppliers[analysis.PairKey{Node: r.origOf(id), Query: q.ID}]
+}
+
+func (r *rest) enqueue(id ir.NodeID) {
+	if r.inWL[id] {
+		return
+	}
+	r.inWL[id] = true
+	r.wl = append(r.wl, id)
+}
+
+func (r *rest) init() {
+	// Copy the analysis answers into the mutable per-node answer state.
+	for pk, a := range r.res.Answers {
+		if r.p.Node(pk.Node) == nil {
+			continue
+		}
+		m := r.ans[pk.Node]
+		if m == nil {
+			m = make(map[int]analysis.AnswerSet)
+			r.ans[pk.Node] = m
+		}
+		m[pk.Query] = a
+	}
+	// Snapshot branch arms in the visited region (and the conditional
+	// itself) before any mutation.
+	for id := range r.ans {
+		n := r.p.Node(id)
+		if n != nil && n.Kind == ir.NBranch {
+			r.origTF[id] = [2]ir.NodeID{n.TrueSucc(), n.FalseSucc()}
+		}
+	}
+	r.initiallyDead = make(map[ir.NodeID]bool)
+	for _, pr := range r.p.Procs {
+		for _, e := range pr.Entries {
+			if n := r.p.Node(e); n != nil && len(n.Preds) == 0 {
+				r.initiallyDead[e] = true
+			}
+		}
+	}
+	// Seed the worklist with every visited node hosting a multi-answer
+	// query (the frontier nodes among them make progress first; the rest
+	// re-check cheaply).
+	for id, m := range r.ans {
+		for _, a := range m {
+			if a.Count() > 1 {
+				r.enqueue(id)
+				break
+			}
+		}
+	}
+}
+
+// checkTransparencyUnambiguous refuses to restructure when any visited
+// call-site exit receives transparent-path answers through more than one
+// distinct continuation query (see ErrAmbiguousTransparency). With a single
+// continuation query per call site, the TRANS answer class corresponds to
+// exactly one caller-side query and edge fixing is path-precise.
+func (r *rest) checkTransparencyUnambiguous() error {
+	for pk := range r.res.Answers {
+		node := r.p.Node(pk.Node)
+		if node == nil || node.Kind != ir.NCallExit {
+			continue
+		}
+		sups := r.res.Suppliers[pk]
+		if !hasExitSupplier(sups) {
+			continue
+		}
+		// Count distinct continuation queries per call predecessor.
+		distinct := make(map[int]bool)
+		for _, s := range sups {
+			if !s.FromExit {
+				distinct[s.Query.ID] = true
+			}
+		}
+		if len(distinct) > 1 {
+			return fmt.Errorf("%w (call-site exit %d)", ErrAmbiguousTransparency, pk.Node)
+		}
+	}
+	return nil
+}
+
+const (
+	maxSteps = 2_000_000
+	// maxCreated bounds the nodes one Eliminate call may create. The
+	// worst-case growth of path duplication is exponential (paper §3.3);
+	// the optimizer is expected to gate on the analysis' duplication
+	// estimate, and this cap turns a pathological blow-up into a clean
+	// error instead of exhausting memory.
+	maxCreated = 100_000
+)
+
+// mainLoop is Figure 8 lines 2–10.
+func (r *rest) mainLoop() error {
+	for len(r.wl) > 0 {
+		r.steps++
+		if r.steps > maxSteps {
+			return fmt.Errorf("restructure: did not converge after %d steps", maxSteps)
+		}
+		if r.out.NodesCreated > maxCreated {
+			return fmt.Errorf("restructure: code growth exceeded %d nodes", maxCreated)
+		}
+		id := r.wl[0]
+		r.wl = r.wl[1:]
+		r.inWL[id] = false
+		node := r.p.Node(id)
+		if node == nil {
+			continue
+		}
+		qs := r.queriesAt(id)
+		if len(qs) == 0 {
+			continue
+		}
+		removed, edgeRemoved, didSplit, deleted := false, false, false, false
+		for _, q := range qs {
+			a := r.ans[id][q.ID]
+			if a == 0 {
+				continue
+			}
+			// Line 5: drop answers no longer available at predecessors.
+			if _, isResolved := r.resolvedAt(id, q); !isResolved {
+				avail := r.availAnswers(id, q)
+				if na := a & avail; na != a {
+					r.ans[id][q.ID] = na
+					removed = true
+					a = na
+				}
+				if a == 0 {
+					// No predecessor supplies any answer for this query:
+					// the node is unreachable (an infeasible combination of
+					// per-query answers created by splitting). Delete it so
+					// dead copies cannot confuse later passes.
+					for _, s := range r.p.Node(id).Succs {
+						r.enqueue(s)
+					}
+					r.removeNode(id)
+					deleted = true
+					break
+				}
+			}
+			// Line 6: fix-edges.
+			if r.fixEdges(id, q) {
+				edgeRemoved = true
+			}
+			// Line 7: split when multiple answers remain.
+			if a.Count() > 1 {
+				r.split(id, q)
+				didSplit = true
+				break // id is deleted; copies are on the worklist
+			}
+		}
+		if didSplit || deleted {
+			continue
+		}
+		if removed {
+			for _, s := range r.p.Node(id).Succs {
+				r.enqueue(s)
+			}
+		}
+		if edgeRemoved {
+			// In-edge removal can change the availability of other
+			// queries at this node.
+			r.enqueue(id)
+			for _, s := range r.p.Node(id).Succs {
+				r.enqueue(s)
+			}
+		}
+	}
+	// Convergence check: every visited live node must host single answers.
+	for id, m := range r.ans {
+		if r.p.Node(id) == nil {
+			continue
+		}
+		for qid, a := range m {
+			if a.Count() > 1 {
+				return fmt.Errorf("restructure: node %d still hosts %v for query %d after convergence",
+					id, a, qid)
+			}
+		}
+	}
+	return nil
+}
+
+// availAnswers computes which answers for (id, q) are still supplied by the
+// current predecessors (Figure 8 line 5).
+func (r *rest) availAnswers(id ir.NodeID, q *analysis.Query) analysis.AnswerSet {
+	node := r.p.Node(id)
+	sups := r.suppliers(id, q)
+	if len(sups) == 0 {
+		// No recorded suppliers (possible only after truncation): leave
+		// the answers untouched.
+		return analysis.MaskAll
+	}
+	if node.Kind == ir.NCallExit {
+		return r.callExitAvail(node, q, sups)
+	}
+	var avail analysis.AnswerSet
+	for _, m := range node.Preds {
+		om := r.origOf(m)
+		for _, s := range sups {
+			if s.Pred != om {
+				continue
+			}
+			if pa, ok := r.ans[m][s.Query.ID]; ok {
+				avail |= pa & s.Mask
+			} else {
+				// Predecessor without recorded answers: unconstrained.
+				avail = analysis.MaskAll
+			}
+		}
+	}
+	return avail
+}
+
+// callExitAvail computes the availability at a call-site-exit node: answers
+// are produced jointly by a (call predecessor, exit predecessor) pair — the
+// exit supplies the answers resolved inside the callee, and when the callee
+// is transparent (TRANS), the call predecessor supplies the answers of the
+// continued entry queries.
+func (r *rest) callExitAvail(node *ir.Node, q *analysis.Query, sups []analysis.EdgeSupplier) analysis.AnswerSet {
+	calls, exits := r.callExitPreds(node)
+	var avail analysis.AnswerSet
+	for _, c := range calls {
+		for _, e := range exits {
+			avail |= r.pairAnswer(c, e, sups)
+		}
+	}
+	if len(exits) == 0 && !hasExitSupplier(sups) {
+		// Skip-style suppliers (the query bypassed the callee): the exit
+		// predecessors impose no constraint, and pairing is not needed.
+		for _, c := range calls {
+			avail |= r.pairAnswer(c, ir.NoNode, sups)
+		}
+	}
+	return avail
+}
+
+func hasExitSupplier(sups []analysis.EdgeSupplier) bool {
+	for _, s := range sups {
+		if s.FromExit {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *rest) callExitPreds(node *ir.Node) (calls, exits []ir.NodeID) {
+	for _, m := range node.Preds {
+		mn := r.p.Node(m)
+		if mn == nil {
+			continue
+		}
+		switch mn.Kind {
+		case ir.NCall:
+			calls = append(calls, m)
+		case ir.NExit:
+			exits = append(exits, m)
+		}
+	}
+	return calls, exits
+}
+
+// pairAnswer computes the answers one (call copy, exit copy) pair delivers
+// to a call-site exit, per the supplier structure recorded by the analysis.
+func (r *rest) pairAnswer(call, exit ir.NodeID, sups []analysis.EdgeSupplier) analysis.AnswerSet {
+	var a analysis.AnswerSet
+	trans := false
+	sawExitSup := false
+	for _, s := range sups {
+		if s.FromExit {
+			sawExitSup = true
+			if exit == ir.NoNode {
+				continue
+			}
+			ea := r.ans[exit][s.Query.ID]
+			a |= ea & s.Mask
+			if ea&analysis.AnsTrans != 0 {
+				trans = true
+			}
+		}
+	}
+	if trans || !sawExitSup {
+		// Transparent path (or skip suppliers): the call-side suppliers
+		// contribute.
+		for _, s := range sups {
+			if s.FromExit {
+				continue
+			}
+			if ca, ok := r.ans[call][s.Query.ID]; ok {
+				a |= ca & s.Mask
+			} else {
+				a |= s.Mask
+			}
+		}
+	}
+	return a
+}
+
+// fixEdges removes predecessor edges that no longer host a common answer
+// with the node for query q (Figure 8 fix-edges). Returns whether an edge
+// was removed.
+func (r *rest) fixEdges(id ir.NodeID, q *analysis.Query) bool {
+	node := r.p.Node(id)
+	a := r.ans[id][q.ID]
+	if a == 0 {
+		return false
+	}
+	sups := r.suppliers(id, q)
+	if len(sups) == 0 {
+		return false // resolved here (answers originate at this node)
+	}
+	if node.Kind == ir.NCallExit {
+		return r.fixCallExitEdges(node, q, a, sups)
+	}
+	removed := false
+	for _, m := range append([]ir.NodeID(nil), node.Preds...) {
+		om := r.origOf(m)
+		var supplied analysis.AnswerSet
+		has := false
+		unconstrained := false
+		for _, s := range sups {
+			if s.Pred != om {
+				continue
+			}
+			has = true
+			if pa, ok := r.ans[m][s.Query.ID]; ok {
+				supplied |= pa & s.Mask
+			} else {
+				unconstrained = true
+			}
+		}
+		if has && !unconstrained && supplied&a == 0 {
+			r.p.RemoveEdge(m, id)
+			removed = true
+		}
+	}
+	return removed
+}
+
+// fixCallExitEdges applies pair-aware edge fixing at call-site exits: an
+// edge stays if it participates in at least one (call, exit) pair whose
+// joint answers intersect the node's answers.
+func (r *rest) fixCallExitEdges(node *ir.Node, q *analysis.Query, a analysis.AnswerSet, sups []analysis.EdgeSupplier) bool {
+	calls, exits := r.callExitPreds(node)
+	if !hasExitSupplier(sups) {
+		// Skip suppliers: only call edges are constrained.
+		removed := false
+		for _, c := range calls {
+			if r.pairAnswer(c, ir.NoNode, sups)&a == 0 {
+				r.p.RemoveEdge(c, node.ID)
+				removed = true
+			}
+		}
+		return removed
+	}
+	validC := make(map[ir.NodeID]bool)
+	validE := make(map[ir.NodeID]bool)
+	for _, c := range calls {
+		for _, e := range exits {
+			if r.pairAnswer(c, e, sups)&a != 0 {
+				validC[c] = true
+				validE[e] = true
+			}
+		}
+	}
+	removed := false
+	for _, c := range calls {
+		if !validC[c] {
+			r.p.RemoveEdge(c, node.ID)
+			removed = true
+		}
+	}
+	for _, e := range exits {
+		if !validE[e] {
+			r.p.RemoveEdge(e, node.ID)
+			removed = true
+		}
+	}
+	return removed
+}
+
+// answerBits iterates the individual answers of a set in a fixed order.
+var answerBits = [4]analysis.AnswerSet{analysis.AnsTrue, analysis.AnsFalse, analysis.AnsUndef, analysis.AnsTrans}
+
+// split duplicates node id so each copy hosts exactly one of its answers
+// for q (Figure 8 split). The original is removed.
+func (r *rest) split(id ir.NodeID, q *analysis.Query) {
+	node := r.p.Node(id)
+	a := r.ans[id][q.ID]
+	r.out.Splits++
+	for _, bit := range answerBits {
+		if a&bit == 0 {
+			continue
+		}
+		c := r.cloneNode(node)
+		r.ans[c.ID][q.ID] = bit
+		r.fixEdges(c.ID, q)
+		r.enqueue(c.ID)
+		for _, s := range c.Succs {
+			r.enqueue(s)
+		}
+	}
+	r.removeNode(id)
+}
+
+// cloneNode duplicates a node including its incident edges and analysis
+// bookkeeping (Q[n], A[n,*]).
+func (r *rest) cloneNode(n *ir.Node) *ir.Node {
+	c := r.p.NewNode(n.Kind, n.Proc)
+	c.Dst = n.Dst
+	c.RHS = n.RHS
+	c.CondVar = n.CondVar
+	c.CondOp = n.CondOp
+	c.CondRHS = n.CondRHS
+	c.AVar = n.AVar
+	c.APred = n.APred
+	c.Callee = n.Callee
+	c.Args = append([]ir.VarID(nil), n.Args...)
+	c.Ptr = n.Ptr
+	c.Idx = n.Idx
+	c.Val = n.Val
+	c.Synthetic = n.Synthetic
+	c.Line = n.Line
+	r.out.NodesCreated++
+
+	// Incident edges: successors first (preserves branch arm order on the
+	// copy), then predecessors.
+	for _, s := range n.Succs {
+		r.p.AddEdge(c.ID, s)
+	}
+	for _, m := range n.Preds {
+		r.p.AddEdge(m, c.ID)
+	}
+
+	r.orig[c.ID] = r.origOf(n.ID)
+	am := make(map[int]analysis.AnswerSet, len(r.ans[n.ID]))
+	for k, v := range r.ans[n.ID] {
+		am[k] = v
+	}
+	r.ans[c.ID] = am
+
+	pr := r.p.Procs[n.Proc]
+	switch n.Kind {
+	case ir.NEntry:
+		pr.Entries = append(pr.Entries, c.ID)
+	case ir.NExit:
+		pr.Exits = append(pr.Exits, c.ID)
+	case ir.NBranch:
+		tf := r.origTF[r.origOf(n.ID)]
+		r.origTF[c.ID] = tf
+	}
+	return c
+}
+
+// removeNode deletes a node and its bookkeeping, maintaining the procedure
+// entry/exit lists.
+func (r *rest) removeNode(id ir.NodeID) {
+	n := r.p.Node(id)
+	if n == nil {
+		return
+	}
+	pr := r.p.Procs[n.Proc]
+	switch n.Kind {
+	case ir.NEntry:
+		pr.Entries = removeID(pr.Entries, id)
+	case ir.NExit:
+		pr.Exits = removeID(pr.Exits, id)
+	}
+	r.p.DeleteNode(id)
+	delete(r.ans, id)
+}
+
+func removeID(ids []ir.NodeID, x ir.NodeID) []ir.NodeID {
+	out := ids[:0]
+	for _, id := range ids {
+		if id != x {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// reorderBranchArms restores the Succs[0] = true / Succs[1] = false
+// convention for every branch in the restructured region, using the
+// original-arm lineage snapshot.
+func (r *rest) reorderBranchArms() error {
+	var err error
+	r.p.LiveNodes(func(n *ir.Node) {
+		if err != nil || n.Kind != ir.NBranch {
+			return
+		}
+		tf, tracked := r.origTF[n.ID]
+		if !tracked {
+			tf, tracked = r.origTF[r.origOf(n.ID)]
+		}
+		if !tracked {
+			return // branch outside the restructured region
+		}
+		if len(n.Succs) != 2 {
+			err = fmt.Errorf("restructure: branch %d has %d successors after convergence", n.ID, len(n.Succs))
+			return
+		}
+		o0 := r.origOf(n.Succs[0])
+		o1 := r.origOf(n.Succs[1])
+		switch {
+		case o0 == tf[0] && o1 == tf[1]:
+			// Already ordered.
+		case o0 == tf[1] && o1 == tf[0]:
+			n.Succs[0], n.Succs[1] = n.Succs[1], n.Succs[0]
+		default:
+			err = fmt.Errorf("restructure: branch %d arms (%d,%d) do not descend from (%d,%d)",
+				n.ID, n.Succs[0], n.Succs[1], tf[0], tf[1])
+		}
+	})
+	return err
+}
+
+// liveCondCopies counts surviving copies of the analyzed conditional.
+func (r *rest) liveCondCopies() int {
+	n := 0
+	r.p.LiveNodes(func(nd *ir.Node) {
+		if nd.Kind == ir.NBranch && r.origOf(nd.ID) == r.res.Cond {
+			n++
+		}
+	})
+	return n
+}
+
+// eliminateConditional converts every copy of the analyzed conditional that
+// hosts a single TRUE or FALSE answer into straight-line flow (Figure 8
+// lines 15–16).
+func (r *rest) eliminateConditional() {
+	root := r.res.Root
+	var victims []*ir.Node
+	r.p.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NBranch && r.origOf(n.ID) == r.res.Cond {
+			victims = append(victims, n)
+		}
+	})
+	for _, n := range victims {
+		switch r.ans[n.ID][root.ID] {
+		case analysis.AnsTrue:
+			r.p.RemoveEdge(n.ID, n.FalseSucc())
+		case analysis.AnsFalse:
+			r.p.RemoveEdge(n.ID, n.TrueSucc())
+		default:
+			continue
+		}
+		n.Kind = ir.NNop
+		n.Synthetic = true
+		r.out.BranchCopiesRemoved++
+	}
+}
