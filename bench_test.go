@@ -15,12 +15,15 @@ package icbe
 // limit, and the query-answer cache the paper found counterproductive.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"icbe/internal/analysis"
 	"icbe/internal/experiments"
 	"icbe/internal/ir"
 	"icbe/internal/progs"
+	"icbe/internal/restructure"
 )
 
 func BenchmarkTable1(b *testing.B) {
@@ -352,5 +355,43 @@ func BenchmarkHeuristicComparison(b *testing.B) {
 			b.ReportMetric(limG/n, "limit-growth-%")
 			b.ReportMetric(benG/n, "benefit25-growth-%")
 		}
+	}
+}
+
+// BenchmarkDriverWorkers measures the two-phase optimization driver on the
+// whole corpus for serial and NumCPU-wide analysis phases. Clone avoidance
+// is the hard acceptance check: the driver must perform strictly fewer
+// ir.Clone calls than it performs analyses (the previous driver cloned the
+// whole program once per analyzed conditional); wall-clock time per worker
+// count is the benchmark's own measurement.
+func BenchmarkDriverWorkers(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var clones, analyses, avoided int
+			for i := 0; i < b.N; i++ {
+				clones, analyses, avoided = 0, 0, 0
+				for _, w := range progs.All() {
+					p, err := ir.Build(w.Source)
+					if err != nil {
+						b.Fatal(err)
+					}
+					dr := restructure.Optimize(p, restructure.DriverOptions{
+						Analysis: analysis.Options{Interprocedural: true,
+							ModSummaries: true, TerminationLimit: 1000},
+						MaxDuplication: 100,
+						Workers:        workers,
+					})
+					clones += dr.Stats.Clones
+					analyses += dr.Stats.Analyses
+					avoided += dr.Stats.ClonesAvoided
+				}
+			}
+			if clones >= analyses {
+				b.Fatalf("clone avoidance ineffective: %d clones for %d analyses", clones, analyses)
+			}
+			b.ReportMetric(float64(clones), "clones")
+			b.ReportMetric(float64(avoided), "clones-avoided")
+			b.ReportMetric(float64(analyses), "analyses")
+		})
 	}
 }

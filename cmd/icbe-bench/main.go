@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"icbe/internal/experiments"
 	"icbe/internal/progs"
@@ -30,8 +31,10 @@ func main() {
 		heuristic = flag.Bool("heuristic", false, "growth-limit vs profile-guided benefit heuristic")
 		workload  = flag.String("workload", "", "restrict to one workload by name")
 		termLim   = flag.Int("term", experiments.PaperTerminationLimit, "analysis termination limit")
+		workers   = flag.Int("workers", runtime.NumCPU(), "analysis worker goroutines per driver run (1 = serial)")
 	)
 	flag.Parse()
+	experiments.Workers = *workers
 	if !*all && !*table1 && !*table2 && !*fig9 && !*fig10 && !*fig11 && !*headline && !*inlining && !*heuristic {
 		flag.PrintDefaults()
 		os.Exit(2)

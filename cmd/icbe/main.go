@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -41,6 +42,7 @@ func main() {
 		hints    = flag.Int("hints", 0, "print branch-prediction hints for the conditional on this line")
 		inliner  = flag.Bool("inline-priorities", false, "rank procedures for correlation-directed inlining")
 		compact  = flag.Bool("compact", false, "contract synthetic no-op nodes after optimization")
+		workers  = flag.Int("workers", runtime.NumCPU(), "analysis worker goroutines for -optimize (1 = serial)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -57,6 +59,17 @@ func main() {
 		fatal(err)
 	}
 
+	// One options value shared by every mode, so -intra/-term/-limit apply
+	// to -hints and -inline-priorities too, not just -optimize.
+	opts := icbe.DefaultOptions()
+	if *intra {
+		opts = icbe.IntraOptions()
+	}
+	opts.MaxDuplication = *dupLimit
+	opts.TerminationLimit = *termLim
+	opts.Compact = *compact
+	opts.Workers = *workers
+
 	if *doStats {
 		st := prog.Stats()
 		fmt.Printf("lines        %d\nprocedures   %d\nnodes        %d\noperations   %d\nconditionals %d (analyzable %d)\n",
@@ -64,7 +77,7 @@ func main() {
 	}
 
 	if *hints > 0 {
-		hs := prog.PredictionHints(*hints, icbe.DefaultOptions())
+		hs := prog.PredictionHints(*hints, opts)
 		if len(hs) == 0 {
 			fmt.Printf("no correlation sources for a conditional on line %d\n", *hints)
 		}
@@ -83,24 +96,20 @@ func main() {
 	}
 	if *inliner {
 		fmt.Printf("%-16s %14s %8s\n", "procedure", "cross-boundary", "weight")
-		for _, pr := range prog.InliningPriorities(icbe.DefaultOptions(), nil) {
+		for _, pr := range prog.InliningPriorities(opts, nil) {
 			fmt.Printf("%-16s %14d %8d\n", pr.Procedure, pr.Conditionals, pr.Weight)
 		}
 	}
 
 	work := prog
 	if *doOpt {
-		opts := icbe.DefaultOptions()
-		if *intra {
-			opts = icbe.IntraOptions()
-		}
-		opts.MaxDuplication = *dupLimit
-		opts.TerminationLimit = *termLim
-		opts.Compact = *compact
 		var rep *icbe.Report
 		work, rep = prog.Optimize(opts)
 		fmt.Printf("optimized %d conditionals (%d node-query pairs, operations %d -> %d)\n",
 			rep.Optimized, rep.PairsTotal, rep.OperationsBefore, rep.OperationsAfter)
+		if rep.Truncated {
+			fmt.Fprintf(os.Stderr, "icbe: warning: work-queue budget exhausted; some conditionals were not analyzed (see report)\n")
+		}
 		if *doReport {
 			fmt.Printf("%6s %10s %8s %6s %8s %8s %8s\n",
 				"line", "analyzable", "answers", "full", "dup est", "pairs", "applied")
@@ -109,9 +118,15 @@ func main() {
 				if c.Err != nil {
 					status = "error"
 				}
+				if c.Skipped {
+					status = "skipped"
+				}
 				fmt.Printf("%6d %10v %8s %6v %8d %8d %8s\n",
 					c.Line, c.Analyzable, c.Answers, c.Full, c.DupEstimate, c.PairsProcessed, status)
 			}
+			s := rep.Stats
+			fmt.Printf("driver: %d workers, %d rounds, %d analyses (%d re-analyses), %d clones (%d avoided), analysis %v, apply %v\n",
+				s.Workers, s.Rounds, s.Analyses, s.Reanalyses, s.Clones, s.ClonesAvoided, s.AnalysisWall, s.ApplyWall)
 		}
 	}
 

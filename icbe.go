@@ -26,6 +26,7 @@ package icbe
 
 import (
 	"fmt"
+	"time"
 
 	"icbe/internal/analysis"
 	"icbe/internal/interp"
@@ -143,6 +144,11 @@ type Options struct {
 	// Compact contracts synthetic no-op nodes after optimization; it never
 	// changes program output or operation counts.
 	Compact bool
+	// Workers bounds the concurrent analysis goroutines of Optimize's
+	// analysis phase. 0 and 1 analyze serially; negative values use all
+	// CPUs. The optimized program and the report are identical for every
+	// worker count (the wall-clock fields of Report.Stats aside).
+	Workers int
 }
 
 // DefaultOptions returns the paper's main configuration: interprocedural
@@ -185,8 +191,35 @@ type CondReport struct {
 	// Applied reports that the branch was eliminated along its correlated
 	// paths.
 	Applied bool
+	// Skipped reports that the branch was still queued when the driver's
+	// work cap was reached and was never analyzed (see Report.Truncated).
+	Skipped bool
 	// Err holds the restructuring failure, if any.
 	Err error
+}
+
+// DriverStats exposes the optimization driver's cost counters (see
+// restructure.DriverStats). All fields except the wall-clock durations are
+// deterministic and identical for every worker count.
+type DriverStats struct {
+	// Workers is the analysis worker count used; Rounds counts
+	// analyze/apply rounds.
+	Workers int
+	Rounds  int
+	// Analyses counts per-conditional analysis runs; Reanalyses is the
+	// subset repeated because an applied restructuring invalidated a
+	// snapshot result.
+	Analyses   int
+	Reanalyses int
+	// Clones counts whole-program clones performed (one defensive input
+	// copy plus one per attempted restructuring); ClonesAvoided counts
+	// analyzed conditionals that needed none.
+	Clones        int
+	ClonesAvoided int
+	// AnalysisWall and ApplyWall are the summed wall-clock times of the
+	// concurrent analysis phases and the serial apply phases.
+	AnalysisWall time.Duration
+	ApplyWall    time.Duration
 }
 
 // Report summarizes one Optimize run.
@@ -198,16 +231,24 @@ type Report struct {
 	PairsTotal int
 	// OperationsBefore/After measure static code growth.
 	OperationsBefore, OperationsAfter int
+	// Truncated reports that the driver's work cap was reached; the
+	// skipped conditionals carry Skipped report entries.
+	Truncated bool
+	// Stats holds the driver's cost counters.
+	Stats DriverStats
 }
 
 // Optimize applies ICBE (or the intraprocedural baseline) to every
-// analyzable conditional, one by one. The receiver is unmodified; the
-// optimized program is returned.
+// analyzable conditional with the two-phase driver: conditionals are
+// analyzed concurrently against program snapshots (Options.Workers) and the
+// accepted restructurings applied serially. The receiver is unmodified; the
+// optimized program is returned and is identical for every worker count.
 func (p *Program) Optimize(opts Options) (*Program, *Report) {
 	dr := restructure.Optimize(p.g, restructure.DriverOptions{
 		Analysis:       opts.analysisOpts(),
 		MaxDuplication: opts.MaxDuplication,
 		FullOnly:       opts.FullOnly,
+		Workers:        opts.Workers,
 	})
 	if opts.Compact {
 		ir.Simplify(dr.Program)
@@ -217,6 +258,17 @@ func (p *Program) Optimize(opts Options) (*Program, *Report) {
 		PairsTotal:       dr.PairsTotal,
 		OperationsBefore: ir.Collect(p.g).Operations,
 		OperationsAfter:  ir.Collect(dr.Program).Operations,
+		Truncated:        dr.Truncated,
+		Stats: DriverStats{
+			Workers:       dr.Stats.Workers,
+			Rounds:        dr.Stats.Rounds,
+			Analyses:      dr.Stats.Analyses,
+			Reanalyses:    dr.Stats.Reanalyses,
+			Clones:        dr.Stats.Clones,
+			ClonesAvoided: dr.Stats.ClonesAvoided,
+			AnalysisWall:  dr.Stats.AnalysisWall,
+			ApplyWall:     dr.Stats.ApplyWall,
+		},
 	}
 	for _, r := range dr.Reports {
 		rep.Conditionals = append(rep.Conditionals, CondReport{
@@ -228,6 +280,7 @@ func (p *Program) Optimize(opts Options) (*Program, *Report) {
 			DupEstimate:    r.DupEstimate,
 			PairsProcessed: r.PairsProcessed,
 			Applied:        r.Applied,
+			Skipped:        r.Skipped,
 			Err:            r.Err,
 		})
 	}
@@ -252,10 +305,9 @@ type PredictionHint struct {
 	Interprocedural bool
 }
 
-// PredictionHints analyzes the first analyzable conditional on the given
-// source line and returns its statically detected correlation sources as
-// predictor directives.
-func (p *Program) PredictionHints(line int, opts Options) []PredictionHint {
+// branchOnLine returns the first analyzable conditional on the given source
+// line (lowest node ID), or nil when the line has none.
+func (p *Program) branchOnLine(line int) *ir.Node {
 	var target *ir.Node
 	p.g.LiveNodes(func(n *ir.Node) {
 		if n.Kind == ir.NBranch && n.Analyzable() && n.Line == line {
@@ -264,6 +316,14 @@ func (p *Program) PredictionHints(line int, opts Options) []PredictionHint {
 			}
 		}
 	})
+	return target
+}
+
+// PredictionHints analyzes the first analyzable conditional on the given
+// source line and returns its statically detected correlation sources as
+// predictor directives.
+func (p *Program) PredictionHints(line int, opts Options) []PredictionHint {
+	target := p.branchOnLine(line)
 	if target == nil {
 		return nil
 	}
@@ -326,14 +386,7 @@ func (p *Program) InliningPriorities(opts Options, profiled *RunResult) []Inline
 // its report without restructuring. It returns false when no analyzable
 // branch exists on the line.
 func (p *Program) AnalyzeConditional(line int, opts Options) (CondReport, bool) {
-	var target *ir.Node
-	p.g.LiveNodes(func(n *ir.Node) {
-		if n.Kind == ir.NBranch && n.Analyzable() && n.Line == line {
-			if target == nil || n.ID < target.ID {
-				target = n
-			}
-		}
-	})
+	target := p.branchOnLine(line)
 	if target == nil {
 		return CondReport{}, false
 	}

@@ -1,6 +1,7 @@
 package icbe
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -218,5 +219,37 @@ func TestCompactOption(t *testing.T) {
 		if r1.Output[0] != r2.Output[0] || r1.Operations != r2.Operations {
 			t.Errorf("compaction changed behavior on %v", in)
 		}
+	}
+}
+
+func TestOptimizeWorkersDeterminismAndStats(t *testing.T) {
+	p, err := Compile(apiDemoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialOpts := DefaultOptions()
+	serialOpts.Workers = 1
+	serial, srep := p.Optimize(serialOpts)
+
+	parOpts := DefaultOptions()
+	parOpts.Workers = 8
+	par, prep := p.Optimize(parOpts)
+
+	if serial.Dump() != par.Dump() {
+		t.Error("Workers=1 and Workers=8 produced different programs")
+	}
+	// Reports must agree except for the wall-clock and worker-count fields.
+	srep.Stats.Workers, prep.Stats.Workers = 0, 0
+	srep.Stats.AnalysisWall, prep.Stats.AnalysisWall = 0, 0
+	srep.Stats.ApplyWall, prep.Stats.ApplyWall = 0, 0
+	if !reflect.DeepEqual(srep, prep) {
+		t.Errorf("reports differ:\n serial %+v\n par    %+v", srep, prep)
+	}
+
+	if srep.Stats.Rounds < 1 || srep.Stats.Clones < 1 || srep.Stats.Analyses < 1 {
+		t.Errorf("driver stats not populated: %+v", srep.Stats)
+	}
+	if srep.Truncated {
+		t.Error("unexpected truncation on the demo program")
 	}
 }

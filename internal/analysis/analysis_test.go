@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"icbe/internal/interp"
@@ -622,5 +623,113 @@ func TestAnswerCache(t *testing.T) {
 	plain := New(p, inter()).AnalyzeBranch(bs[1].ID)
 	if res2.RootAnswers() != plain.RootAnswers() {
 		t.Errorf("cached answers %v != plain %v", res2.RootAnswers(), plain.RootAnswers())
+	}
+}
+
+// cacheEquivSrc has many conditionals sharing backward regions, so the
+// cross-conditional cache actually fires.
+const cacheEquivSrc = `
+	func get() {
+		if (input() > 0) { return 0; }
+		if (input() > 3) { return 1; }
+		return 7;
+	}
+	func check(v) {
+		if (v == 0) { return 1; }
+		return 0;
+	}
+	func main() {
+		var r = get();
+		if (input() > 5) {
+			if (r == 0) { print(1); }
+		}
+		if (r == 0) { print(2); }
+		if (r == 7) { print(3); }
+		var s = check(r);
+		if (s == 1) { print(4); }
+		var u = get();
+		if (u == 0) { print(5); }
+		if (u == 7) { print(6); }
+	}
+`
+
+// allAnalyzable returns every analyzable branch in node order.
+func allAnalyzable(p *ir.Program) []*ir.Node {
+	var out []*ir.Node
+	p.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NBranch && n.Analyzable() {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// TestAnswerCacheAnswerEquivalence analyzes every conditional of a program
+// with one cache-enabled analyzer and compares the root answer set of each
+// against a fresh uncached analyzer: the cache is a pure time/memory
+// tradeoff and must never change an answer.
+func TestAnswerCacheAnswerEquivalence(t *testing.T) {
+	p := build(t, cacheEquivSrc)
+	bs := allAnalyzable(p)
+	if len(bs) < 8 {
+		t.Fatalf("want >= 8 analyzable branches, got %d", len(bs))
+	}
+	opts := inter()
+	opts.CacheAnswers = true
+	cached := New(p, opts)
+	hits := 0
+	for _, b := range bs {
+		cres := cached.AnalyzeBranch(b.ID)
+		plain := New(p, inter()).AnalyzeBranch(b.ID)
+		if cres == nil || plain == nil {
+			t.Fatalf("branch %d: nil result", b.ID)
+		}
+		if cres.RootAnswers() != plain.RootAnswers() {
+			t.Errorf("branch %d (line %d): cached answers %v != plain %v",
+				b.ID, b.Line, cres.RootAnswers(), plain.RootAnswers())
+		}
+		hits += cres.CacheHits
+	}
+	if hits == 0 {
+		t.Error("cache never hit; the equivalence test exercised nothing")
+	}
+}
+
+// TestAnalyzerConcurrentUse exercises concurrent AnalyzeBranch calls on one
+// shared analyzer — with the answer cache enabled, so the mutex-guarded
+// cache is hit from multiple goroutines (load-bearing under -race) — and
+// checks every result against a serial uncached baseline.
+func TestAnalyzerConcurrentUse(t *testing.T) {
+	p := build(t, cacheEquivSrc)
+	bs := allAnalyzable(p)
+	want := make(map[ir.NodeID]AnswerSet, len(bs))
+	for _, b := range bs {
+		want[b.ID] = analyze(t, p, b, inter()).RootAnswers()
+	}
+	for _, cacheOn := range []bool{false, true} {
+		opts := inter()
+		opts.CacheAnswers = cacheOn
+		shared := New(p, opts)
+		const rounds = 4
+		got := make([]AnswerSet, rounds*len(bs))
+		var wg sync.WaitGroup
+		for g := 0; g < rounds; g++ {
+			for i, b := range bs {
+				wg.Add(1)
+				go func(slot int, id ir.NodeID) {
+					defer wg.Done()
+					got[slot] = shared.AnalyzeBranch(id).RootAnswers()
+				}(g*len(bs)+i, b.ID)
+			}
+		}
+		wg.Wait()
+		for g := 0; g < rounds; g++ {
+			for i, b := range bs {
+				if a := got[g*len(bs)+i]; a != want[b.ID] {
+					t.Errorf("cache=%v branch %d: concurrent answers %v != serial %v",
+						cacheOn, b.ID, a, want[b.ID])
+				}
+			}
+		}
 	}
 }

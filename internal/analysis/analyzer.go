@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"math"
+	"sync"
 
 	"icbe/internal/ir"
 	"icbe/internal/pred"
@@ -44,12 +45,18 @@ func DefaultOptions() Options {
 
 // Analyzer analyzes conditionals of one program. It precomputes MOD
 // summaries; each conditional is analyzed on demand.
+//
+// An Analyzer is safe for concurrent AnalyzeBranch calls as long as the
+// program is not mutated: per-conditional state lives in the per-call run,
+// the MOD summaries are computed once and read-only afterwards, and the
+// cross-conditional answer cache is mutex-guarded.
 type Analyzer struct {
 	Prog *ir.Program
 	Opts Options
 	mod  []map[ir.VarID]bool
 	// cache holds rolled-back answers of top-level pairs from previous
-	// AnalyzeBranch calls (when Opts.CacheAnswers).
+	// AnalyzeBranch calls (when Opts.CacheAnswers), guarded by mu.
+	mu    sync.Mutex
 	cache map[cacheKey]AnswerSet
 }
 
@@ -75,7 +82,17 @@ func New(p *ir.Program, opts Options) *Analyzer {
 // CacheBytes approximates the memory held by the cross-conditional answer
 // cache (the paper's memory-versus-time tradeoff).
 func (a *Analyzer) CacheBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return int64(len(a.cache)) * 40
+}
+
+// cacheGet looks up a cached rolled-back answer set.
+func (a *Analyzer) cacheGet(k cacheKey) (AnswerSet, bool) {
+	a.mu.Lock()
+	ans, ok := a.cache[k]
+	a.mu.Unlock()
+	return ans, ok
 }
 
 // Result holds the analysis of one conditional: the queries raised at every
@@ -177,6 +194,7 @@ func (a *Analyzer) AnalyzeBranch(b ir.NodeID) *Result {
 	r.propagate()
 	r.rollback()
 	if a.cache != nil && !r.res.Truncated {
+		a.mu.Lock()
 		for n, qs := range r.res.Queries {
 			for _, q := range qs {
 				if q.Owner != nil {
@@ -187,6 +205,7 @@ func (a *Analyzer) AnalyzeBranch(b ir.NodeID) *Result {
 				}
 			}
 		}
+		a.mu.Unlock()
 	}
 	return r.res
 }
@@ -224,7 +243,7 @@ func (r *run) raise(n ir.NodeID, q *Query) {
 	r.res.Queries[n] = append(r.res.Queries[n], q)
 	r.res.PairsRaised++
 	if q.Owner == nil && r.a.cache != nil {
-		if ans, ok := r.a.cache[cacheKey{n, q.Var, q.P.Op, q.P.C}]; ok {
+		if ans, ok := r.a.cacheGet(cacheKey{n, q.Var, q.P.Op, q.P.C}); ok {
 			// Cached rolled-back answers from a previous conditional's
 			// analysis substitute for re-propagation.
 			r.res.Resolved[pk] = ans

@@ -195,7 +195,9 @@ func (r *run) substEntryLookup(q *Query, call *ir.Node, owner *SNE) *Query {
 // implementation materializes, since splitting duplicates them too; the
 // estimate saturates at a large cap to avoid overflow on cross products.
 func (r *Result) DuplicationEstimate(p *ir.Program) int {
-	const cap = 1 << 30
+	// estCap saturates the estimate (deliberately not named cap: a local
+	// `cap` would shadow the builtin for the whole function body).
+	const estCap = 1 << 30
 	est := 0
 	for n, qs := range r.Queries {
 		if p.Node(n) == nil {
@@ -205,8 +207,8 @@ func (r *Result) DuplicationEstimate(p *ir.Program) int {
 		for _, q := range qs {
 			if c := r.Answers[PairKey{n, q.ID}].Count(); c > 1 {
 				copies *= c
-				if copies > cap {
-					copies = cap
+				if copies > estCap {
+					copies = estCap
 					break
 				}
 			}
@@ -214,8 +216,8 @@ func (r *Result) DuplicationEstimate(p *ir.Program) int {
 		if copies > 1 {
 			est += copies - 1
 		}
-		if est > cap {
-			return cap
+		if est > estCap {
+			return estCap
 		}
 	}
 	return est

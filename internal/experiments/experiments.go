@@ -22,6 +22,7 @@ import (
 	"icbe/internal/ir"
 	"icbe/internal/profile"
 	"icbe/internal/progs"
+	"icbe/internal/restructure"
 )
 
 // PaperTerminationLimit is the analysis budget used in the paper's
@@ -41,6 +42,17 @@ func interOpts(limit int) analysis.Options {
 // with MOD/USE summary information at call sites, per the paper).
 func intraOpts(limit int) analysis.Options {
 	return analysis.Options{Interprocedural: false, ModSummaries: true, TerminationLimit: limit}
+}
+
+// Workers sets the analysis worker count every experiment passes to the
+// restructuring driver. The driver output is identical for any value; the
+// knob only affects wall time (cmd/icbe-bench -workers).
+var Workers = 1
+
+// driverOpts builds the restructuring driver configuration shared by the
+// experiments, injecting the package-level Workers count.
+func driverOpts(a analysis.Options, dupLimit int) restructure.DriverOptions {
+	return restructure.DriverOptions{Analysis: a, MaxDuplication: dupLimit, Workers: Workers}
 }
 
 // buildAndProfile compiles a workload and collects its ref profile.

@@ -212,10 +212,7 @@ func Figure11(ws []*progs.Workload, termLimit int, dupLimits []int) ([]Fig11Row,
 			{interOpts(termLimit), &row.Inter},
 		} {
 			for _, limit := range dupLimits {
-				dr := restructure.Optimize(p, restructure.DriverOptions{
-					Analysis:       mode.opts,
-					MaxDuplication: limit,
-				})
+				dr := restructure.Optimize(p, driverOpts(mode.opts, limit))
 				run, err := interp.Run(dr.Program, interp.Options{Input: w.Ref})
 				if err != nil {
 					return nil, fmt.Errorf("%s (limit %d): %w", w.Name, limit, err)

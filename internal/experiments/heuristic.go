@@ -56,21 +56,17 @@ func HeuristicComparison(ws []*progs.Workload, termLimit int) ([]HeuristicRow, e
 			return growth, reduction, nil
 		}
 		row := HeuristicRow{Name: w.Name}
-		if row.LimitGrowthPct, row.LimitReductionPct, err = measure(restructure.DriverOptions{
-			Analysis: interOpts(termLimit), MaxDuplication: 200,
-		}); err != nil {
+		if row.LimitGrowthPct, row.LimitReductionPct, err = measure(driverOpts(interOpts(termLimit), 200)); err != nil {
 			return nil, err
 		}
-		if row.Ben1GrowthPct, row.Ben1ReductionPct, err = measure(restructure.DriverOptions{
-			Analysis: interOpts(termLimit), MaxDuplication: 200,
-			Profile: trainProf, MinBenefitPerNode: 1,
-		}); err != nil {
+		ben1 := driverOpts(interOpts(termLimit), 200)
+		ben1.Profile, ben1.MinBenefitPerNode = trainProf, 1
+		if row.Ben1GrowthPct, row.Ben1ReductionPct, err = measure(ben1); err != nil {
 			return nil, err
 		}
-		if row.Ben25GrowthPct, row.Ben25ReductionPct, err = measure(restructure.DriverOptions{
-			Analysis: interOpts(termLimit), MaxDuplication: 200,
-			Profile: trainProf, MinBenefitPerNode: 25,
-		}); err != nil {
+		ben25 := driverOpts(interOpts(termLimit), 200)
+		ben25.Profile, ben25.MinBenefitPerNode = trainProf, 25
+		if row.Ben25GrowthPct, row.Ben25ReductionPct, err = measure(ben25); err != nil {
 			return nil, err
 		}
 		rows = append(rows, row)

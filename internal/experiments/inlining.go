@@ -44,10 +44,7 @@ func InliningComparison(ws []*progs.Workload, termLimit, dupLimit int) ([]Inlini
 		row := InliningRow{Name: w.Name}
 
 		// Route 1: ICBE.
-		icbe := restructure.Optimize(p, restructure.DriverOptions{
-			Analysis:       interOpts(termLimit),
-			MaxDuplication: dupLimit,
-		})
+		icbe := restructure.Optimize(p, driverOpts(interOpts(termLimit), dupLimit))
 		run1, err := interp.Run(icbe.Program, interp.Options{Input: w.Ref})
 		if err != nil {
 			return nil, fmt.Errorf("%s icbe: %w", w.Name, err)
@@ -59,10 +56,7 @@ func InliningComparison(ws []*progs.Workload, termLimit, dupLimit int) ([]Inlini
 		// eliminator.
 		inlined := ir.Clone(p)
 		row.InlinedCalls = inline.Exhaustive(inlined, 200)
-		intra := restructure.Optimize(inlined, restructure.DriverOptions{
-			Analysis:       intraOpts(termLimit),
-			MaxDuplication: dupLimit,
-		})
+		intra := restructure.Optimize(inlined, driverOpts(intraOpts(termLimit), dupLimit))
 		run2, err := interp.Run(intra.Program, interp.Options{Input: w.Ref})
 		if err != nil {
 			return nil, fmt.Errorf("%s inline: %w", w.Name, err)

@@ -1,14 +1,23 @@
 package restructure
 
 import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
 	"icbe/internal/analysis"
 	"icbe/internal/ir"
 )
 
-// DriverOptions configures the one-by-one optimization driver.
+// DriverOptions configures the two-phase optimization driver.
 type DriverOptions struct {
 	// Analysis configures the correlation analysis (interprocedural or the
 	// intraprocedural baseline, termination limit, substitution power).
+	// CacheAnswers is ignored: cached answers lack the supplier structure
+	// restructuring consumes, and a cache shared between analysis workers
+	// would make reports depend on goroutine scheduling.
 	Analysis analysis.Options
 	// MaxDuplication is the per-conditional code-duplication limit N: a
 	// conditional is optimized only when the analysis estimates at most N
@@ -26,6 +35,18 @@ type DriverOptions struct {
 	// instances per duplicated node reach the threshold.
 	Profile           map[ir.NodeID]int64
 	MinBenefitPerNode float64
+	// Workers bounds the analysis-phase goroutines. 0 and 1 analyze
+	// serially; negative values use runtime.NumCPU(). The optimized
+	// program and the reports are identical for every worker count (the
+	// wall-clock and worker-count fields of DriverStats aside).
+	Workers int
+	// MaxWork caps the total number of work-queue entries the driver
+	// dequeues, including invalidation re-analyses, bounding the sweep on
+	// pathological programs whose restructurings keep splitting queued
+	// conditionals. Zero selects the default 8×(initial conditionals)+64.
+	// Conditionals still queued when the cap is reached receive a report
+	// entry with Skipped set and DriverResult.Truncated is raised.
+	MaxWork int
 }
 
 // CondReport records the per-conditional outcome of a driver run.
@@ -50,31 +71,99 @@ type CondReport struct {
 	Applied bool
 	// Removed counts eliminated branch copies when applied.
 	Removed int
+	// Skipped reports that the branch was still queued when the driver's
+	// work cap (DriverOptions.MaxWork) was reached and was never analyzed.
+	Skipped bool
 	// Err records a restructuring failure (the program is left untouched).
 	Err error
+}
+
+// DriverStats exposes the two-phase driver's cost counters so the effect of
+// parallel analysis and clone avoidance is measurable from reports and
+// benchmarks. All fields except the wall-clock durations are deterministic
+// and identical for every worker count.
+type DriverStats struct {
+	// Workers is the analysis-phase worker count actually used.
+	Workers int
+	// Rounds counts snapshot rounds (one concurrent analysis phase plus
+	// one serial apply phase each).
+	Rounds int
+	// Analyses counts AnalyzeBranch runs; Reanalyses is the subset queued
+	// again because an applied restructuring invalidated the snapshot
+	// result (the analysis had visited a changed node).
+	Analyses   int
+	Reanalyses int
+	// Clones counts ir.Clone calls: one defensive clone of the input plus
+	// one per attempted restructuring. ClonesAvoided counts analyzed
+	// conditionals that needed no clone because no restructuring was
+	// attempted for them.
+	Clones        int
+	ClonesAvoided int
+	// AnalysisWall and ApplyWall sum the wall-clock time of the analysis
+	// phases and the serial apply phases. They are the only
+	// nondeterministic fields of a driver result.
+	AnalysisWall time.Duration
+	ApplyWall    time.Duration
 }
 
 // DriverResult is the outcome of optimizing a whole program.
 type DriverResult struct {
 	// Program is the optimized program (the input is never mutated).
 	Program *ir.Program
-	// Reports holds one entry per conditional branch considered, in node
-	// order.
+	// Reports holds one entry per conditional branch considered, in the
+	// deterministic order the driver settled them.
 	Reports []CondReport
 	// Optimized counts conditionals for which restructuring was applied.
 	Optimized int
 	// PairsTotal sums the analysis cost over all conditionals.
 	PairsTotal int
+	// Truncated reports that the work cap was reached and the conditionals
+	// carrying Skipped reports were never analyzed.
+	Truncated bool
+	// Stats holds the driver's cost counters.
+	Stats DriverStats
 }
 
-// Optimize applies ICBE to every analyzable conditional of the program, one
-// by one: each conditional is analyzed on the current (already partially
-// restructured) program, and restructured when correlation was found and
-// the estimated code growth is within the per-conditional limit. The input
-// program is left unmodified.
+// condResult carries one conditional's analysis-phase outcome across the
+// phase boundary into the serial apply phase.
+type condResult struct {
+	b ir.NodeID
+	// live is false when the branch was consumed by an earlier
+	// restructuring (split or eliminated) before this round's snapshot.
+	live  bool
+	res   *analysis.Result
+	rep   CondReport
+	apply bool
+}
+
+// Optimize applies ICBE to every analyzable conditional of the program with
+// a two-phase, batched driver. Each round, phase 1 analyzes every queued
+// conditional concurrently against the current program snapshot — the
+// analysis is demand-driven and per-conditional, so the queries are
+// independent and embarrassingly parallel. Phase 2 then applies the
+// accepted restructurings serially, cloning the working program only when a
+// restructuring is actually attempted; a conditional whose analysis visited
+// none of the nodes changed by an earlier restructuring of the same round
+// is applied directly from its snapshot result, and only conditionals whose
+// visited node set intersects the changed nodes are re-analyzed in the next
+// round. The input program is left unmodified, and the result is identical
+// for every worker count.
 func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
-	work := ir.Clone(p)
+	workers := opts.Workers
+	if workers < 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers == 0 {
+		workers = 1
+	}
+	aopts := opts.Analysis
+	aopts.CacheAnswers = false
+
 	out := &DriverResult{}
+	out.Stats.Workers = workers
+
+	work := ir.Clone(p)
+	out.Stats.Clones = 1
 
 	// The work queue starts with the conditionals of the input program.
 	// When restructuring one conditional splits another into copies, the
@@ -88,80 +177,281 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 			queued[n.ID] = true
 		}
 	})
-	maxWork := 8*len(queue) + 64
+	budget := opts.MaxWork
+	if budget <= 0 {
+		budget = 8*len(queue) + 64
+	}
 
-	for qi := 0; qi < len(queue) && qi < maxWork; qi++ {
-		b := queue[qi]
-		node := work.Node(b)
-		rep := CondReport{Cond: b}
-		if node == nil || node.Kind != ir.NBranch {
-			// Consumed by an earlier restructuring (split or eliminated).
-			continue
+	for len(queue) > 0 && budget > 0 {
+		batch := queue
+		if len(batch) > budget {
+			batch = batch[:budget]
 		}
-		rep.Line = node.Line
-		if !node.Analyzable() {
-			out.Reports = append(out.Reports, rep)
-			continue
-		}
-		rep.Analyzable = true
+		overflow := queue[len(batch):]
+		budget -= len(batch)
+		out.Stats.Rounds++
 
-		// Analyze and restructure on a scratch clone so a failed
-		// restructuring cannot corrupt the working program.
-		scratch := ir.Clone(work)
-		an := analysis.New(scratch, opts.Analysis)
-		res := an.AnalyzeBranch(b)
-		if res == nil {
-			out.Reports = append(out.Reports, rep)
-			continue
-		}
-		rep.Answers = res.RootAnswers()
-		rep.Full = res.FullCorrelation()
-		rep.DupEstimate = res.DuplicationEstimate(scratch)
-		rep.PairsProcessed = res.PairsProcessed
-		out.PairsTotal += res.PairsProcessed
+		// Phase 1: concurrent, read-only analysis of the whole batch
+		// against the immutable snapshot. One analyzer is shared so the
+		// MOD summaries are computed once per round.
+		results := analyzeBatch(work, batch, aopts, opts, workers, &out.Stats)
 
-		apply := res.HasCorrelation()
-		if opts.FullOnly && !res.FullCorrelation() {
-			apply = false
-		}
-		if opts.MaxDuplication > 0 && rep.DupEstimate > opts.MaxDuplication {
-			apply = false
-		}
-		if opts.Profile != nil {
-			rep.Benefit = res.EstimatedBenefit(opts.Profile)
-			if opts.MinBenefitPerNode > 0 {
-				denom := float64(rep.DupEstimate)
-				if denom < 1 {
-					denom = 1
-				}
-				if float64(rep.Benefit)/denom < opts.MinBenefitPerNode {
-					apply = false
-				}
+		// Phase 2: serial application in batch order. dirty accumulates
+		// the nodes changed by restructurings applied this round; a later
+		// conditional whose analysis visited any of them is re-analyzed
+		// against the next snapshot instead of being applied stale.
+		t0 := time.Now()
+		dirty := make(map[ir.NodeID]bool)
+		var next []ir.NodeID
+		for i := range results {
+			cr := &results[i]
+			if !cr.live {
+				// Consumed by an earlier restructuring.
+				continue
 			}
-		}
-		if apply {
-			oc, err := Eliminate(scratch, res)
+			if cr.res == nil {
+				// Not analyzable (or, defensively, the analysis declined).
+				out.Reports = append(out.Reports, cr.rep)
+				continue
+			}
+			if visitedDirty(cr.res, dirty) {
+				out.Stats.Reanalyses++
+				next = append(next, cr.b)
+				continue
+			}
+			out.PairsTotal += cr.res.PairsProcessed
+			if !cr.apply {
+				out.Stats.ClonesAvoided++
+				out.Reports = append(out.Reports, cr.rep)
+				continue
+			}
+			// Attempt the restructuring on a scratch clone so a failure
+			// cannot corrupt the working program. This is the only place
+			// the driver clones after the initial defensive copy.
+			scratch := ir.Clone(work)
+			out.Stats.Clones++
+			oc, err := Eliminate(scratch, cr.res)
 			if err != nil {
-				rep.Err = err
+				cr.rep.Err = err
 			} else {
-				rep.Applied = true
-				rep.Removed = oc.BranchCopiesRemoved
+				cr.rep.Applied = true
+				cr.rep.Removed = oc.BranchCopiesRemoved
 				out.Optimized++
+				markChanged(dirty, work, scratch)
 				work = scratch
 				// Requeue branch copies created as a side effect of this
-				// restructuring (including surviving copies of b itself).
-				for _, copies := range oc.BranchDescendants {
-					for _, c := range copies {
-						if !queued[c] {
-							queued[c] = true
-							queue = append(queue, c)
-						}
+				// restructuring (including surviving copies of cr.b
+				// itself), in ID order for determinism.
+				for _, c := range sortedDescendants(oc) {
+					if !queued[c] {
+						queued[c] = true
+						next = append(next, c)
 					}
 				}
 			}
+			out.Reports = append(out.Reports, cr.rep)
 		}
-		out.Reports = append(out.Reports, rep)
+		out.Stats.ApplyWall += time.Since(t0)
+		queue = append(append([]ir.NodeID(nil), overflow...), next...)
+	}
+
+	// Work cap reached with conditionals still queued: report every
+	// still-live skipped branch instead of dropping it silently.
+	for _, b := range queue {
+		node := work.Node(b)
+		if node == nil || node.Kind != ir.NBranch {
+			continue
+		}
+		out.Reports = append(out.Reports, CondReport{
+			Cond:       b,
+			Line:       node.Line,
+			Analyzable: node.Analyzable(),
+			Skipped:    true,
+		})
+		out.Truncated = true
 	}
 	out.Program = work
 	return out
+}
+
+// analyzeBatch runs the analysis phase for one round: every batched
+// conditional is analyzed against the snapshot and gated, concurrently when
+// workers > 1. The snapshot is never written, AnalyzeBranch keeps its state
+// in the per-call run, and each worker writes only its own results slot, so
+// the outcome is independent of scheduling.
+func analyzeBatch(snapshot *ir.Program, batch []ir.NodeID, aopts analysis.Options,
+	opts DriverOptions, workers int, stats *DriverStats) []condResult {
+	t0 := time.Now()
+	an := analysis.New(snapshot, aopts)
+	results := make([]condResult, len(batch))
+	analyzeOne := func(i int) {
+		cr := &results[i]
+		cr.b = batch[i]
+		cr.rep = CondReport{Cond: cr.b}
+		node := snapshot.Node(cr.b)
+		if node == nil || node.Kind != ir.NBranch {
+			return
+		}
+		cr.live = true
+		cr.rep.Line = node.Line
+		if !node.Analyzable() {
+			return
+		}
+		cr.rep.Analyzable = true
+		res := an.AnalyzeBranch(cr.b)
+		if res == nil {
+			return
+		}
+		cr.res = res
+		cr.rep.Answers = res.RootAnswers()
+		cr.rep.Full = res.FullCorrelation()
+		cr.rep.DupEstimate = res.DuplicationEstimate(snapshot)
+		cr.rep.PairsProcessed = res.PairsProcessed
+
+		cr.apply = res.HasCorrelation()
+		if opts.FullOnly && !res.FullCorrelation() {
+			cr.apply = false
+		}
+		if opts.MaxDuplication > 0 && cr.rep.DupEstimate > opts.MaxDuplication {
+			cr.apply = false
+		}
+		if opts.Profile != nil {
+			cr.rep.Benefit = res.EstimatedBenefit(opts.Profile)
+			if opts.MinBenefitPerNode > 0 {
+				denom := float64(cr.rep.DupEstimate)
+				if denom < 1 {
+					denom = 1
+				}
+				if float64(cr.rep.Benefit)/denom < opts.MinBenefitPerNode {
+					cr.apply = false
+				}
+			}
+		}
+	}
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	if workers <= 1 {
+		for i := range batch {
+			analyzeOne(i)
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(batch) {
+						return
+					}
+					analyzeOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i := range results {
+		if results[i].rep.Analyzable {
+			stats.Analyses++
+		}
+	}
+	stats.AnalysisWall += time.Since(t0)
+	return results
+}
+
+// visitedDirty reports whether the analysis visited any node changed by a
+// restructuring applied earlier in the round (Result.Queries keys are the
+// paper's Q[n]: exactly the nodes the demand-driven analysis reached).
+func visitedDirty(res *analysis.Result, dirty map[ir.NodeID]bool) bool {
+	if len(dirty) == 0 {
+		return false
+	}
+	if len(dirty) < len(res.Queries) {
+		for n := range dirty {
+			if _, ok := res.Queries[n]; ok {
+				return true
+			}
+		}
+		return false
+	}
+	for n := range res.Queries {
+		if dirty[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// markChanged records every node that differs between the pre- and
+// post-restructuring programs: created, deleted, retyped, or re-wired nodes
+// all count, so a snapshot analysis that visited none of them would compute
+// the same result on the new program (its demand-driven traversal can only
+// reach changed program parts through a changed node).
+func markChanged(dirty map[ir.NodeID]bool, before, after *ir.Program) {
+	for i, bn := range after.Nodes {
+		var an *ir.Node
+		if i < len(before.Nodes) {
+			an = before.Nodes[i]
+		}
+		if nodeChanged(an, bn) {
+			dirty[ir.NodeID(i)] = true
+		}
+	}
+}
+
+func nodeChanged(a, b *ir.Node) bool {
+	if (a == nil) != (b == nil) {
+		return true
+	}
+	if a == nil {
+		return false
+	}
+	if a.Kind != b.Kind || a.Proc != b.Proc || a.Dst != b.Dst || a.RHS != b.RHS ||
+		a.CondVar != b.CondVar || a.CondOp != b.CondOp || a.CondRHS != b.CondRHS ||
+		a.AVar != b.AVar || a.APred != b.APred || a.Callee != b.Callee ||
+		a.Ptr != b.Ptr || a.Idx != b.Idx || a.Val != b.Val ||
+		a.Synthetic != b.Synthetic || a.Line != b.Line {
+		return true
+	}
+	return !equalNodeIDs(a.Succs, b.Succs) || !equalNodeIDs(a.Preds, b.Preds) ||
+		!equalVarIDs(a.Args, b.Args)
+}
+
+func equalNodeIDs(a, b []ir.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalVarIDs(a, b []ir.VarID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedDescendants flattens an Outcome's branch-descendant map into ID
+// order. Map iteration order is randomized, so requeueing straight from the
+// map would make the queue — and with it the report order — nondeterministic.
+func sortedDescendants(oc *Outcome) []ir.NodeID {
+	var all []ir.NodeID
+	for _, copies := range oc.BranchDescendants {
+		all = append(all, copies...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
 }

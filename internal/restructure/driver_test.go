@@ -1,0 +1,208 @@
+package restructure
+
+import (
+	"reflect"
+	"testing"
+
+	"icbe/internal/analysis"
+	"icbe/internal/ir"
+	"icbe/internal/progs"
+)
+
+// stripWall zeroes the fields of a driver result that legitimately vary
+// between runs (wall-clock durations, worker count), leaving everything a
+// determinism comparison should cover.
+func stripWall(r *DriverResult) *DriverResult {
+	r.Stats.Workers = 0
+	r.Stats.AnalysisWall = 0
+	r.Stats.ApplyWall = 0
+	return r
+}
+
+// TestDriverSerialParallelDeterminism is the tentpole's correctness bar:
+// Workers=1 and Workers=N must produce byte-identical optimized programs and
+// equal reports on every benchmark workload, in both analysis modes.
+func TestDriverSerialParallelDeterminism(t *testing.T) {
+	for _, w := range progs.All() {
+		for _, mode := range []struct {
+			name string
+			opts analysis.Options
+		}{
+			{"inter", analysis.Options{Interprocedural: true, ModSummaries: true, TerminationLimit: 1000}},
+			{"intra", analysis.Options{Interprocedural: false, ModSummaries: true, TerminationLimit: 1000}},
+		} {
+			p, err := ir.Build(w.Source)
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			base := DriverOptions{Analysis: mode.opts, MaxDuplication: 100}
+
+			serialOpts := base
+			serialOpts.Workers = 1
+			serial := stripWall(Optimize(p, serialOpts))
+			serialDump := serial.Program.Dump()
+			serial.Program = nil
+
+			for _, workers := range []int{4, -1} {
+				parOpts := base
+				parOpts.Workers = workers
+				par := stripWall(Optimize(p, parOpts))
+				if pd := par.Program.Dump(); pd != serialDump {
+					t.Errorf("%s/%s: optimized program differs between Workers=1 and Workers=%d",
+						w.Name, mode.name, workers)
+					continue
+				}
+				par.Program = nil
+				if !reflect.DeepEqual(serial, par) {
+					t.Errorf("%s/%s: reports differ between Workers=1 and Workers=%d:\n serial %+v\n par    %+v",
+						w.Name, mode.name, workers, serial, par)
+				}
+			}
+		}
+	}
+}
+
+// TestDriverDeterministicAcrossRuns guards against map-iteration order
+// leaking into the requeue order: repeated runs must agree exactly.
+func TestDriverDeterministicAcrossRuns(t *testing.T) {
+	w := progs.ByName("stdio")
+	if w == nil {
+		t.Fatal("stdio workload missing")
+	}
+	opts := DriverOptions{Analysis: analysis.DefaultOptions(), MaxDuplication: 100, Workers: 2}
+	var firstDump string
+	var first *DriverResult
+	for i := 0; i < 3; i++ {
+		p, err := ir.Build(w.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := stripWall(Optimize(p, opts))
+		d := r.Program.Dump()
+		r.Program = nil
+		if i == 0 {
+			firstDump, first = d, r
+			continue
+		}
+		if d != firstDump {
+			t.Fatalf("run %d: optimized program differs from run 0", i)
+		}
+		if !reflect.DeepEqual(first, r) {
+			t.Fatalf("run %d: reports differ from run 0", i)
+		}
+	}
+}
+
+// TestDriverTruncationReporting covers the silent-truncation fix: every
+// conditional still queued when MaxWork is exhausted must surface as a
+// Skipped report and raise Truncated, instead of vanishing.
+func TestDriverTruncationReporting(t *testing.T) {
+	p, err := ir.Build(`
+		func main() {
+			var a = 0;
+			var b = 0;
+			var c = 0;
+			var d = 0;
+			if (a == 0) { print(1); }
+			if (b == 0) { print(2); }
+			if (c == 0) { print(3); }
+			if (d == 0) { print(4); }
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nconds := 0
+	p.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NBranch {
+			nconds++
+		}
+	})
+	if nconds != 4 {
+		t.Fatalf("want 4 conditionals, got %d", nconds)
+	}
+
+	r := Optimize(p, DriverOptions{Analysis: analysis.DefaultOptions(), MaxWork: 1})
+	if !r.Truncated {
+		t.Error("Truncated not set with MaxWork=1")
+	}
+	var analyzed, skipped int
+	for _, c := range r.Reports {
+		if c.Skipped {
+			skipped++
+			if c.Applied || c.Answers != 0 || c.PairsProcessed != 0 {
+				t.Errorf("skipped report carries analysis results: %+v", c)
+			}
+		} else {
+			analyzed++
+		}
+	}
+	if analyzed != 1 {
+		t.Errorf("analyzed %d conditionals, want 1 (MaxWork=1)", analyzed)
+	}
+	// Nothing dropped silently: the one processed branch is eliminated
+	// (no surviving copies), the other three are reported skipped.
+	if skipped != 3 {
+		t.Errorf("skipped %d conditionals, want 3\nreports: %+v", skipped, r.Reports)
+	}
+
+	// Without a cap nothing is truncated on the same program.
+	r2 := Optimize(p, DriverOptions{Analysis: analysis.DefaultOptions()})
+	if r2.Truncated {
+		t.Error("Truncated set without a work cap")
+	}
+	for _, c := range r2.Reports {
+		if c.Skipped {
+			t.Errorf("skipped report without a work cap: %+v", c)
+		}
+	}
+}
+
+// TestDriverStatsAccounting checks the clone-avoidance bookkeeping: one
+// defensive clone plus one per attempted restructuring, an avoided clone for
+// every analyzed-but-rejected conditional, and analyses = reported analyses
+// + invalidation re-analyses.
+func TestDriverStatsAccounting(t *testing.T) {
+	for _, w := range progs.All() {
+		p, err := ir.Build(w.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		// A small duplication limit forces rejections, so clone avoidance
+		// must show up.
+		r := Optimize(p, DriverOptions{Analysis: analysis.DefaultOptions(), MaxDuplication: 10})
+		s := r.Stats
+		var attempted, avoided, analyzed int
+		for _, c := range r.Reports {
+			if c.Skipped || !c.Analyzable {
+				continue
+			}
+			analyzed++
+			if c.Applied || c.Err != nil {
+				attempted++
+			} else {
+				avoided++
+			}
+		}
+		if s.Clones != 1+attempted {
+			t.Errorf("%s: Clones = %d, want 1+%d attempts", w.Name, s.Clones, attempted)
+		}
+		if s.ClonesAvoided != avoided {
+			t.Errorf("%s: ClonesAvoided = %d, want %d", w.Name, s.ClonesAvoided, avoided)
+		}
+		if s.Analyses != analyzed+s.Reanalyses {
+			t.Errorf("%s: Analyses = %d, want %d reported + %d re-analyses",
+				w.Name, s.Analyses, analyzed, s.Reanalyses)
+		}
+		if s.Rounds < 1 || s.Workers != 1 {
+			t.Errorf("%s: implausible stats %+v", w.Name, s)
+		}
+		if analyzed > 0 && s.Clones >= s.Analyses+1 {
+			// The tentpole's acceptance criterion: strictly fewer clones
+			// than conditionals analyzed (the old driver cloned for every
+			// one, i.e. Clones = Analyses + 1 counting the defensive copy).
+			t.Errorf("%s: %d clones for %d analyses — clone avoidance ineffective",
+				w.Name, s.Clones, s.Analyses)
+		}
+	}
+}

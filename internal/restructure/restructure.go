@@ -20,6 +20,7 @@ package restructure
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"icbe/internal/analysis"
 	"icbe/internal/ir"
@@ -188,14 +189,21 @@ func (r *rest) init() {
 	}
 	// Seed the worklist with every visited node hosting a multi-answer
 	// query (the frontier nodes among them make progress first; the rest
-	// re-check cheaply).
+	// re-check cheaply), in node order: the seeding order decides the split
+	// order and with it the IDs of created nodes, so iterating the map
+	// directly would make the restructured program differ run to run.
+	var seeds []ir.NodeID
 	for id, m := range r.ans {
 		for _, a := range m {
 			if a.Count() > 1 {
-				r.enqueue(id)
+				seeds = append(seeds, id)
 				break
 			}
 		}
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	for _, id := range seeds {
+		r.enqueue(id)
 	}
 }
 
@@ -205,7 +213,18 @@ func (r *rest) init() {
 // continuation query per call site, the TRANS answer class corresponds to
 // exactly one caller-side query and edge fixing is path-precise.
 func (r *rest) checkTransparencyUnambiguous() error {
+	// Sorted pair order so the reported call-site exit is stable.
+	pks := make([]analysis.PairKey, 0, len(r.res.Answers))
 	for pk := range r.res.Answers {
+		pks = append(pks, pk)
+	}
+	sort.Slice(pks, func(i, j int) bool {
+		if pks[i].Node != pks[j].Node {
+			return pks[i].Node < pks[j].Node
+		}
+		return pks[i].Query < pks[j].Query
+	})
+	for _, pk := range pks {
 		node := r.p.Node(pk.Node)
 		if node == nil || node.Kind != ir.NCallExit {
 			continue
