@@ -282,7 +282,7 @@ func BenchmarkOptimizeWorkloads(b *testing.B) {
 			}
 			opts := DefaultOptions()
 			for i := 0; i < b.N; i++ {
-				_, rep := p.Optimize(opts)
+				_, rep, _ := p.Optimize(opts)
 				if rep.Optimized == 0 {
 					b.Fatal("nothing optimized")
 				}

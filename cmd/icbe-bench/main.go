@@ -32,9 +32,13 @@ func main() {
 		workload  = flag.String("workload", "", "restrict to one workload by name")
 		termLim   = flag.Int("term", experiments.PaperTerminationLimit, "analysis termination limit")
 		workers   = flag.Int("workers", runtime.NumCPU(), "analysis worker goroutines per driver run (1 = serial)")
+		verify    = flag.Bool("verify", false, "shadow-execute every applied restructuring differentially; violations roll back")
+		timeout   = flag.Duration("timeout", 0, "per-driver-run deadline, e.g. 30s (0 = none)")
 	)
 	flag.Parse()
 	experiments.Workers = *workers
+	experiments.Verify = *verify
+	experiments.Timeout = *timeout
 	if !*all && !*table1 && !*table2 && !*fig9 && !*fig10 && !*fig11 && !*headline && !*inlining && !*heuristic {
 		flag.PrintDefaults()
 		os.Exit(2)

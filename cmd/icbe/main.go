@@ -43,6 +43,9 @@ func main() {
 		inliner  = flag.Bool("inline-priorities", false, "rank procedures for correlation-directed inlining")
 		compact  = flag.Bool("compact", false, "contract synthetic no-op nodes after optimization")
 		workers  = flag.Int("workers", runtime.NumCPU(), "analysis worker goroutines for -optimize (1 = serial)")
+		verify   = flag.Bool("verify", false, "differentially shadow-execute after each applied restructuring; violations roll back")
+		timeout  = flag.Duration("timeout", 0, "overall -optimize deadline, e.g. 500ms (0 = none)")
+		branchTO = flag.Duration("branch-timeout", 0, "per-conditional analysis deadline (0 = none)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -69,6 +72,19 @@ func main() {
 	opts.TerminationLimit = *termLim
 	opts.Compact = *compact
 	opts.Workers = *workers
+	opts.Verify = *verify
+	opts.Timeout = *timeout
+	opts.BranchTimeout = *branchTO
+
+	input, err := parseInput(*inputStr)
+	if err != nil {
+		fatal(err)
+	}
+	if *verify && len(input) > 0 {
+		// The -input stream doubles as a workload vector for the shadow
+		// oracle, alongside the built-in ones.
+		opts.VerifyInputs = [][]int64{input}
+	}
 
 	if *doStats {
 		st := prog.Stats()
@@ -104,29 +120,44 @@ func main() {
 	work := prog
 	if *doOpt {
 		var rep *icbe.Report
-		work, rep = prog.Optimize(opts)
+		work, rep, err = prog.Optimize(opts)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("optimized %d conditionals (%d node-query pairs, operations %d -> %d)\n",
 			rep.Optimized, rep.PairsTotal, rep.OperationsBefore, rep.OperationsAfter)
 		if rep.Truncated {
-			fmt.Fprintf(os.Stderr, "icbe: warning: work-queue budget exhausted; some conditionals were not analyzed (see report)\n")
+			fmt.Fprintf(os.Stderr, "icbe: warning: work budget or deadline exhausted; some conditionals were not analyzed (see report)\n")
+		}
+		if fs := rep.FailureSummary(); fs != "" {
+			fmt.Fprintf(os.Stderr, "icbe: warning: contained failures rolled back: %s\n", fs)
 		}
 		if *doReport {
-			fmt.Printf("%6s %10s %8s %6s %8s %8s %8s\n",
+			fmt.Printf("%6s %10s %8s %6s %8s %8s %13s\n",
 				"line", "analyzable", "answers", "full", "dup est", "pairs", "applied")
 			for _, c := range rep.Conditionals {
 				status := fmt.Sprintf("%v", c.Applied)
 				if c.Err != nil {
 					status = "error"
 				}
+				if c.FailureKind != "" {
+					status = c.FailureKind
+				}
 				if c.Skipped {
 					status = "skipped"
+					if c.FailureKind == "timeout" {
+						status = "timeout"
+					}
 				}
-				fmt.Printf("%6d %10v %8s %6v %8d %8d %8s\n",
+				fmt.Printf("%6d %10v %8s %6v %8d %8d %13s\n",
 					c.Line, c.Analyzable, c.Answers, c.Full, c.DupEstimate, c.PairsProcessed, status)
 			}
 			s := rep.Stats
 			fmt.Printf("driver: %d workers, %d rounds, %d analyses (%d re-analyses), %d clones (%d avoided), analysis %v, apply %v\n",
 				s.Workers, s.Rounds, s.Analyses, s.Reanalyses, s.Clones, s.ClonesAvoided, s.AnalysisWall, s.ApplyWall)
+			if s.VerifyRuns > 0 {
+				fmt.Printf("verify: %d shadow runs, %v\n", s.VerifyRuns, s.VerifyWall)
+			}
 		}
 	}
 
@@ -137,10 +168,6 @@ func main() {
 		fmt.Print(work.Dot())
 	}
 	if *doRun {
-		input, err := parseInput(*inputStr)
-		if err != nil {
-			fatal(err)
-		}
 		res, err := work.Run(input)
 		if err != nil {
 			fatal(err)

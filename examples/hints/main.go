@@ -91,7 +91,10 @@ func main() {
 	}
 
 	// And, for reference, what ICBE itself would do.
-	opt, rep := prog.Optimize(icbe.DefaultOptions())
+	opt, rep, err := prog.Optimize(icbe.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 	after, _ := opt.Run([]int64{100, -5, 700, 2000, 3, -1})
 	before, _ := prog.Run([]int64{100, -5, 700, 2000, 3, -1})
 	fmt.Printf("\nICBE: optimized %d conditionals, executed conditionals %d -> %d\n",

@@ -77,7 +77,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt, report := prog.Optimize(icbe.DefaultOptions())
+	opt, report, err := prog.Optimize(icbe.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 	after, err := opt.Run(input)
 	if err != nil {
 		log.Fatal(err)

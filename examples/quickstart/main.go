@@ -52,7 +52,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt, report := prog.Optimize(icbe.DefaultOptions())
+	opt, report, err := prog.Optimize(icbe.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("optimized %d conditionals; static operations %d -> %d\n",
 		report.Optimized, report.OperationsBefore, report.OperationsAfter)
 	for _, c := range report.Conditionals {

@@ -1,0 +1,82 @@
+package icbe
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"icbe/internal/interp"
+	"icbe/internal/randprog"
+)
+
+// fuzzConfig keeps generated programs small enough for tight fuzz
+// iterations while still exercising interprocedural correlation.
+var fuzzConfig = randprog.Config{Procs: 3, MaxStmts: 4, MaxDepth: 2}
+
+// fuzzStepBudget bounds each differential run. Generated programs always
+// terminate (randprog bounds its loops), so hitting the budget means the
+// input is merely slow and is skipped, not failed.
+const fuzzStepBudget = 2_000_000
+
+// FuzzOptimize feeds randomly generated (always-valid, always-terminating)
+// MiniC programs through the full optimize pipeline with the shadow oracle
+// enabled and cross-checks the paper's §3.2 guarantee independently:
+// identical output and no executed-operation growth on every input vector.
+func FuzzOptimize(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 2, 3, 7, 11, 42, 99, 1234, 0xdeadbeef} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		src := randprog.Generate(seed, fuzzConfig)
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("generated program rejected: %v\n%s", err, src)
+		}
+		opts := DefaultOptions()
+		opts.Verify = true
+		opts.Timeout = 30 * time.Second
+		opt, rep, err := p.Optimize(opts)
+		if err != nil {
+			t.Fatalf("Optimize error: %v\n%s", err, src)
+		}
+		// A contained non-timeout failure means a gate caught the optimizer
+		// producing a bad program — exactly what fuzzing is here to surface.
+		for kind, n := range rep.Stats.Failures {
+			if kind != "timeout" {
+				t.Fatalf("%d contained %s failure(s) on seed %d:\n%s", n, kind, seed, src)
+			}
+		}
+
+		// Independent differential check, not trusting the driver's own
+		// oracle: same output, never more executed operations.
+		inputs := [][]int64{nil, {1, 2, 3}, {-5, 0, 7, 9, 1 << 40}}
+		for _, in := range inputs {
+			pre, preErr := interp.Run(p.g, interp.Options{Input: in, MaxSteps: fuzzStepBudget})
+			if errors.Is(preErr, interp.ErrStepLimit) {
+				continue // too slow to compare, not wrong
+			}
+			post, postErr := interp.Run(opt.g, interp.Options{Input: in, MaxSteps: fuzzStepBudget})
+			if (preErr != nil) != (postErr != nil) {
+				t.Fatalf("fault behavior changed on input %v: pre=%v post=%v\n%s",
+					in, preErr, postErr, src)
+			}
+			if preErr != nil {
+				continue
+			}
+			if len(pre.Output) != len(post.Output) {
+				t.Fatalf("output length changed on input %v: %v vs %v\n%s",
+					in, pre.Output, post.Output, src)
+			}
+			for i := range pre.Output {
+				if pre.Output[i] != post.Output[i] {
+					t.Fatalf("output changed on input %v at %d: %v vs %v\n%s",
+						in, i, pre.Output, post.Output, src)
+				}
+			}
+			if post.Operations > pre.Operations {
+				t.Fatalf("executed operations grew on input %v: %d -> %d\n%s",
+					in, pre.Operations, post.Operations, src)
+			}
+		}
+	})
+}

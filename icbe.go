@@ -19,13 +19,16 @@
 //
 //	prog, err := icbe.Compile(src)
 //	before, _ := prog.Run(input)
-//	opt, report := prog.Optimize(icbe.DefaultOptions())
+//	opt, report, err := prog.Optimize(icbe.DefaultOptions())
 //	after, _ := opt.Run(input)
 //	// identical output, fewer executed conditional branches
 package icbe
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
+	"sort"
 	"time"
 
 	"icbe/internal/analysis"
@@ -39,8 +42,15 @@ type Program struct {
 	g *ir.Program
 }
 
-// Compile parses, checks, and lowers MiniC source text.
-func Compile(src string) (*Program, error) {
+// Compile parses, checks, and lowers MiniC source text. Library callers
+// always get an error for bad input, never a crash: an internal panic in
+// the front end is recovered at this boundary.
+func Compile(src string) (p *Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, fmt.Errorf("icbe: internal error compiling program: %v\n%s", r, debug.Stack())
+		}
+	}()
 	g, err := ir.Build(src)
 	if err != nil {
 		return nil, err
@@ -149,6 +159,23 @@ type Options struct {
 	// CPUs. The optimized program and the report are identical for every
 	// worker count (the wall-clock fields of Report.Stats aside).
 	Workers int
+	// Verify enables differential shadow execution after every applied
+	// restructuring: the pre- and post-apply programs are run over
+	// VerifyInputs plus built-in input vectors, and any output difference
+	// or growth in executed operations rolls that restructuring back with
+	// a typed failure on its CondReport. Costs several interpreter runs
+	// per applied conditional (see Report.Stats.VerifyRuns).
+	Verify bool
+	// VerifyInputs supplies workload input streams for Verify.
+	VerifyInputs [][]int64
+	// Timeout bounds the whole optimization run (0 = none). On expiry the
+	// program optimized so far is returned and still-queued conditionals
+	// are reported Skipped with a "timeout" failure.
+	Timeout time.Duration
+	// BranchTimeout bounds each conditional's analysis (0 = none).
+	BranchTimeout time.Duration
+	// Ctx cancels the optimization run early (nil = context.Background()).
+	Ctx context.Context
 }
 
 // DefaultOptions returns the paper's main configuration: interprocedural
@@ -192,9 +219,16 @@ type CondReport struct {
 	// paths.
 	Applied bool
 	// Skipped reports that the branch was still queued when the driver's
-	// work cap was reached and was never analyzed (see Report.Truncated).
+	// work cap was reached or its deadline expired and was never analyzed
+	// (see Report.Truncated).
 	Skipped bool
-	// Err holds the restructuring failure, if any.
+	// FailureKind categorizes a contained failure that rolled this
+	// branch's optimization back: "panic", "validate", "diff-mismatch",
+	// "op-growth" or "timeout"; empty when none. The program returned by
+	// Optimize never includes a restructuring that failed a gate.
+	FailureKind string
+	// Err holds the restructuring failure, if any (the detailed
+	// BranchFailure when FailureKind is set).
 	Err error
 }
 
@@ -216,6 +250,14 @@ type DriverStats struct {
 	// analyzed conditionals that needed none.
 	Clones        int
 	ClonesAvoided int
+	// Failures counts contained per-conditional failures by category
+	// ("panic", "validate", "diff-mismatch", "op-growth", "timeout"); nil
+	// when the run had none. Every counted failure was rolled back.
+	Failures map[string]int
+	// VerifyRuns counts shadow executions performed by the differential
+	// oracle (Options.Verify); VerifyWall is their summed wall time.
+	VerifyRuns int
+	VerifyWall time.Duration
 	// AnalysisWall and ApplyWall are the summed wall-clock times of the
 	// concurrent analysis phases and the serial apply phases.
 	AnalysisWall time.Duration
@@ -243,17 +285,34 @@ type Report struct {
 // analyzed concurrently against program snapshots (Options.Workers) and the
 // accepted restructurings applied serially. The receiver is unmodified; the
 // optimized program is returned and is identical for every worker count.
-func (p *Program) Optimize(opts Options) (*Program, *Report) {
+//
+// The driver is transactional: a conditional whose restructuring panics,
+// fails validation, or (with Options.Verify) diverges under shadow
+// execution is rolled back and reported with a FailureKind while the other
+// conditionals still optimize. A panic escaping the driver itself is
+// recovered here and returned as an error — library callers never crash.
+func (p *Program) Optimize(opts Options) (op *Program, rep *Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			op, rep = nil, nil
+			err = fmt.Errorf("icbe: internal error optimizing program: %v\n%s", r, debug.Stack())
+		}
+	}()
 	dr := restructure.Optimize(p.g, restructure.DriverOptions{
 		Analysis:       opts.analysisOpts(),
 		MaxDuplication: opts.MaxDuplication,
 		FullOnly:       opts.FullOnly,
 		Workers:        opts.Workers,
+		Verify:         opts.Verify,
+		VerifyInputs:   opts.VerifyInputs,
+		Timeout:        opts.Timeout,
+		BranchTimeout:  opts.BranchTimeout,
+		Ctx:            opts.Ctx,
 	})
 	if opts.Compact {
 		ir.Simplify(dr.Program)
 	}
-	rep := &Report{
+	rep = &Report{
 		Optimized:        dr.Optimized,
 		PairsTotal:       dr.PairsTotal,
 		OperationsBefore: ir.Collect(p.g).Operations,
@@ -266,12 +325,20 @@ func (p *Program) Optimize(opts Options) (*Program, *Report) {
 			Reanalyses:    dr.Stats.Reanalyses,
 			Clones:        dr.Stats.Clones,
 			ClonesAvoided: dr.Stats.ClonesAvoided,
+			VerifyRuns:    dr.Stats.VerifyRuns,
+			VerifyWall:    dr.Stats.VerifyWall,
 			AnalysisWall:  dr.Stats.AnalysisWall,
 			ApplyWall:     dr.Stats.ApplyWall,
 		},
 	}
+	for kind, n := range dr.Stats.Failures {
+		if rep.Stats.Failures == nil {
+			rep.Stats.Failures = make(map[string]int, len(dr.Stats.Failures))
+		}
+		rep.Stats.Failures[kind.String()] = n
+	}
 	for _, r := range dr.Reports {
-		rep.Conditionals = append(rep.Conditionals, CondReport{
+		c := CondReport{
 			Line:           r.Line,
 			Analyzable:     r.Analyzable,
 			Correlated:     r.Answers&(analysis.AnsTrue|analysis.AnsFalse) != 0,
@@ -282,9 +349,34 @@ func (p *Program) Optimize(opts Options) (*Program, *Report) {
 			Applied:        r.Applied,
 			Skipped:        r.Skipped,
 			Err:            r.Err,
-		})
+		}
+		if r.Failure != nil {
+			c.FailureKind = r.Failure.Kind.String()
+		}
+		rep.Conditionals = append(rep.Conditionals, c)
 	}
-	return &Program{g: dr.Program}, rep
+	return &Program{g: dr.Program}, rep, nil
+}
+
+// FailureSummary renders the report's contained-failure counts as a stable
+// one-line string ("2 validate, 1 timeout"), or "" when the run had none.
+func (r *Report) FailureSummary() string {
+	if len(r.Stats.Failures) == 0 {
+		return ""
+	}
+	kinds := make([]string, 0, len(r.Stats.Failures))
+	for k := range r.Stats.Failures {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	s := ""
+	for i, k := range kinds {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%d %s", r.Stats.Failures[k], k)
+	}
+	return s
 }
 
 // PredictionHint tells a branch predictor which earlier program point

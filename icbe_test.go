@@ -55,7 +55,10 @@ func TestOptimizeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, rep := p.Optimize(DefaultOptions())
+	opt, rep, err := p.Optimize(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Optimized == 0 {
 		t.Fatal("nothing optimized")
 	}
@@ -95,8 +98,8 @@ func TestOptimizeEndToEnd(t *testing.T) {
 
 func TestIntraBaselineWeaker(t *testing.T) {
 	p, _ := Compile(apiDemoSrc)
-	_, repIntra := p.Optimize(IntraOptions())
-	_, repInter := p.Optimize(DefaultOptions())
+	_, repIntra, _ := p.Optimize(IntraOptions())
+	_, repInter, _ := p.Optimize(DefaultOptions())
 	if repIntra.Optimized >= repInter.Optimized {
 		t.Errorf("intra %d >= inter %d", repIntra.Optimized, repInter.Optimized)
 	}
@@ -205,8 +208,8 @@ func TestCompactOption(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.Compact = true
-	opt, _ := p.Optimize(opts)
-	optPlain, _ := p.Optimize(DefaultOptions())
+	opt, _, _ := p.Optimize(opts)
+	optPlain, _, _ := p.Optimize(DefaultOptions())
 	if opt.Stats().Nodes >= optPlain.Stats().Nodes {
 		t.Errorf("compaction did not shrink nodes: %d vs %d", opt.Stats().Nodes, optPlain.Stats().Nodes)
 	}
@@ -229,11 +232,17 @@ func TestOptimizeWorkersDeterminismAndStats(t *testing.T) {
 	}
 	serialOpts := DefaultOptions()
 	serialOpts.Workers = 1
-	serial, srep := p.Optimize(serialOpts)
+	serial, srep, err := p.Optimize(serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	parOpts := DefaultOptions()
 	parOpts.Workers = 8
-	par, prep := p.Optimize(parOpts)
+	par, prep, err := p.Optimize(parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if serial.Dump() != par.Dump() {
 		t.Error("Workers=1 and Workers=8 produced different programs")

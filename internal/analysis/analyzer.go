@@ -122,6 +122,12 @@ type Result struct {
 	// Truncated reports that the termination limit was reached and pending
 	// queries were conservatively resolved UNDEF.
 	Truncated bool
+	// Interrupted reports that an interrupt callback (a deadline or a
+	// cancelled context threaded in by the driver) stopped propagation
+	// early. Interrupted results are still sound — pending queries resolved
+	// UNDEF exactly as under the termination limit — but incomplete, and
+	// the driver declines to restructure from them.
+	Interrupted bool
 	// CacheHits counts pairs answered from the cross-conditional cache
 	// (only with Options.CacheAnswers).
 	CacheHits int
@@ -156,26 +162,38 @@ func (r *Result) QueryByID(id int) *Query { return r.queries[id] }
 func (r *Result) SNEs() []*SNE { return r.snes }
 
 type run struct {
-	a        *Analyzer
-	p        *ir.Program
-	res      *Result
-	intern   map[queryKey]*Query
-	sneByKey map[queryKey]*SNE // keyed by (exit, var, pred); owner field unused
-	worklist []PairKey
-	raised   map[PairKey]bool
+	a         *Analyzer
+	p         *ir.Program
+	res       *Result
+	intern    map[queryKey]*Query
+	sneByKey  map[queryKey]*SNE // keyed by (exit, var, pred); owner field unused
+	worklist  []PairKey
+	raised    map[PairKey]bool
+	interrupt func() bool // nil = never; polled during propagation
 }
 
 // AnalyzeBranch runs the demand-driven analysis for one conditional. It
 // returns nil when the branch is not of the analyzable (var relop const)
 // form.
 func (a *Analyzer) AnalyzeBranch(b ir.NodeID) *Result {
+	return a.AnalyzeBranchInterruptible(b, nil)
+}
+
+// AnalyzeBranchInterruptible is AnalyzeBranch with a cooperative stop
+// condition: interrupt (when non-nil) is polled periodically during query
+// propagation, and when it reports true the run stops early exactly like
+// the termination limit — pending queries resolve UNDEF, the result is
+// marked Truncated and Interrupted — so a per-branch deadline or a
+// cancelled context bounds the analysis without losing soundness.
+func (a *Analyzer) AnalyzeBranchInterruptible(b ir.NodeID, interrupt func() bool) *Result {
 	node := a.Prog.Node(b)
 	if node == nil || !node.Analyzable() {
 		return nil
 	}
 	r := &run{
-		a: a,
-		p: a.Prog,
+		interrupt: interrupt,
+		a:         a,
+		p:         a.Prog,
 		res: &Result{
 			Cond:     b,
 			Queries:  make(map[ir.NodeID][]*Query),
@@ -274,15 +292,17 @@ func (r *run) propagate() {
 		limit = hardLimit
 	}
 	for len(r.worklist) > 0 {
+		// Poll the interrupt every 64 pairs: often enough that a deadline
+		// cuts a diverging propagation within microseconds, rarely enough
+		// that the time.Now() inside typical interrupt closures stays off
+		// the hot path.
+		if r.interrupt != nil && r.res.PairsProcessed&63 == 0 && r.interrupt() {
+			r.res.Interrupted = true
+			r.stopEarly()
+			return
+		}
 		if limit > 0 && r.res.PairsProcessed >= limit {
-			r.res.Truncated = true
-			// Conservatively resolve everything still pending to UNDEF.
-			for _, pk := range r.worklist {
-				if _, ok := r.res.Resolved[pk]; !ok {
-					r.resolve(pk, AnsUndef)
-				}
-			}
-			r.worklist = nil
+			r.stopEarly()
 			return
 		}
 		pk := r.worklist[0]
@@ -290,6 +310,19 @@ func (r *run) propagate() {
 		r.res.PairsProcessed++
 		r.process(pk)
 	}
+}
+
+// stopEarly abandons propagation soundly: every pending pair is
+// conservatively resolved UNDEF and the result marked Truncated (the
+// paper's cutoff rule, shared by the termination limit and interrupts).
+func (r *run) stopEarly() {
+	r.res.Truncated = true
+	for _, pk := range r.worklist {
+		if _, ok := r.res.Resolved[pk]; !ok {
+			r.resolve(pk, AnsUndef)
+		}
+	}
+	r.worklist = nil
 }
 
 func (r *run) process(pk PairKey) {

@@ -17,6 +17,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"icbe/internal/analysis"
 	"icbe/internal/ir"
@@ -49,10 +50,30 @@ func intraOpts(limit int) analysis.Options {
 // knob only affects wall time (cmd/icbe-bench -workers).
 var Workers = 1
 
+// Verify enables the driver's differential shadow-execution oracle for
+// every experiment run (cmd/icbe-bench -verify): each applied
+// restructuring is checked against the paper's identical-output /
+// no-op-growth guarantee and rolled back on violation. Off by default —
+// it multiplies apply cost by the number of shadow runs.
+var Verify = false
+
+// Timeout bounds each driver run an experiment performs (cmd/icbe-bench
+// -timeout); zero means none. Expired runs report their remaining
+// conditionals as skipped with a timeout failure instead of hanging the
+// evaluation.
+var Timeout time.Duration
+
 // driverOpts builds the restructuring driver configuration shared by the
-// experiments, injecting the package-level Workers count.
+// experiments, injecting the package-level Workers / Verify / Timeout
+// knobs.
 func driverOpts(a analysis.Options, dupLimit int) restructure.DriverOptions {
-	return restructure.DriverOptions{Analysis: a, MaxDuplication: dupLimit, Workers: Workers}
+	return restructure.DriverOptions{
+		Analysis:       a,
+		MaxDuplication: dupLimit,
+		Workers:        Workers,
+		Verify:         Verify,
+		Timeout:        Timeout,
+	}
 }
 
 // buildAndProfile compiles a workload and collects its ref profile.

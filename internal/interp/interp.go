@@ -7,6 +7,7 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -27,6 +28,14 @@ type Options struct {
 
 // DefaultMaxSteps bounds runaway executions.
 const DefaultMaxSteps = 50_000_000
+
+// ErrStepLimit categorizes a RuntimeError caused by exhausting
+// Options.MaxSteps. It is exposed as a sentinel so callers can distinguish
+// "the run was too slow for its budget" from genuine faults (nil
+// dereference, division by zero) with errors.Is(err, interp.ErrStepLimit) —
+// the restructuring driver's shadow-execution oracle skips budget-exhausted
+// inputs instead of reporting them as miscompilations.
+var ErrStepLimit = errors.New("step limit exceeded")
 
 // Result summarizes an execution.
 type Result struct {
@@ -49,11 +58,17 @@ type RuntimeError struct {
 	Node ir.NodeID
 	Line int
 	Msg  string
+	// Err, when non-nil, is a sentinel categorizing the failure (currently
+	// only ErrStepLimit); it is returned by Unwrap so errors.Is works.
+	Err error
 }
 
 func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("runtime error at node %d (line %d): %s", e.Node, e.Line, e.Msg)
 }
+
+// Unwrap exposes the categorizing sentinel, if any.
+func (e *RuntimeError) Unwrap() error { return e.Err }
 
 type frame struct {
 	proc     int
@@ -105,7 +120,7 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 		}
 		m.res.Steps++
 		if m.res.Steps > maxSteps {
-			return m.res, &RuntimeError{Node: cur.ID, Line: cur.Line, Msg: "step limit exceeded"}
+			return m.res, &RuntimeError{Node: cur.ID, Line: cur.Line, Msg: "step limit exceeded", Err: ErrStepLimit}
 		}
 		if m.res.ExecCount != nil {
 			m.res.ExecCount[cur.ID]++

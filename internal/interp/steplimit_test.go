@@ -1,0 +1,59 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"icbe/internal/ir"
+)
+
+// TestStepLimitTypedError checks that hitting Options.MaxSteps yields the
+// ErrStepLimit sentinel, reachable through errors.Is and errors.As, so
+// callers (the driver's shadow oracle among them) can tell "too slow" apart
+// from a genuine runtime fault.
+func TestStepLimitTypedError(t *testing.T) {
+	p, err := ir.Build(`func main() { var i = 0; while (i >= 0) { i = i + 1; } }`)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	_, err = Run(p, Options{MaxSteps: 1000})
+	if err == nil {
+		t.Fatal("infinite loop under MaxSteps returned no error")
+	}
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("errors.Is(err, ErrStepLimit) = false for %v", err)
+	}
+	var re *RuntimeError
+	if !errors.As(err, &re) {
+		t.Fatalf("errors.As(*RuntimeError) = false for %T", err)
+	}
+	if re.Unwrap() != ErrStepLimit {
+		t.Fatalf("RuntimeError.Unwrap() = %v, want ErrStepLimit", re.Unwrap())
+	}
+}
+
+// TestGenuineFaultIsNotStepLimit checks that real runtime faults do not
+// satisfy errors.Is(err, ErrStepLimit).
+func TestGenuineFaultIsNotStepLimit(t *testing.T) {
+	srcs := map[string]string{
+		"nil-store": `func main() { var p = 0; p[0] = 1; }`,
+		"div-zero":  `func main() { var z = 0; print(1 / z); }`,
+	}
+	for name, src := range srcs {
+		p, err := ir.Build(src)
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		_, err = Run(p, Options{MaxSteps: 1000})
+		if err == nil {
+			t.Fatalf("%s: expected a runtime fault", name)
+		}
+		if errors.Is(err, ErrStepLimit) {
+			t.Fatalf("%s: genuine fault %v wrongly matches ErrStepLimit", name, err)
+		}
+		var re *RuntimeError
+		if !errors.As(err, &re) {
+			t.Fatalf("%s: fault is not a *RuntimeError: %T", name, err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package minic
+
+import "testing"
+
+// FuzzParse throws arbitrary bytes at the MiniC front end. The parser and
+// checker consume untrusted source: any input may be rejected with an
+// error, none may panic. (Fault isolation for the front end is this plus
+// the recover at the public Compile boundary.)
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"func main() { }",
+		"func main() { print(1); }",
+		"var g = 3; func main() { if (g == 3) { print(g); } }",
+		"func f(a, b) { return a + b; } func main() { print(f(1, 2)); }",
+		"func main() { var i = 0; while (i < 10) { i = i + 1; } print(i); }",
+		"func main() { var p = alloc(4); p[0] = 7; print(p[0]); }",
+		"func main() { print(input()); }",
+		"func main() { if (1 ==",
+		"func main() { var x = ((((1)))); }",
+		"var", "func", "{}", ";;;", "0",
+		"func main() { break; }",
+		"func main() { print(1/0); }",
+		"func main(x) { }",
+		"func f() {} func f() {} func main() {}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Parsed successfully: the checker must also finish without
+		// panicking, whatever it decides.
+		_, _ = Check(prog)
+	})
+}

@@ -222,7 +222,11 @@ func (c *checker) checkStmt(s Stmt) {
 	case *PrintStmt:
 		c.checkExpr(s.Value)
 	default:
-		panic(fmt.Sprintf("minic: unknown statement %T", s))
+		// The front end consumes untrusted source: an AST node this
+		// checker does not know (a parser extension it was not taught, a
+		// hand-built tree) must surface as a source error, never crash
+		// the process.
+		c.errorf(s.Position(), "unsupported statement %T", s)
 	}
 }
 
@@ -247,7 +251,7 @@ func (c *checker) checkExpr(e Expr) {
 		c.info.LoadSyms[e] = c.lookup(e.Ptr, e.Pos)
 		c.checkExpr(e.Index)
 	default:
-		panic(fmt.Sprintf("minic: unknown expression %T", e))
+		c.errorf(e.Position(), "unsupported expression %T", e)
 	}
 }
 

@@ -1,0 +1,54 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// bogusStmt and bogusExpr stand in for AST nodes the checker was never
+// taught — a parser extension or a hand-built tree. The checker must report
+// them as source errors, never panic (the front end consumes untrusted
+// input).
+type bogusStmt struct{}
+
+func (bogusStmt) stmt()         {}
+func (bogusStmt) Position() Pos { return Pos{Line: 3, Col: 7} }
+
+type bogusExpr struct{}
+
+func (bogusExpr) expr()         {}
+func (bogusExpr) Position() Pos { return Pos{Line: 4, Col: 1} }
+
+func TestCheckUnknownStmtIsErrorNotPanic(t *testing.T) {
+	prog := &Program{Procs: []*Proc{{
+		Name: "main",
+		Body: &Block{Stmts: []Stmt{bogusStmt{}}},
+	}}}
+	_, err := Check(prog)
+	if err == nil {
+		t.Fatal("Check accepted an unknown statement node")
+	}
+	if !strings.Contains(err.Error(), "unsupported statement") {
+		t.Fatalf("error %q does not name the unsupported statement", err)
+	}
+	if !strings.Contains(err.Error(), "3:7") {
+		t.Fatalf("error %q lost the node position", err)
+	}
+}
+
+func TestCheckUnknownExprIsErrorNotPanic(t *testing.T) {
+	prog := &Program{Procs: []*Proc{{
+		Name: "main",
+		Body: &Block{Stmts: []Stmt{&PrintStmt{Value: bogusExpr{}}}},
+	}}}
+	_, err := Check(prog)
+	if err == nil {
+		t.Fatal("Check accepted an unknown expression node")
+	}
+	if !strings.Contains(err.Error(), "unsupported expression") {
+		t.Fatalf("error %q does not name the unsupported expression", err)
+	}
+	if !strings.Contains(err.Error(), "4:1") {
+		t.Fatalf("error %q lost the node position", err)
+	}
+}

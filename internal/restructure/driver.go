@@ -1,6 +1,7 @@
 package restructure
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -9,6 +10,16 @@ import (
 
 	"icbe/internal/analysis"
 	"icbe/internal/ir"
+)
+
+// Test-only fault-injection hooks. testHookAnalyze runs at the start of
+// every branch analysis; testHookAfterApply runs on the scratch clone after
+// a successful Eliminate, before the gating oracles, and a non-nil return
+// is treated as a validation failure. Both may panic to exercise the
+// driver's fault isolation. They must be nil outside tests.
+var (
+	testHookAnalyze    func(b ir.NodeID)
+	testHookAfterApply func(scratch *ir.Program, cond ir.NodeID) error
 )
 
 // DriverOptions configures the two-phase optimization driver.
@@ -47,6 +58,27 @@ type DriverOptions struct {
 	// Conditionals still queued when the cap is reached receive a report
 	// entry with Skipped set and DriverResult.Truncated is raised.
 	MaxWork int
+	// Ctx cancels the driver run: when it expires, still-queued
+	// conditionals are reported Skipped with a timeout failure, exactly
+	// like the MaxWork path, and the program optimized so far is returned.
+	// nil means context.Background().
+	Ctx context.Context
+	// Timeout is the overall driver deadline layered onto Ctx (0 = none).
+	Timeout time.Duration
+	// BranchTimeout bounds each conditional's analysis (0 = none). A
+	// branch whose analysis deadline expires is reported with a timeout
+	// failure and left unoptimized; the driver moves on.
+	BranchTimeout time.Duration
+	// Verify enables the differential shadow-execution oracle: after each
+	// applied restructuring the pre- and post-apply programs are run over
+	// VerifyInputs plus built-in input vectors, and any output difference
+	// or operation-count growth rolls the apply back with a typed failure.
+	// Verification multiplies apply cost by the number of shadow runs; see
+	// DriverStats.VerifyRuns / VerifyWall.
+	Verify bool
+	// VerifyInputs supplies workload input vectors for Verify, checked in
+	// addition to the built-in vectors.
+	VerifyInputs [][]int64
 }
 
 // CondReport records the per-conditional outcome of a driver run.
@@ -72,9 +104,17 @@ type CondReport struct {
 	// Removed counts eliminated branch copies when applied.
 	Removed int
 	// Skipped reports that the branch was still queued when the driver's
-	// work cap (DriverOptions.MaxWork) was reached and was never analyzed.
+	// work cap (DriverOptions.MaxWork) was reached or its deadline expired
+	// and was never analyzed.
 	Skipped bool
+	// Failure records a contained failure (panic, validation or shadow
+	// oracle violation, deadline) that rolled this branch's optimization
+	// back. The working program is unaffected; other branches still
+	// optimize.
+	Failure *BranchFailure
 	// Err records a restructuring failure (the program is left untouched).
+	// When Failure is set, Err carries the same value; Err without Failure
+	// is a graceful decline by Eliminate (e.g. ambiguous transparency).
 	Err error
 }
 
@@ -99,11 +139,19 @@ type DriverStats struct {
 	// attempted for them.
 	Clones        int
 	ClonesAvoided int
+	// Failures counts contained per-conditional failures by category; nil
+	// when the run had none. Every counted failure was rolled back and
+	// carries a CondReport entry with its BranchFailure.
+	Failures map[FailureKind]int
+	// VerifyRuns counts shadow executions performed by the differential
+	// oracle (DriverOptions.Verify); VerifyWall is their summed wall time.
+	VerifyRuns int
 	// AnalysisWall and ApplyWall sum the wall-clock time of the analysis
-	// phases and the serial apply phases. They are the only
+	// phases and the serial apply phases. They and VerifyWall are the only
 	// nondeterministic fields of a driver result.
 	AnalysisWall time.Duration
 	ApplyWall    time.Duration
+	VerifyWall   time.Duration
 }
 
 // DriverResult is the outcome of optimizing a whole program.
@@ -148,6 +196,13 @@ type condResult struct {
 // visited node set intersects the changed nodes are re-analyzed in the next
 // round. The input program is left unmodified, and the result is identical
 // for every worker count.
+//
+// The driver is transactional and fault-isolated: each apply runs on a
+// scratch clone and is adopted only after it passes ir.Validate (and, with
+// Verify, differential shadow execution); a panic in analysis or
+// restructuring is recovered into a typed BranchFailure on that
+// conditional's report. The driver may refuse to optimize a branch, but it
+// never crashes and never emits a program that failed a gate.
 func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 	workers := opts.Workers
 	if workers < 0 {
@@ -158,6 +213,15 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 	}
 	aopts := opts.Analysis
 	aopts.CacheAnswers = false
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 
 	out := &DriverResult{}
 	out.Stats.Workers = workers
@@ -182,7 +246,7 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 		budget = 8*len(queue) + 64
 	}
 
-	for len(queue) > 0 && budget > 0 {
+	for len(queue) > 0 && budget > 0 && ctx.Err() == nil {
 		batch := queue
 		if len(batch) > budget {
 			batch = batch[:budget]
@@ -194,7 +258,7 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 		// Phase 1: concurrent, read-only analysis of the whole batch
 		// against the immutable snapshot. One analyzer is shared so the
 		// MOD summaries are computed once per round.
-		results := analyzeBatch(work, batch, aopts, opts, workers, &out.Stats)
+		results := analyzeBatch(ctx, work, batch, aopts, opts, workers, &out.Stats)
 
 		// Phase 2: serial application in batch order. dirty accumulates
 		// the nodes changed by restructurings applied this round; a later
@@ -207,6 +271,22 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 			cr := &results[i]
 			if !cr.live {
 				// Consumed by an earlier restructuring.
+				continue
+			}
+			if ctx.Err() != nil {
+				// Deadline expired mid-apply: everything still unsettled
+				// is requeued and reported Skipped below.
+				next = append(next, cr.b)
+				continue
+			}
+			if cr.rep.Failure != nil {
+				// The analysis phase contained a panic or hit its branch
+				// deadline; report the refusal and move on.
+				out.Stats.countFailure(cr.rep.Failure.Kind)
+				if cr.res != nil {
+					out.PairsTotal += cr.res.PairsProcessed
+				}
+				out.Reports = append(out.Reports, cr.rep)
 				continue
 			}
 			if cr.res == nil {
@@ -225,15 +305,22 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 				out.Reports = append(out.Reports, cr.rep)
 				continue
 			}
-			// Attempt the restructuring on a scratch clone so a failure
-			// cannot corrupt the working program. This is the only place
-			// the driver clones after the initial defensive copy.
+			// Attempt the restructuring on a scratch clone so a failure —
+			// including a panic or a gate violation — cannot corrupt the
+			// working program. This is the only place the driver clones
+			// after the initial defensive copy. Adopting the clone is the
+			// commit point; every earlier exit rolls back by discarding it.
 			scratch := ir.Clone(work)
 			out.Stats.Clones++
-			oc, err := Eliminate(scratch, cr.res)
-			if err != nil {
-				cr.rep.Err = err
-			} else {
+			oc, declined, fail := applyOne(work, scratch, cr, opts, &out.Stats)
+			switch {
+			case fail != nil:
+				cr.rep.Failure = fail
+				cr.rep.Err = fail
+				out.Stats.countFailure(fail.Kind)
+			case declined != nil:
+				cr.rep.Err = declined
+			default:
 				cr.rep.Applied = true
 				cr.rep.Removed = oc.BranchCopiesRemoved
 				out.Optimized++
@@ -255,32 +342,80 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 		queue = append(append([]ir.NodeID(nil), overflow...), next...)
 	}
 
-	// Work cap reached with conditionals still queued: report every
-	// still-live skipped branch instead of dropping it silently.
+	// Work cap reached or deadline expired with conditionals still queued:
+	// report every still-live skipped branch instead of dropping it
+	// silently, tagging deadline victims with a timeout failure.
+	timedOut := ctx.Err() != nil
 	for _, b := range queue {
 		node := work.Node(b)
 		if node == nil || node.Kind != ir.NBranch {
 			continue
 		}
-		out.Reports = append(out.Reports, CondReport{
+		rep := CondReport{
 			Cond:       b,
 			Line:       node.Line,
 			Analyzable: node.Analyzable(),
 			Skipped:    true,
-		})
+		}
+		if timedOut {
+			f := &BranchFailure{Kind: FailTimeout, Cond: b, Line: node.Line,
+				Msg: "driver deadline expired before this conditional was settled"}
+			rep.Failure, rep.Err = f, f
+			out.Stats.countFailure(FailTimeout)
+		}
+		out.Reports = append(out.Reports, rep)
 		out.Truncated = true
 	}
 	out.Program = work
 	return out
 }
 
+// applyOne performs one transactional restructuring attempt on the scratch
+// clone. It returns the outcome to commit, a graceful decline from
+// Eliminate, or a typed failure (panic, validation, shadow-oracle
+// violation) — in every non-commit case the caller simply discards the
+// scratch clone, which is the rollback.
+func applyOne(work, scratch *ir.Program, cr *condResult, opts DriverOptions,
+	stats *DriverStats) (oc *Outcome, declined error, fail *BranchFailure) {
+	defer func() {
+		if r := recover(); r != nil {
+			oc, declined = nil, nil
+			fail = panicFailure(cr.b, cr.rep.Line, r)
+		}
+	}()
+	oc, err := Eliminate(scratch, cr.res)
+	if err != nil {
+		return nil, err, nil
+	}
+	if testHookAfterApply != nil {
+		if err := testHookAfterApply(scratch, cr.b); err != nil {
+			return nil, nil, &BranchFailure{Kind: FailValidate, Cond: cr.b, Line: cr.rep.Line,
+				Msg: "injected validation failure", Err: err}
+		}
+	}
+	if err := ir.Validate(scratch); err != nil {
+		return nil, nil, &BranchFailure{Kind: FailValidate, Cond: cr.b, Line: cr.rep.Line,
+			Msg: "restructured program failed structural validation", Err: err}
+	}
+	if opts.Verify {
+		if f := verifyShadow(work, scratch, verifyInputs(opts), stats); f != nil {
+			f.Cond, f.Line = cr.b, cr.rep.Line
+			return nil, nil, f
+		}
+	}
+	return oc, nil, nil
+}
+
 // analyzeBatch runs the analysis phase for one round: every batched
 // conditional is analyzed against the snapshot and gated, concurrently when
 // workers > 1. The snapshot is never written, AnalyzeBranch keeps its state
 // in the per-call run, and each worker writes only its own results slot, so
-// the outcome is independent of scheduling.
-func analyzeBatch(snapshot *ir.Program, batch []ir.NodeID, aopts analysis.Options,
-	opts DriverOptions, workers int, stats *DriverStats) []condResult {
+// the outcome is independent of scheduling. A panic during one branch's
+// analysis is recovered into a timeout-safe typed failure on that branch
+// alone; the per-branch deadline (DriverOptions.BranchTimeout) and the
+// driver context interrupt propagation cooperatively.
+func analyzeBatch(ctx context.Context, snapshot *ir.Program, batch []ir.NodeID,
+	aopts analysis.Options, opts DriverOptions, workers int, stats *DriverStats) []condResult {
 	t0 := time.Now()
 	an := analysis.New(snapshot, aopts)
 	results := make([]condResult, len(batch))
@@ -288,6 +423,13 @@ func analyzeBatch(snapshot *ir.Program, batch []ir.NodeID, aopts analysis.Option
 		cr := &results[i]
 		cr.b = batch[i]
 		cr.rep = CondReport{Cond: cr.b}
+		defer func() {
+			if r := recover(); r != nil {
+				f := panicFailure(cr.b, cr.rep.Line, r)
+				cr.res, cr.apply = nil, false
+				cr.rep.Failure, cr.rep.Err = f, f
+			}
+		}()
 		node := snapshot.Node(cr.b)
 		if node == nil || node.Kind != ir.NBranch {
 			return
@@ -298,8 +440,29 @@ func analyzeBatch(snapshot *ir.Program, batch []ir.NodeID, aopts analysis.Option
 			return
 		}
 		cr.rep.Analyzable = true
-		res := an.AnalyzeBranch(cr.b)
+		if testHookAnalyze != nil {
+			testHookAnalyze(cr.b)
+		}
+		var interrupt func() bool
+		if opts.BranchTimeout > 0 || ctx.Done() != nil {
+			deadline := time.Now().Add(opts.BranchTimeout)
+			interrupt = func() bool {
+				if ctx.Err() != nil {
+					return true
+				}
+				return opts.BranchTimeout > 0 && time.Now().After(deadline)
+			}
+		}
+		res := an.AnalyzeBranchInterruptible(cr.b, interrupt)
 		if res == nil {
+			return
+		}
+		if res.Interrupted {
+			f := &BranchFailure{Kind: FailTimeout, Cond: cr.b, Line: cr.rep.Line,
+				Msg: "analysis deadline expired; pending queries resolved UNDEF"}
+			cr.res = res
+			cr.rep.PairsProcessed = res.PairsProcessed
+			cr.rep.Failure, cr.rep.Err = f, f
 			return
 		}
 		cr.res = res

@@ -1,0 +1,116 @@
+package restructure
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"icbe/internal/interp"
+	"icbe/internal/ir"
+)
+
+// verifyMaxSteps bounds each shadow run of the pre-apply program so
+// verification cannot stall the driver on a slow workload; inputs whose
+// original run exhausts the budget are skipped, not failed (the step-limit
+// error is typed, so "too slow" never masquerades as "wrong").
+const verifyMaxSteps = 2_000_000
+
+// verifyShadow differentially executes the pre- and post-apply programs
+// over the given inputs and returns a typed failure when the restructuring
+// violated the paper's guarantee: output must be identical and the
+// optimized program must never execute more operations (§3.2). Fault
+// behaviour must be preserved too — a run that faults must keep faulting,
+// with the same output prefix.
+func verifyShadow(pre, post *ir.Program, inputs [][]int64, stats *DriverStats) *BranchFailure {
+	t0 := time.Now()
+	defer func() { stats.VerifyWall += time.Since(t0) }()
+	for _, in := range inputs {
+		stats.VerifyRuns++
+		preRes, preErr := interp.Run(pre, interp.Options{Input: in, MaxSteps: verifyMaxSteps})
+		if errors.Is(preErr, interp.ErrStepLimit) {
+			// The original program is too slow for the shadow budget on
+			// this input; there is nothing sound to compare against.
+			continue
+		}
+		// Steps count synthetic nodes too, which restructuring may add
+		// even though operations never grow, so the post budget is the
+		// original's step count with generous slack rather than an equal
+		// bound.
+		postRes, postErr := interp.Run(post, interp.Options{Input: in, MaxSteps: 2*preRes.Steps + 4096})
+		if errors.Is(postErr, interp.ErrStepLimit) {
+			return &BranchFailure{Kind: FailOpGrowth, Msg: fmt.Sprintf(
+				"shadow run exceeded its step budget on input %v (original: %d steps)", in, preRes.Steps)}
+		}
+		if (preErr != nil) != (postErr != nil) {
+			return &BranchFailure{Kind: FailDiffMismatch, Err: firstErr(preErr, postErr), Msg: fmt.Sprintf(
+				"fault behaviour changed on input %v (original error: %v, optimized error: %v)", in, preErr, postErr)}
+		}
+		if !equalInt64s(preRes.Output, postRes.Output) {
+			return &BranchFailure{Kind: FailDiffMismatch, Msg: fmt.Sprintf(
+				"output changed on input %v: %v -> %v", in, preRes.Output, postRes.Output)}
+		}
+		if postRes.Operations > preRes.Operations {
+			return &BranchFailure{Kind: FailOpGrowth, Msg: fmt.Sprintf(
+				"executed operations grew on input %v: %d -> %d", in, preRes.Operations, postRes.Operations)}
+		}
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func equalInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyInputs builds the shadow-execution input set: the caller's
+// workload vectors first, then the built-in vectors that cover the EOF
+// model (empty stream), boundary values, and pseudo-random streams.
+func verifyInputs(opts DriverOptions) [][]int64 {
+	out := append([][]int64(nil), opts.VerifyInputs...)
+	out = append(out,
+		nil,
+		[]int64{0},
+		[]int64{1, 2, 3, 4, 5, 6, 7, 8},
+		[]int64{-1, -2, -3, 0, 1, -128, 255, 256},
+	)
+	// Pseudo-random vectors from the same splitmix64 generator randprog
+	// uses, so the fuzz harness and the driver probe comparable input
+	// distributions. Fixed seeds keep driver results reproducible.
+	for _, sv := range []struct {
+		seed uint64
+		n    int
+	}{{3, 6}, {17, 11}, {99, 17}} {
+		out = append(out, splitmixInputs(sv.seed, sv.n))
+	}
+	return out
+}
+
+func splitmixInputs(seed uint64, n int) []int64 {
+	s := seed*2654435761 + 1
+	v := make([]int64, n)
+	for i := range v {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		v[i] = int64(z%257) - 128
+	}
+	return v
+}
