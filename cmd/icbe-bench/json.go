@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"icbe/internal/analysis"
+	"icbe/internal/experiments"
+	"icbe/internal/ir"
+	"icbe/internal/progs"
+	"icbe/internal/restructure"
+)
+
+// benchRecord is one benchmark's measurement in the BENCH_<n>.json output:
+// the same quantities `go test -bench` reports (ns/op, allocs/op, B/op) plus
+// the analysis throughput in node-query pairs per second, so the perf
+// trajectory across PRs diffs as data instead of prose.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	PairsPerOp  int     `json:"pairs_per_op"`
+	PairsPerSec float64 `json:"pairs_per_sec"`
+}
+
+// benchFile is the top-level BENCH_<n>.json document.
+type benchFile struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// measure times fn like a testing.B loop: one untimed warm-up (so pools and
+// memos reach their steady state, as in a long-lived process), then repeated
+// runs until a fixed wall budget. Allocation counts come from the runtime's
+// Mallocs/TotalAlloc deltas across the timed window.
+func measure(name string, fn func() (pairs int, err error)) (benchRecord, error) {
+	pairs, err := fn()
+	if err != nil {
+		return benchRecord{}, fmt.Errorf("%s: %w", name, err)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	const budget = 300 * time.Millisecond
+	iters := 0
+	start := time.Now()
+	var elapsed time.Duration
+	for elapsed < budget && iters < 200 {
+		if _, err := fn(); err != nil {
+			return benchRecord{}, fmt.Errorf("%s: %w", name, err)
+		}
+		iters++
+		elapsed = time.Since(start)
+	}
+	runtime.ReadMemStats(&after)
+	rec := benchRecord{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+		AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(iters),
+		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(iters),
+		PairsPerOp:  pairs,
+	}
+	if elapsed > 0 {
+		rec.PairsPerSec = float64(pairs) * float64(iters) / elapsed.Seconds()
+	}
+	return rec, nil
+}
+
+// writeBenchJSON measures the two acceptance-yardstick benchmarks —
+// the Table 2 analysis sweep and the full optimization driver at one and
+// NumCPU workers, matching BenchmarkTable2 and BenchmarkDriverWorkers in
+// bench_test.go except that the driver runs with the summary-node memo the
+// production driver enables by default — and writes the results to path.
+func writeBenchJSON(path string, ws []*progs.Workload, termLim int) error {
+	out := benchFile{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	rec, err := measure("Table2", func() (int, error) {
+		rows, err := experiments.Table2(ws, termLim)
+		if err != nil {
+			return 0, err
+		}
+		pairs := 0
+		for _, r := range rows {
+			pairs += r.PairsTotal
+		}
+		return pairs, nil
+	})
+	if err != nil {
+		return err
+	}
+	out.Benchmarks = append(out.Benchmarks, rec)
+
+	workerCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		rec, err := measure(fmt.Sprintf("DriverWorkers/workers=%d", workers), func() (int, error) {
+			pairs := 0
+			for _, w := range ws {
+				p, err := ir.Build(w.Source)
+				if err != nil {
+					return 0, err
+				}
+				dr := restructure.Optimize(p, restructure.DriverOptions{
+					Analysis: analysis.Options{Interprocedural: true,
+						ModSummaries: true, MemoSummaries: true, TerminationLimit: 1000},
+					MaxDuplication: 100,
+					Workers:        workers,
+				})
+				pairs += dr.PairsTotal
+			}
+			return pairs, nil
+		})
+		if err != nil {
+			return err
+		}
+		out.Benchmarks = append(out.Benchmarks, rec)
+	}
+
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

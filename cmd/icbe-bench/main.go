@@ -6,6 +6,7 @@
 //	icbe-bench -all
 //	icbe-bench -table1 -table2
 //	icbe-bench -fig11 -workload stdio
+//	icbe-bench -json BENCH_3.json
 package main
 
 import (
@@ -34,12 +35,13 @@ func main() {
 		workers   = flag.Int("workers", runtime.NumCPU(), "analysis worker goroutines per driver run (1 = serial)")
 		verify    = flag.Bool("verify", false, "shadow-execute every applied restructuring differentially; violations roll back")
 		timeout   = flag.Duration("timeout", 0, "per-driver-run deadline, e.g. 30s (0 = none)")
+		jsonOut   = flag.String("json", "", "write machine-readable benchmark measurements (ns/op, allocs/op, pairs/sec) to this file, e.g. BENCH_3.json")
 	)
 	flag.Parse()
 	experiments.Workers = *workers
 	experiments.Verify = *verify
 	experiments.Timeout = *timeout
-	if !*all && !*table1 && !*table2 && !*fig9 && !*fig10 && !*fig11 && !*headline && !*inlining && !*heuristic {
+	if !*all && !*table1 && !*table2 && !*fig9 && !*fig10 && !*fig11 && !*headline && !*inlining && !*heuristic && *jsonOut == "" {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -52,6 +54,10 @@ func main() {
 			os.Exit(1)
 		}
 		ws = []*progs.Workload{w}
+	}
+
+	if *jsonOut != "" {
+		check(writeBenchJSON(*jsonOut, ws, *termLim))
 	}
 
 	if *all || *table1 {

@@ -1,0 +1,145 @@
+package icbe
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"icbe/internal/progs"
+	"icbe/internal/randprog"
+)
+
+// update regenerates the equivalence goldens under testdata/equivalence/.
+// The goldens were produced by the pre-index map-based analysis and pin the
+// full observable Report (answers, pair counts, restructuring decisions,
+// optimized-program hash, executed output): any representation change in the
+// analysis core must reproduce them byte for byte.
+var update = flag.Bool("update", false, "rewrite equivalence golden files")
+
+// equivalenceSeeds mirrors the FuzzOptimize seed corpus so the goldens cover
+// the same generated programs the differential fuzzer exercises.
+var equivalenceSeeds = []uint64{0, 1, 2, 3, 7, 11, 42, 99, 1234, 0xdeadbeef}
+
+// renderEquivalence runs one full Optimize and renders every deterministic
+// observable into a canonical text form: the per-conditional reports, the
+// run totals, a hash of the optimized ICFG, and the optimized program's
+// behavior on the given inputs. Wall-clock stats and Workers are excluded —
+// everything rendered here is contractually identical across worker counts.
+func renderEquivalence(t *testing.T, src string, inputs [][]int64, opts Options) string {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	opt, rep, err := p.Optimize(opts)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	var b strings.Builder
+	for _, c := range rep.Conditionals {
+		fmt.Fprintf(&b, "cond line=%d analyzable=%v correlated=%v full=%v answers=%s dup=%d pairs=%d applied=%v skipped=%v failure=%q\n",
+			c.Line, c.Analyzable, c.Correlated, c.Full, c.Answers, c.DupEstimate,
+			c.PairsProcessed, c.Applied, c.Skipped, c.FailureKind)
+	}
+	fmt.Fprintf(&b, "optimized=%d pairsTotal=%d opsBefore=%d opsAfter=%d truncated=%v\n",
+		rep.Optimized, rep.PairsTotal, rep.OperationsBefore, rep.OperationsAfter, rep.Truncated)
+	fmt.Fprintf(&b, "analyses=%d reanalyses=%d clones=%d clonesAvoided=%d failures=%q\n",
+		rep.Stats.Analyses, rep.Stats.Reanalyses, rep.Stats.Clones, rep.Stats.ClonesAvoided,
+		rep.FailureSummary())
+	fmt.Fprintf(&b, "programSHA=%x\n", sha256.Sum256([]byte(opt.Dump())))
+	for _, in := range inputs {
+		res, err := opt.Run(in)
+		if err != nil {
+			fmt.Fprintf(&b, "run input=%v err=%v\n", in, err)
+			continue
+		}
+		fmt.Fprintf(&b, "run input=%v output=%v ops=%d conds=%d\n", in, res.Output, res.Operations, res.Conditionals)
+	}
+	return b.String()
+}
+
+// equivalenceConfigs are the option sets pinned by the goldens. Verify stays
+// off (it never changes the outcome on these corpora, only stats) and the
+// paper's termination limit stays at its default so the analysis runs
+// untruncated, where its results are worker-count independent.
+func equivalenceConfigs() map[string]Options {
+	inter := DefaultOptions()
+	intra := IntraOptions()
+	limited := DefaultOptions()
+	limited.MaxDuplication = 100
+	return map[string]Options{"inter": inter, "intra": intra, "dup100": limited}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "equivalence", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test -run TestEquivalence -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("output diverged from the map-based seed analysis\n--- want\n%s--- got\n%s", want, got)
+	}
+}
+
+// TestEquivalenceGolden asserts the analysis + restructuring pipeline
+// produces byte-identical reports and optimized programs to the seed
+// map-based implementation, across every benchmark workload and the fuzz
+// seed corpus, for serial and parallel drivers alike.
+func TestEquivalenceGolden(t *testing.T) {
+	type workload struct {
+		name   string
+		src    string
+		inputs [][]int64
+	}
+	var cases []workload
+	for _, w := range progs.All() {
+		cases = append(cases, workload{name: w.Name, src: w.Source, inputs: [][]int64{w.Train, w.Ref}})
+	}
+	fuzzInputs := [][]int64{nil, {1, 2, 3}, {-5, 0, 7, 9, 1 << 40}}
+	for _, seed := range equivalenceSeeds {
+		cases = append(cases, workload{
+			name:   fmt.Sprintf("randprog-%d", seed),
+			src:    randprog.Generate(seed, fuzzConfig),
+			inputs: fuzzInputs,
+		})
+	}
+	configs := equivalenceConfigs()
+	for cfgName, base := range configs {
+		for _, w := range cases {
+			t.Run(cfgName+"/"+w.name, func(t *testing.T) {
+				t.Parallel()
+				opts := base
+				opts.Timeout = 2 * time.Minute
+				golden := ""
+				for _, workers := range []int{1, 4, -1} {
+					opts.Workers = workers
+					got := renderEquivalence(t, w.src, w.inputs, opts)
+					if golden == "" {
+						golden = got
+						checkGolden(t, cfgName+"-"+w.name, got)
+						continue
+					}
+					if got != golden {
+						t.Errorf("workers=%d diverged from workers=1:\n--- workers=1\n%s--- workers=%d\n%s",
+							workers, golden, workers, got)
+					}
+				}
+			})
+		}
+	}
+}

@@ -196,6 +196,10 @@ func (o Options) analysisOpts() analysis.Options {
 		TerminationLimit: o.TerminationLimit,
 		ArithSubst:       o.ArithSubst,
 		ModSummaries:     o.ModSummaries,
+		// Summary memoization replays identical closures instead of
+		// re-propagating them; results are exact, so there is nothing to
+		// configure (only the interprocedural analysis has summaries).
+		MemoSummaries: o.Interprocedural,
 	}
 }
 
@@ -254,6 +258,12 @@ type DriverStats struct {
 	// ("panic", "validate", "diff-mismatch", "op-growth", "timeout"); nil
 	// when the run had none. Every counted failure was rolled back.
 	Failures map[string]int
+	// SNEMemoEntries and SNEMemoHits count the summary-memo records held at
+	// the end of the run and the procedure summaries replayed from them
+	// instead of re-propagated; CacheBytes is the memo's memory footprint.
+	SNEMemoEntries int
+	SNEMemoHits    int64
+	CacheBytes     int64
 	// VerifyRuns counts shadow executions performed by the differential
 	// oracle (Options.Verify); VerifyWall is their summed wall time.
 	VerifyRuns int
@@ -319,16 +329,19 @@ func (p *Program) Optimize(opts Options) (op *Program, rep *Report, err error) {
 		OperationsAfter:  ir.Collect(dr.Program).Operations,
 		Truncated:        dr.Truncated,
 		Stats: DriverStats{
-			Workers:       dr.Stats.Workers,
-			Rounds:        dr.Stats.Rounds,
-			Analyses:      dr.Stats.Analyses,
-			Reanalyses:    dr.Stats.Reanalyses,
-			Clones:        dr.Stats.Clones,
-			ClonesAvoided: dr.Stats.ClonesAvoided,
-			VerifyRuns:    dr.Stats.VerifyRuns,
-			VerifyWall:    dr.Stats.VerifyWall,
-			AnalysisWall:  dr.Stats.AnalysisWall,
-			ApplyWall:     dr.Stats.ApplyWall,
+			Workers:        dr.Stats.Workers,
+			Rounds:         dr.Stats.Rounds,
+			Analyses:       dr.Stats.Analyses,
+			Reanalyses:     dr.Stats.Reanalyses,
+			Clones:         dr.Stats.Clones,
+			ClonesAvoided:  dr.Stats.ClonesAvoided,
+			SNEMemoEntries: dr.Stats.SNEMemoEntries,
+			SNEMemoHits:    dr.Stats.SNEMemoHits,
+			CacheBytes:     dr.Stats.CacheBytes,
+			VerifyRuns:     dr.Stats.VerifyRuns,
+			VerifyWall:     dr.Stats.VerifyWall,
+			AnalysisWall:   dr.Stats.AnalysisWall,
+			ApplyWall:      dr.Stats.ApplyWall,
 		},
 	}
 	for kind, n := range dr.Stats.Failures {

@@ -267,11 +267,11 @@ func TestFigure5GlobalThroughSummary(t *testing.T) {
 	}
 	s := res.SNEs()[0]
 	f := p.ProcByName("f")
-	exitAns := res.Answers[PairKey{s.Exit, s.Qsn.ID}]
+	exitAns := res.AnswerAt(s.Exit, s.Qsn)
 	if exitAns != AnsUndef|AnsTrans {
 		t.Errorf("summary answers at exit = %v, want {U,Tr}", exitAns)
 	}
-	if len(s.Entries[f.Entries[0]]) == 0 {
+	if len(s.EntriesAt(f.Entries[0])) == 0 {
 		t.Error("no entry queries recorded for the transparent path")
 	}
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"math"
 	"sync"
+	"unsafe"
 
 	"icbe/internal/ir"
 	"icbe/internal/pred"
@@ -35,25 +36,37 @@ type Options struct {
 	// computed with caching lack the supplier structure restructuring
 	// needs — use it for analysis-only measurements.
 	CacheAnswers bool
+	// MemoSummaries memoizes summary node entries (the TRANS closures
+	// computed at procedure exits) across AnalyzeBranch calls on the same
+	// unmodified program: a later conditional whose queries cross the same
+	// procedure exit with the same content replays the recorded closure
+	// instead of re-propagating it. Replay is exact — answers, supplier
+	// structure and pair counts match a fresh computation — so results are
+	// interchangeable with unmemoized ones (see memo.go for the contract).
+	// Only interprocedural analysis has summaries to memoize.
+	MemoSummaries bool
 }
 
 // DefaultOptions returns the configuration used for the paper's main
 // experiments: interprocedural, MOD summaries on, copy-only substitution.
 func DefaultOptions() Options {
-	return Options{Interprocedural: true, ModSummaries: true}
+	return Options{Interprocedural: true, ModSummaries: true, MemoSummaries: true}
 }
 
 // Analyzer analyzes conditionals of one program. It precomputes MOD
-// summaries; each conditional is analyzed on demand.
+// summaries and an ICFG link index; each conditional is analyzed on demand.
 //
 // An Analyzer is safe for concurrent AnalyzeBranch calls as long as the
-// program is not mutated: per-conditional state lives in the per-call run,
-// the MOD summaries are computed once and read-only afterwards, and the
-// cross-conditional answer cache is mutex-guarded.
+// program is not mutated: per-conditional state lives in the per-call run
+// (drawn from a sync.Pool and returned via Result.Release), the MOD
+// summaries and ICFG index are computed once and read-only afterwards, and
+// the cross-conditional answer cache and summary memo are lock-guarded.
 type Analyzer struct {
 	Prog *ir.Program
 	Opts Options
+	idx  *ir.Index
 	mod  []map[ir.VarID]bool
+	memo *SummaryMemo
 	// cache holds rolled-back answers of top-level pairs from previous
 	// AnalyzeBranch calls (when Opts.CacheAnswers), guarded by mu.
 	mu    sync.Mutex
@@ -67,9 +80,26 @@ type cacheKey struct {
 	c    int64
 }
 
-// New creates an analyzer for the program.
+// New creates an analyzer for the program. With Opts.MemoSummaries it owns
+// a private summary memo that commits records as soon as each AnalyzeBranch
+// returns (the right policy for a serial caller on an unchanging program);
+// drivers that interleave analysis with program mutation should manage the
+// commit points themselves via NewWithMemo.
 func New(p *ir.Program, opts Options) *Analyzer {
-	a := &Analyzer{Prog: p, Opts: opts}
+	var memo *SummaryMemo
+	if opts.MemoSummaries && opts.Interprocedural {
+		memo = newSummaryMemo(true)
+	}
+	return NewWithMemo(p, opts, memo)
+}
+
+// NewWithMemo creates an analyzer that records into and replays from the
+// caller-managed summary memo (nil behaves like no memoization). The caller
+// is responsible for calling memo.Commit at points where the program is
+// known unchanged since the records were made — the optimization driver
+// commits once per round, against its dirty set.
+func NewWithMemo(p *ir.Program, opts Options, memo *SummaryMemo) *Analyzer {
+	a := &Analyzer{Prog: p, Opts: opts, memo: memo, idx: ir.BuildIndex(p)}
 	if opts.ModSummaries {
 		a.mod = ModSets(p)
 	}
@@ -79,13 +109,30 @@ func New(p *ir.Program, opts Options) *Analyzer {
 	return a
 }
 
-// CacheBytes approximates the memory held by the cross-conditional answer
-// cache (the paper's memory-versus-time tradeoff).
+// CacheBytes reports the memory held by the cross-conditional structures:
+// the answer cache (the paper's memory-versus-time tradeoff) plus the
+// summary memo. Map entries are accounted at their key/value footprint
+// scaled by the runtime's bucket geometry (8 slots per bucket, one tophash
+// byte each, average occupancy ~6.5 at the load-factor boundary).
 func (a *Analyzer) CacheBytes() int64 {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	return int64(len(a.cache)) * 40
+	n := int64(len(a.cache))
+	a.mu.Unlock()
+	entry := int64(unsafe.Sizeof(cacheKey{})) + int64(unsafe.Sizeof(AnswerSet(0)))
+	b := n * mapEntryFootprint(entry)
+	if a.memo != nil {
+		b += a.memo.Bytes()
+	}
+	return b
 }
+
+// mapEntryFootprint scales a raw key+value size to its amortized in-map
+// footprint: 8-slot buckets carry one tophash byte per slot and run at
+// about 13/16 occupancy before growing.
+func mapEntryFootprint(kv int64) int64 { return (kv + 1) * 16 / 13 }
+
+// Memo returns the analyzer's summary memo (nil when memoization is off).
+func (a *Analyzer) Memo() *SummaryMemo { return a.memo }
 
 // cacheGet looks up a cached rolled-back answer set.
 func (a *Analyzer) cacheGet(k cacheKey) (AnswerSet, bool) {
@@ -97,24 +144,14 @@ func (a *Analyzer) cacheGet(k cacheKey) (AnswerSet, bool) {
 
 // Result holds the analysis of one conditional: the queries raised at every
 // node, the single-answer resolutions of the propagation phase, and (after
-// rollback) the collected answer sets per node–query pair.
+// rollback) the collected answer sets per node–query pair. The backing
+// storage is pooled; call Release when done with a result to recycle it
+// (results simply fall to the GC otherwise).
 type Result struct {
 	// Cond is the analyzed branch node.
 	Cond ir.NodeID
 	// Root is the query raised at the conditional itself.
 	Root *Query
-	// Queries lists the queries raised at each node (the paper's Q[n]).
-	Queries map[ir.NodeID][]*Query
-	// Resolved maps pairs to their propagation-phase resolution (single
-	// answer), for pairs that resolved.
-	Resolved map[PairKey]AnswerSet
-	// Answers maps every visited pair to its rolled-back answer set (the
-	// paper's A[n,q]).
-	Answers map[PairKey]AnswerSet
-	// Suppliers maps each unresolved pair to the per-predecessor sources
-	// its answers flow from; resolved pairs have no suppliers (their
-	// answers originate at the node). Restructuring consumes this.
-	Suppliers map[PairKey][]EdgeSupplier
 	// PairsProcessed counts node–query pairs taken off the worklist (the
 	// paper's analysis-cost metric); PairsRaised counts pairs ever raised.
 	PairsProcessed int
@@ -129,17 +166,116 @@ type Result struct {
 	// the driver declines to restructure from them.
 	Interrupted bool
 	// CacheHits counts pairs answered from the cross-conditional cache
-	// (only with Options.CacheAnswers).
+	// (only with Options.CacheAnswers). MemoHits counts summary node
+	// entries replayed from the summary memo (only with
+	// Options.MemoSummaries).
 	CacheHits int
+	MemoHits  int
 
-	queries []*Query // by ID
-	snes    []*SNE
+	st *state
+}
+
+// Release returns the result's pooled storage. The result and everything
+// obtained through its accessors (queries, suppliers, SNEs) must not be
+// used afterwards. Releasing is optional but keeps a steady-state driver
+// allocation-free; calling it twice is harmless.
+func (r *Result) Release() {
+	st := r.st
+	if st == nil {
+		return
+	}
+	r.st = nil
+	r.Root = nil
+	st.reset()
+	statePool.Put(st)
+}
+
+// QueriesAt lists the queries raised at a node, in raise order (the
+// paper's Q[n]); nil for unvisited nodes.
+func (r *Result) QueriesAt(n ir.NodeID) []*Query {
+	if n < 0 || int(n) >= len(r.st.nodeQ) {
+		return nil
+	}
+	return r.st.nodeQ[n]
+}
+
+// Visited reports whether the analysis raised any query at the node.
+func (r *Result) Visited(n ir.NodeID) bool {
+	return n >= 0 && int(n) < len(r.st.nodeQ) && len(r.st.nodeQ[n]) > 0
+}
+
+// VisitedNodes lists the visited nodes in first-raise order.
+func (r *Result) VisitedNodes() []ir.NodeID { return r.st.visited }
+
+// NumVisited counts the visited nodes.
+func (r *Result) NumVisited() int { return len(r.st.visited) }
+
+func (r *Result) pairID(n ir.NodeID, q *Query) int32 {
+	if q == nil || n < 0 || int(n) >= len(r.st.nodeQ) {
+		return -1
+	}
+	return r.st.findPair(n, q)
+}
+
+// AnswerAt returns the rolled-back answer set of the pair (n, q) — the
+// paper's A[n, q] — or 0 when the pair was never raised.
+func (r *Result) AnswerAt(n ir.NodeID, q *Query) AnswerSet {
+	pid := r.pairID(n, q)
+	if pid < 0 {
+		return 0
+	}
+	return r.st.pairAns[pid]
+}
+
+// ResolvedAt returns the propagation-phase resolution of the pair (n, q)
+// (a single answer), and whether the pair resolved.
+func (r *Result) ResolvedAt(n ir.NodeID, q *Query) (AnswerSet, bool) {
+	pid := r.pairID(n, q)
+	if pid < 0 || !r.st.pairResolved[pid] {
+		return 0, false
+	}
+	return r.st.pairRes[pid], true
+}
+
+// SuppliersAt returns the per-predecessor answer sources of an unresolved
+// pair; resolved pairs have none (their answers originate at the node).
+// Restructuring consumes this.
+func (r *Result) SuppliersAt(n ir.NodeID, q *Query) []EdgeSupplier {
+	pid := r.pairID(n, q)
+	if pid < 0 || r.st.pairSupDeleted[pid] {
+		return nil
+	}
+	off, ln := r.st.pairSupOff[pid], r.st.pairSupLen[pid]
+	if ln == 0 {
+		return nil
+	}
+	return r.st.supStore[off : off+ln]
+}
+
+// ForEachPair visits every raised pair in raise order with its rolled-back
+// answer set.
+func (r *Result) ForEachPair(f func(n ir.NodeID, q *Query, ans AnswerSet)) {
+	st := r.st
+	for pid := range st.pairNode {
+		f(st.pairNode[pid], st.queries[st.pairQ[pid]], st.pairAns[pid])
+	}
+}
+
+// ForEachResolved visits every propagation-resolved pair in raise order
+// with its resolution.
+func (r *Result) ForEachResolved(f func(n ir.NodeID, q *Query, ans AnswerSet)) {
+	st := r.st
+	for pid := range st.pairNode {
+		if st.pairResolved[pid] {
+			f(st.pairNode[pid], st.queries[st.pairQ[pid]], st.pairRes[pid])
+		}
+	}
 }
 
 // RootAnswers returns the answer set at the conditional (union over all
 // incoming paths).
 func (r *Result) RootAnswers() AnswerSet {
-	return r.Answers[PairKey{r.Cond, r.Root.ID}]
+	return r.AnswerAt(r.Cond, r.Root)
 }
 
 // HasCorrelation reports whether some incoming path is correlated (the
@@ -156,19 +292,17 @@ func (r *Result) FullCorrelation() bool {
 }
 
 // QueryByID returns the query with the given ID.
-func (r *Result) QueryByID(id int) *Query { return r.queries[id] }
+func (r *Result) QueryByID(id int) *Query { return r.st.queries[id] }
 
 // SNEs returns the summary node entries created during the analysis.
-func (r *Result) SNEs() []*SNE { return r.snes }
+func (r *Result) SNEs() []*SNE { return r.st.snes }
 
 type run struct {
 	a         *Analyzer
 	p         *ir.Program
+	idx       *ir.Index
+	st        *state
 	res       *Result
-	intern    map[queryKey]*Query
-	sneByKey  map[queryKey]*SNE // keyed by (exit, var, pred); owner field unused
-	worklist  []PairKey
-	raised    map[PairKey]bool
 	interrupt func() bool // nil = never; polled during propagation
 }
 
@@ -190,90 +324,63 @@ func (a *Analyzer) AnalyzeBranchInterruptible(b ir.NodeID, interrupt func() bool
 	if node == nil || !node.Analyzable() {
 		return nil
 	}
-	r := &run{
-		interrupt: interrupt,
-		a:         a,
-		p:         a.Prog,
-		res: &Result{
-			Cond:     b,
-			Queries:  make(map[ir.NodeID][]*Query),
-			Resolved: make(map[PairKey]AnswerSet),
-		},
-		intern:   make(map[queryKey]*Query),
-		sneByKey: make(map[queryKey]*SNE),
-		raised:   make(map[PairKey]bool),
-	}
+	st := acquireState(len(a.Prog.Nodes), len(a.Prog.Vars))
+	res := &Result{Cond: b, st: st}
+	r := &run{a: a, p: a.Prog, idx: a.idx, st: st, res: res, interrupt: interrupt}
 	// Raise the initial query at the conditional itself; the branch node is
 	// transparent, so the first processing step propagates it to all
 	// predecessors, and the pair (b, root) collects the union of all
 	// incoming answers, which restructuring uses to split b.
-	r.res.Root = r.internQuery(node.CondVar, node.CondPred(), nil)
-	r.raise(b, r.res.Root)
+	res.Root = r.internQuery(node.CondVar, node.CondPred(), nil)
+	r.raise(b, res.Root)
 	r.propagate()
 	r.rollback()
-	if a.cache != nil && !r.res.Truncated {
+	if a.memo != nil && !res.Truncated {
+		r.recordSNEs()
+	}
+	if a.cache != nil && !res.Truncated {
 		a.mu.Lock()
-		for n, qs := range r.res.Queries {
-			for _, q := range qs {
-				if q.Owner != nil {
-					continue
-				}
-				if ans, ok := r.res.Answers[PairKey{n, q.ID}]; ok && ans != 0 {
-					a.cache[cacheKey{n, q.Var, q.P.Op, q.P.C}] = ans
-				}
+		for pid := range st.pairNode {
+			q := st.queries[st.pairQ[pid]]
+			if q.Owner != nil {
+				continue
+			}
+			if ans := st.pairAns[pid]; ans != 0 {
+				a.cache[cacheKey{st.pairNode[pid], q.Var, q.P.Op, q.P.C}] = ans
 			}
 		}
 		a.mu.Unlock()
 	}
-	return r.res
+	return res
 }
 
 func (r *run) internQuery(v ir.VarID, p pred.Pred, owner *SNE) *Query {
-	key := queryKey{v: v, op: p.Op, c: p.C, owner: -1}
-	if owner != nil {
-		key.owner = owner.ID
-	}
-	if q, ok := r.intern[key]; ok {
-		return q
-	}
-	q := &Query{ID: len(r.res.queries), Var: v, P: p, Owner: owner}
-	r.res.queries = append(r.res.queries, q)
-	r.intern[key] = q
-	return q
+	return r.st.intern(v, p, owner)
 }
 
 // lookupQuery returns the interned query, or nil if it was never created
 // during propagation (used by rollback, which must not invent new queries).
 func (r *run) lookupQuery(v ir.VarID, p pred.Pred, owner *SNE) *Query {
-	key := queryKey{v: v, op: p.Op, c: p.C, owner: -1}
-	if owner != nil {
-		key.owner = owner.ID
-	}
-	return r.intern[key]
+	return r.st.lookupIntern(v, p, owner)
 }
 
 func (r *run) raise(n ir.NodeID, q *Query) {
-	pk := PairKey{n, q.ID}
-	if r.raised[pk] {
+	st := r.st
+	if st.findPair(n, q) >= 0 {
 		return
 	}
-	r.raised[pk] = true
-	r.res.Queries[n] = append(r.res.Queries[n], q)
+	pid := st.addPair(n, q)
 	r.res.PairsRaised++
 	if q.Owner == nil && r.a.cache != nil {
 		if ans, ok := r.a.cacheGet(cacheKey{n, q.Var, q.P.Op, q.P.C}); ok {
 			// Cached rolled-back answers from a previous conditional's
 			// analysis substitute for re-propagation.
-			r.res.Resolved[pk] = ans
+			st.resolvePair(pid, ans)
 			r.res.CacheHits++
 			return
 		}
 	}
-	r.worklist = append(r.worklist, pk)
-}
-
-func (r *run) resolve(pk PairKey, ans AnswerSet) {
-	r.res.Resolved[pk] = ans
+	st.worklist = append(st.worklist, pid)
 }
 
 // hardLimit bounds propagation when arithmetic back-substitution is
@@ -287,11 +394,12 @@ const hardLimit = 200_000
 
 // propagate is the paper's Figure 4 worklist loop.
 func (r *run) propagate() {
+	st := r.st
 	limit := r.a.Opts.TerminationLimit
 	if limit == 0 && r.a.Opts.ArithSubst {
 		limit = hardLimit
 	}
-	for len(r.worklist) > 0 {
+	for st.wlHead < len(st.worklist) {
 		// Poll the interrupt every 64 pairs: often enough that a deadline
 		// cuts a diverging propagation within microseconds, rarely enough
 		// that the time.Now() inside typical interrupt closures stays off
@@ -305,10 +413,10 @@ func (r *run) propagate() {
 			r.stopEarly()
 			return
 		}
-		pk := r.worklist[0]
-		r.worklist = r.worklist[1:]
+		pid := st.worklist[st.wlHead]
+		st.wlHead++
 		r.res.PairsProcessed++
-		r.process(pk)
+		r.process(pid)
 	}
 }
 
@@ -316,27 +424,29 @@ func (r *run) propagate() {
 // conservatively resolved UNDEF and the result marked Truncated (the
 // paper's cutoff rule, shared by the termination limit and interrupts).
 func (r *run) stopEarly() {
+	st := r.st
 	r.res.Truncated = true
-	for _, pk := range r.worklist {
-		if _, ok := r.res.Resolved[pk]; !ok {
-			r.resolve(pk, AnsUndef)
+	for _, pid := range st.worklist[st.wlHead:] {
+		if !st.pairResolved[pid] {
+			st.resolvePair(pid, AnsUndef)
 		}
 	}
-	r.worklist = nil
+	st.wlHead = len(st.worklist)
 }
 
-func (r *run) process(pk PairKey) {
-	n := r.p.Node(pk.Node)
-	q := r.res.queries[pk.Query]
+func (r *run) process(pid int32) {
+	st := r.st
+	n := r.p.Node(st.pairNode[pid])
+	q := st.queries[st.pairQ[pid]]
 	switch n.Kind {
 	case ir.NEntry:
-		r.processEntry(pk, n, q)
+		r.processEntry(pid, n, q)
 	case ir.NCallExit:
-		r.processCallExit(pk, n, q)
+		r.processCallExit(pid, n, q)
 	default:
 		out := r.transfer(n, q)
 		if out.resolved {
-			r.resolve(pk, out.ans)
+			st.resolvePair(pid, out.ans)
 			return
 		}
 		for _, m := range n.Preds {
@@ -345,23 +455,24 @@ func (r *run) process(pk PairKey) {
 		if len(n.Preds) == 0 {
 			// A node with no predecessors that is not an entry should not
 			// exist in a valid graph, but resolve conservatively.
-			r.resolve(pk, AnsUndef)
+			st.resolvePair(pid, AnsUndef)
 		}
 	}
 }
 
 // processEntry handles procedure entry nodes (Figure 4 lines 6–13).
-func (r *run) processEntry(pk PairKey, n *ir.Node, q *Query) {
+func (r *run) processEntry(pid int32, n *ir.Node, q *Query) {
+	st := r.st
 	if q.Owner != nil {
 		// Summary node query reaching the entry: the procedure is
 		// transparent along this path.
 		if !r.substitutableAtEntry(n, q) {
-			r.resolve(pk, AnsUndef)
+			st.resolvePair(pid, AnsUndef)
 			return
 		}
-		r.resolve(pk, AnsTrans)
+		st.resolvePair(pid, AnsTrans)
 		s := q.Owner
-		s.Entries[n.ID] = append(s.Entries[n.ID], q)
+		s.addEntry(n.ID, q)
 		for _, w := range s.Waiters {
 			if w.entry == n.ID {
 				r.raiseContinuation(w, q)
@@ -370,18 +481,18 @@ func (r *run) processEntry(pk PairKey, n *ir.Node, q *Query) {
 		return
 	}
 	if !r.a.Opts.Interprocedural {
-		r.resolve(pk, AnsUndef)
+		st.resolvePair(pid, AnsUndef)
 		return
 	}
 	if !r.substitutableAtEntry(n, q) {
 		// A query on a non-formal local at procedure start asks about an
 		// uninitialized value.
-		r.resolve(pk, AnsUndef)
+		st.resolvePair(pid, AnsUndef)
 		return
 	}
 	if len(n.Preds) == 0 {
 		// main's entry, or an uncalled procedure.
-		r.resolve(pk, AnsUndef)
+		st.resolvePair(pid, AnsUndef)
 		return
 	}
 	for _, m := range n.Preds {
@@ -455,44 +566,54 @@ func (r *run) mustTraverse(callee int, v ir.VarID) bool {
 }
 
 // processCallExit handles call-site exit nodes (Figure 4 lines 14–26).
-func (r *run) processCallExit(pk PairKey, n *ir.Node, q *Query) {
+func (r *run) processCallExit(pid int32, n *ir.Node, q *Query) {
+	st := r.st
 	cv, cp := r.callExitContent(n, q)
-	call := r.p.CallPred(n)
-	exit := r.p.ExitPred(n)
-	if call == nil || exit == nil {
+	call := r.idx.CallPred(n.ID)
+	exit := r.idx.ExitPred(n.ID)
+	if call == ir.NoNode || exit == ir.NoNode {
 		// Graph not in normal form — resolve conservatively.
-		r.resolve(pk, AnsUndef)
+		st.resolvePair(pid, AnsUndef)
 		return
 	}
 	if !r.mustTraverse(n.Callee, cv) {
-		r.raise(call.ID, r.internQuery(cv, cp, q.Owner))
+		r.raise(call, r.internQuery(cv, cp, q.Owner))
 		return
 	}
 	if !r.a.Opts.Interprocedural {
 		// Baseline: the callee may modify the variable; without crossing
 		// the boundary the value is unknown.
-		r.resolve(pk, AnsUndef)
+		st.resolvePair(pid, AnsUndef)
 		return
 	}
-	s := r.getSNE(exit.ID, cv, cp)
-	en := r.p.EntrySucc(call)
-	w := waiter{node: n.ID, q: q, call: call.ID, entry: en.ID}
+	s := r.getSNE(exit, cv, cp)
+	en := r.idx.EntrySucc(call)
+	if owner := q.Owner; owner != nil {
+		// A nested summary: the owner's closure depends on s, and its
+		// replay validity on the call-site linkage consulted here.
+		owner.addDep(s)
+		owner.linkNodes = append(owner.linkNodes, call, exit, en)
+	}
+	w := waiter{node: n.ID, q: q, call: call, entry: en}
 	s.Waiters = append(s.Waiters, w)
-	for _, qo := range s.Entries[en.ID] {
+	for _, qo := range s.EntriesAt(en) {
 		r.raiseContinuation(w, qo)
 	}
 }
 
-// getSNE returns the summary node entry for (exit, content), creating it
-// and raising its summary query at the exit when new.
+// getSNE returns the summary node entry for (exit, content): an existing
+// one, a memo replay, or a fresh one with its summary query raised at the
+// exit.
 func (r *run) getSNE(exit ir.NodeID, v ir.VarID, p pred.Pred) *SNE {
-	key := queryKey{v: v, op: p.Op, c: p.C, owner: int(exit)}
-	if s, ok := r.sneByKey[key]; ok {
+	if s := r.st.findSNE(exit, v, p); s != nil {
 		return s
 	}
-	s := &SNE{ID: len(r.res.snes), Exit: exit, Entries: make(map[ir.NodeID][]*Query)}
-	r.res.snes = append(r.res.snes, s)
-	r.sneByKey[key] = s
+	if r.a.memo != nil {
+		if rec := r.a.memo.lookup(memoKey{exit: exit, v: v, op: p.Op, c: p.C}); rec != nil {
+			return r.replaySNE(rec)
+		}
+	}
+	s := r.st.newSNE(exit)
 	s.Qsn = r.internQuery(v, p, s)
 	r.raise(exit, s.Qsn)
 	return s
@@ -573,7 +694,7 @@ func (r *run) transfer(n *ir.Node, q *Query) transferResult {
 		if n.AVar != q.Var {
 			return cont
 		}
-		if o := pred.Decide(n.APred.Sat(), q.P); o != pred.Unknown {
+		if o := pred.DecidePred(n.APred, q.P); o != pred.Unknown {
 			return transferResult{resolved: true, ans: outcomeToAnswer(o)}
 		}
 		return cont

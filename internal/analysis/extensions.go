@@ -76,15 +76,15 @@ func (r *Result) CorrelationSources(p *ir.Program) []Source {
 		condProc = n.Proc
 	}
 	var out []Source
-	for pk, ans := range r.Resolved {
+	r.ForEachResolved(func(pn ir.NodeID, _ *Query, ans AnswerSet) {
 		if ans&(AnsTrue|AnsFalse) == 0 {
-			continue
+			return
 		}
-		node := p.Node(pk.Node)
+		node := p.Node(pn)
 		if node == nil {
-			continue
+			return
 		}
-		s := Source{Node: pk.Node, Answer: ans & (AnsTrue | AnsFalse), Kind: SrcOther,
+		s := Source{Node: pn, Answer: ans & (AnsTrue | AnsFalse), Kind: SrcOther,
 			Branch: ir.NoNode, SameProc: node.Proc == condProc}
 		switch node.Kind {
 		case ir.NAssign:
@@ -109,7 +109,7 @@ func (r *Result) CorrelationSources(p *ir.Program) []Source {
 			}
 		}
 		out = append(out, s)
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out
 }
@@ -142,13 +142,13 @@ func InliningPriorities(p *ir.Program, opts Options, execCount map[ir.NodeID]int
 			return
 		}
 		credited := make(map[int]bool)
-		for pk, ans := range res.Resolved {
+		res.ForEachResolved(func(pn ir.NodeID, _ *Query, ans AnswerSet) {
 			if ans&(AnsTrue|AnsFalse) == 0 {
-				continue
+				return
 			}
-			node := p.Node(pk.Node)
+			node := p.Node(pn)
 			if node == nil || node.Proc == b.Proc {
-				continue
+				return
 			}
 			pp := score[node.Proc]
 			if pp == nil {
@@ -160,11 +160,12 @@ func InliningPriorities(p *ir.Program, opts Options, execCount map[ir.NodeID]int
 				credited[node.Proc] = true
 			}
 			if execCount != nil {
-				pp.Weight += execCount[pk.Node]
+				pp.Weight += execCount[pn]
 			} else {
 				pp.Weight++
 			}
-		}
+		})
+		res.Release()
 	})
 	out := make([]ProcPriority, 0, len(score))
 	for _, pp := range score {

@@ -1,0 +1,381 @@
+package analysis
+
+import (
+	"sort"
+	"sync"
+	"unsafe"
+
+	"icbe/internal/ir"
+	"icbe/internal/pred"
+)
+
+// Summary-node memoization.
+//
+// The closure computed for a summary node entry — the set of (node, query)
+// pairs raised on behalf of the SNE's summary query, their resolutions, and
+// the entry nodes the query reached — depends only on the program and on the
+// SNE's identity (exit node + query content). It is independent of which
+// conditional demanded it. Different conditionals in the same program
+// routinely cross the same call sites with the same query contents (the
+// paper's Figure 8 programs re-derive the same summaries for every
+// elimination candidate), so the driver re-propagates identical closures
+// over and over.
+//
+// A SummaryMemo records each completed closure keyed by (exit, content) and
+// replays it into later runs: the replayed pairs are interned and resolved
+// exactly as a fresh propagation would have left them, and each replayed
+// pair counts as one pair raised and one pair processed, so a replayed
+// analysis is pair-for-pair identical to a fresh one — same answers, same
+// supplier structure, same counters. Only closures from untruncated runs
+// are recorded (a truncated closure is incomplete and must not stand in for
+// a complete one).
+//
+// Invalidation contract: a record lists the nodes its closure consulted
+// (`touched`) — the nodes its pairs sit on, the call/exit/entry linkage
+// nodes crossed at nested call sites, and, transitively, everything its
+// nested summaries touched. After mutating the program the owner must drop
+// every record whose touched set intersects the modified region; the
+// optimization driver does this once per round via Commit(dirty), using the
+// same dirty set that decides which conditionals to re-analyze. Records
+// pending since the last Commit are not replayed from (the driver's workers
+// analyze concurrently against a frozen per-round view, which keeps results
+// independent of worker count and scheduling); an Analyzer created with New
+// owns an auto-committing memo instead, appropriate for serial use on an
+// unchanging program.
+//
+// The contract guarantees a structural invariant the replay path relies on:
+// a committed record's nested summaries are always themselves committed.
+// Records recorded in the same run commit or die together (the parent's
+// touched set contains each nested record's), and two committed records for
+// the same key on the same program revision describe the same closure, so
+// deleting a nested record always deletes its parents too.
+type SummaryMemo struct {
+	mu         sync.RWMutex
+	autoCommit bool
+	committed  map[memoKey]*memoRecord
+	pending    []*memoRecord
+	hits       int64
+	bytes      int64
+}
+
+// memoKey identifies a summary node entry across runs: the procedure exit
+// and the summary query's content.
+type memoKey struct {
+	exit ir.NodeID
+	v    ir.VarID
+	op   pred.Op
+	c    int64
+}
+
+// memoPair is one recorded closure pair, in raise order.
+type memoPair struct {
+	node     ir.NodeID
+	v        ir.VarID
+	p        pred.Pred
+	resolved bool
+	ans      AnswerSet
+}
+
+// memoArrival is one summary query that reached a procedure entry.
+type memoArrival struct {
+	entry ir.NodeID
+	v     ir.VarID
+	p     pred.Pred
+}
+
+type memoRecord struct {
+	key      memoKey
+	pairs    []memoPair
+	arrivals []memoArrival
+	nested   []memoKey   // keys of the summaries this closure waited on
+	touched  []ir.NodeID // sorted invalidation set
+}
+
+func newSummaryMemo(autoCommit bool) *SummaryMemo {
+	return &SummaryMemo{autoCommit: autoCommit, committed: make(map[memoKey]*memoRecord)}
+}
+
+// NewSummaryMemo creates an empty memo with caller-managed commit points,
+// for sharing across the analyzers a driver creates round after round.
+func NewSummaryMemo() *SummaryMemo { return newSummaryMemo(false) }
+
+func (m *SummaryMemo) lookup(k memoKey) *memoRecord {
+	m.mu.RLock()
+	rec := m.committed[k]
+	m.mu.RUnlock()
+	return rec
+}
+
+func (m *SummaryMemo) hit() {
+	m.mu.Lock()
+	m.hits++
+	m.mu.Unlock()
+}
+
+// record accepts the records of one completed run. Auto-committing memos
+// publish them immediately (first record for a key wins; concurrent runs on
+// the same unmodified program produce identical closures, so the race is
+// benign); otherwise they stage until the next Commit.
+func (m *SummaryMemo) record(recs []*memoRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	m.mu.Lock()
+	if m.autoCommit {
+		for _, rec := range recs {
+			if _, ok := m.committed[rec.key]; ok {
+				continue
+			}
+			m.committed[rec.key] = rec
+			m.bytes += rec.footprint()
+		}
+	} else {
+		m.pending = append(m.pending, recs...)
+	}
+	m.mu.Unlock()
+}
+
+// Commit publishes the records staged since the last Commit and drops every
+// record — staged or committed — whose touched set intersects dirty (the
+// nodes modified since those records were made). The driver calls it once
+// per optimization round, after applying that round's transformations.
+func (m *SummaryMemo) Commit(dirty map[ir.NodeID]bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(dirty) > 0 {
+		for k, rec := range m.committed {
+			if rec.touchesDirty(dirty) {
+				delete(m.committed, k)
+				m.bytes -= rec.footprint()
+			}
+		}
+	}
+	for _, rec := range m.pending {
+		if _, ok := m.committed[rec.key]; ok {
+			continue
+		}
+		if len(dirty) > 0 && rec.touchesDirty(dirty) {
+			continue
+		}
+		m.committed[rec.key] = rec
+		m.bytes += rec.footprint()
+	}
+	m.pending = m.pending[:0]
+}
+
+// Entries returns the number of committed records.
+func (m *SummaryMemo) Entries() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.committed)
+}
+
+// Hits returns the number of summary replays served so far.
+func (m *SummaryMemo) Hits() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.hits
+}
+
+// Bytes estimates the memory held by the committed records.
+func (m *SummaryMemo) Bytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.bytes
+}
+
+func (rec *memoRecord) footprint() int64 {
+	b := int64(unsafe.Sizeof(*rec))
+	b += int64(len(rec.pairs)) * int64(unsafe.Sizeof(memoPair{}))
+	b += int64(len(rec.arrivals)) * int64(unsafe.Sizeof(memoArrival{}))
+	b += int64(len(rec.nested)) * int64(unsafe.Sizeof(memoKey{}))
+	b += int64(len(rec.touched)) * int64(unsafe.Sizeof(ir.NodeID(0)))
+	b += mapEntryFootprint(int64(unsafe.Sizeof(memoKey{})) + int64(unsafe.Sizeof((*memoRecord)(nil))))
+	return b
+}
+
+func (rec *memoRecord) touchesDirty(dirty map[ir.NodeID]bool) bool {
+	for _, n := range rec.touched {
+		if dirty[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// replaySNE reconstructs a summary node entry from a memo record, exactly
+// as a fresh propagation would have left it: the closure pairs are interned
+// and resolved in recorded raise order (each counting as raised and
+// processed), the entry arrivals are re-registered, and nested summaries
+// are replayed first. Returns nil — and the caller computes fresh — if a
+// nested summary is unavailable; the commit contract makes that
+// unreachable, but a fresh computation is always a correct substitute.
+func (r *run) replaySNE(rec *memoRecord) *SNE {
+	st := r.st
+	for _, nk := range rec.nested {
+		if st.findSNE(nk.exit, nk.v, pred.Pred{Op: nk.op, C: nk.c}) != nil {
+			continue
+		}
+		if r.a.memo.lookup(nk) == nil {
+			return nil
+		}
+	}
+	s := st.newSNE(rec.key.exit)
+	s.replayed = true
+	s.rec = rec
+	s.Qsn = st.intern(rec.key.v, pred.Pred{Op: rec.key.op, C: rec.key.c}, s)
+	for _, nk := range rec.nested {
+		np := pred.Pred{Op: nk.op, C: nk.c}
+		if st.findSNE(nk.exit, nk.v, np) != nil {
+			continue
+		}
+		// Registered-before-recursing (s is already in st.snes), so mutually
+		// recursive summaries terminate: the recursive replay finds s.
+		if nrec := r.a.memo.lookup(nk); nrec != nil && r.replaySNE(nrec) != nil {
+			continue
+		}
+		// Degraded path (unreachable under the commit contract): raise the
+		// nested summary for fresh propagation.
+		ns := st.newSNE(nk.exit)
+		ns.Qsn = st.intern(nk.v, np, ns)
+		r.raise(nk.exit, ns.Qsn)
+	}
+	for i := range rec.pairs {
+		mp := &rec.pairs[i]
+		q := st.intern(mp.v, mp.p, s)
+		pid := st.addPair(mp.node, q)
+		if mp.resolved {
+			st.resolvePair(pid, mp.ans)
+		}
+		// A replayed pair stands for one raise and one processing step of
+		// the recorded run, keeping the cost counters — and with them the
+		// termination-limit behavior of callers that bound PairsProcessed —
+		// identical to a fresh computation.
+		r.res.PairsRaised++
+		r.res.PairsProcessed++
+	}
+	for i := range rec.arrivals {
+		ar := &rec.arrivals[i]
+		if q := st.lookupIntern(ar.v, ar.p, s); q != nil {
+			s.addEntry(ar.entry, q)
+		}
+	}
+	r.res.MemoHits++
+	r.a.memo.hit()
+	return s
+}
+
+// recordSNEs extracts memo records for every summary computed fresh in this
+// (untruncated) run and hands them to the memo.
+func (r *run) recordSNEs() {
+	st := r.st
+	recs := make([]*memoRecord, len(st.snes))
+	any := false
+	for i, s := range st.snes {
+		if s.replayed || s.Qsn == nil {
+			continue
+		}
+		recs[i] = &memoRecord{key: memoKey{exit: s.Exit, v: s.Qsn.Var, op: s.Qsn.P.Op, c: s.Qsn.P.C}}
+		any = true
+	}
+	if !any {
+		return
+	}
+	// One pass over the pairs assigns each SNE its closure, in raise order.
+	for pid := range st.pairNode {
+		q := st.queries[st.pairQ[pid]]
+		if q.Owner == nil || recs[q.Owner.ID] == nil {
+			continue
+		}
+		mp := memoPair{node: st.pairNode[pid], v: q.Var, p: q.P}
+		if st.pairResolved[pid] {
+			mp.resolved, mp.ans = true, st.pairRes[pid]
+		}
+		recs[q.Owner.ID].pairs = append(recs[q.Owner.ID].pairs, mp)
+	}
+	// Arrivals, nested keys, and the direct invalidation sets. Query
+	// contents are copied out — records must not retain pooled *Query or
+	// *SNE pointers.
+	touched := make([]map[ir.NodeID]struct{}, len(st.snes))
+	for i, s := range st.snes {
+		rec := recs[i]
+		if rec == nil {
+			continue
+		}
+		for _, e := range s.entries {
+			for _, q := range e.qs {
+				rec.arrivals = append(rec.arrivals, memoArrival{entry: e.entry, v: q.Var, p: q.P})
+			}
+		}
+		for _, d := range s.deps {
+			rec.nested = append(rec.nested, memoKey{exit: d.Exit, v: d.Qsn.Var, op: d.Qsn.P.Op, c: d.Qsn.P.C})
+		}
+		set := make(map[ir.NodeID]struct{}, len(rec.pairs)+len(s.linkNodes))
+		for _, mp := range rec.pairs {
+			set[mp.node] = struct{}{}
+		}
+		for _, ln := range s.linkNodes {
+			set[ln] = struct{}{}
+		}
+		if s.replayedDepTouched(set) {
+			// replayed deps contributed already; nothing else to do here
+		}
+		touched[i] = set
+	}
+	// Transitive closure over fresh deps (iterate to a fixed point; SNE
+	// dependency graphs are tiny and almost always acyclic).
+	for changed := true; changed; {
+		changed = false
+		for i, s := range st.snes {
+			if recs[i] == nil {
+				continue
+			}
+			set := touched[i]
+			before := len(set)
+			for _, d := range s.deps {
+				if d.replayed {
+					continue // folded in by replayedDepTouched
+				}
+				if ds := touched[d.ID]; ds != nil {
+					for n := range ds {
+						set[n] = struct{}{}
+					}
+				}
+			}
+			if len(set) != before {
+				changed = true
+			}
+		}
+	}
+	out := recs[:0]
+	for i, rec := range recs {
+		if rec == nil {
+			continue
+		}
+		rec.touched = make([]ir.NodeID, 0, len(touched[i]))
+		for n := range touched[i] {
+			rec.touched = append(rec.touched, n)
+		}
+		sort.Slice(rec.touched, func(a, b int) bool { return rec.touched[a] < rec.touched[b] })
+		out = append(out, rec)
+	}
+	r.a.memo.record(out)
+}
+
+// replayedDepTouched folds the (already final) touched sets of replayed
+// dependencies into set, returning whether it added anything.
+func (s *SNE) replayedDepTouched(set map[ir.NodeID]struct{}) bool {
+	added := false
+	for _, d := range s.deps {
+		if !d.replayed {
+			continue
+		}
+		for _, n := range d.rec.touched {
+			if _, ok := set[n]; !ok {
+				set[n] = struct{}{}
+				added = true
+			}
+		}
+	}
+	return added
+}

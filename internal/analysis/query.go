@@ -26,6 +26,7 @@ package analysis
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"icbe/internal/ir"
@@ -47,15 +48,7 @@ const (
 func (s AnswerSet) Has(m AnswerSet) bool { return s&m == m }
 
 // Count returns the number of answers in the set.
-func (s AnswerSet) Count() int {
-	c := 0
-	for m := AnsTrue; m <= AnsTrans; m <<= 1 {
-		if s&m != 0 {
-			c++
-		}
-	}
-	return c
-}
+func (s AnswerSet) Count() int { return bits.OnesCount8(uint8(s)) }
 
 func (s AnswerSet) String() string {
 	if s == 0 {
@@ -103,12 +96,67 @@ type SNE struct {
 	ID   int
 	Exit ir.NodeID
 	Qsn  *Query
-	// Entries maps each procedure entry node to the summary queries that
-	// reached it (resolved TRANS there).
-	Entries map[ir.NodeID][]*Query
+	// entries groups, per procedure entry node, the summary queries that
+	// reached it (resolved TRANS there). A short slice instead of a map:
+	// procedures have one entry before splitting and a handful after.
+	entries []sneEntry
 	// Waiters are the call-site-exit pairs whose answers depend on this
 	// summary.
 	Waiters []waiter
+
+	// Memoization bookkeeping (see memo.go): replayed marks an SNE
+	// reconstructed from a memo record; rec points to that record. deps
+	// lists the nested SNEs this summary's closure waited on, and
+	// linkNodes the call/entry nodes consulted when crossing nested call
+	// sites — both feed the record's invalidation set.
+	replayed  bool
+	rec       *memoRecord
+	deps      []*SNE
+	linkNodes []ir.NodeID
+}
+
+type sneEntry struct {
+	entry ir.NodeID
+	qs    []*Query
+}
+
+// EntriesAt returns the summary queries that reached the given procedure
+// entry (resolved TRANS there).
+func (s *SNE) EntriesAt(entry ir.NodeID) []*Query {
+	for i := range s.entries {
+		if s.entries[i].entry == entry {
+			return s.entries[i].qs
+		}
+	}
+	return nil
+}
+
+// ForEachEntry iterates the entry arrivals in arrival-group order.
+func (s *SNE) ForEachEntry(f func(entry ir.NodeID, qs []*Query)) {
+	for i := range s.entries {
+		f(s.entries[i].entry, s.entries[i].qs)
+	}
+}
+
+// addEntry records the arrival of summary query q at a procedure entry.
+func (s *SNE) addEntry(entry ir.NodeID, q *Query) {
+	for i := range s.entries {
+		if s.entries[i].entry == entry {
+			s.entries[i].qs = append(s.entries[i].qs, q)
+			return
+		}
+	}
+	s.entries = append(s.entries, sneEntry{entry: entry, qs: []*Query{q}})
+}
+
+// addDep records that this summary's closure waits on nested summary d.
+func (s *SNE) addDep(d *SNE) {
+	for _, e := range s.deps {
+		if e == d {
+			return
+		}
+	}
+	s.deps = append(s.deps, d)
 }
 
 type waiter struct {

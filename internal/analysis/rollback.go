@@ -19,11 +19,6 @@ type EdgeSupplier struct {
 	FromExit bool
 }
 
-type supplier struct {
-	Key  PairKey
-	Mask AnswerSet
-}
-
 // MaskAll passes every answer.
 const MaskAll = AnsTrue | AnsFalse | AnsUndef | AnsTrans
 
@@ -33,52 +28,86 @@ const maskAll = MaskAll
 // propagate forward from their resolution sites and are set-unioned at
 // merge points (paper §3.1). The propagation structure mirrors the analysis
 // exactly, so the supplier sets are recomputed deterministically.
+//
+// The relation lives in the run's flat arenas: each unresolved pair owns a
+// range of supStore (its suppliers), supSrc holds the supplying pair's ID
+// per supplier, and the reverse relation (consumers) is a counted
+// offset/store pair built in two passes — no per-pair map or slice
+// allocations, and the fixpoint unions read contiguous memory.
 func (r *run) rollback() {
-	res := r.res
-	res.Answers = make(map[PairKey]AnswerSet, len(r.raised))
-	res.Suppliers = make(map[PairKey][]EdgeSupplier)
+	st := r.st
+	np := len(st.pairNode)
 
-	// Build the supplier relation for every unresolved pair and its
-	// reverse (consumers).
-	suppliers := make(map[PairKey][]supplier)
-	consumers := make(map[PairKey][]PairKey)
-	for n, qs := range res.Queries {
-		for _, q := range qs {
-			pk := PairKey{n, q.ID}
-			if _, ok := res.Resolved[pk]; ok {
-				continue
-			}
-			edgeSups := r.suppliersOf(pk)
-			res.Suppliers[pk] = edgeSups
-			sups := make([]supplier, len(edgeSups))
-			for i, es := range edgeSups {
-				sups[i] = supplier{Key: PairKey{es.Pred, es.Query.ID}, Mask: es.Mask}
-			}
-			suppliers[pk] = sups
-			for _, s := range sups {
-				consumers[s.Key] = append(consumers[s.Key], pk)
+	// Pass 1: supplier ranges for every unresolved pair, in pair order.
+	for pid := 0; pid < np; pid++ {
+		if st.pairResolved[pid] {
+			continue
+		}
+		off := int32(len(st.supStore))
+		r.appendSuppliersOf(int32(pid))
+		st.pairSupOff[pid] = off
+		st.pairSupLen[pid] = int32(len(st.supStore)) - off
+	}
+
+	// Resolve supplier sources to pair IDs (-1 when the supplying pair was
+	// never raised — possible only after truncation severed a chain; such a
+	// supplier contributes nothing) and count consumers per source.
+	st.consLen = resizeInt32(st.consLen, np)
+	for _, es := range st.supStore {
+		src := st.findPair(es.Pred, es.Query)
+		st.supSrc = append(st.supSrc, src)
+		if src >= 0 {
+			st.consLen[src]++
+		}
+	}
+	st.consOff = resizeInt32(st.consOff, np)
+	total := int32(0)
+	for pid := 0; pid < np; pid++ {
+		st.consOff[pid] = total
+		total += st.consLen[pid]
+		st.consLen[pid] = 0 // refilled as the cursor in pass 2
+	}
+	if cap(st.consStore) < int(total) {
+		st.consStore = make([]int32, total)
+	}
+	st.consStore = st.consStore[:total]
+	for pid := 0; pid < np; pid++ {
+		if st.pairResolved[pid] {
+			continue
+		}
+		off, ln := st.pairSupOff[pid], st.pairSupLen[pid]
+		for i := off; i < off+ln; i++ {
+			if src := st.supSrc[i]; src >= 0 {
+				st.consStore[st.consOff[src]+st.consLen[src]] = int32(pid)
+				st.consLen[src]++
 			}
 		}
 	}
 
 	// Seed with resolutions and propagate to a fixpoint.
-	worklist := make([]PairKey, 0, len(res.Resolved))
-	for pk, ans := range res.Resolved {
-		res.Answers[pk] = ans
-		worklist = append(worklist, pk)
+	wl := st.scratch[:0]
+	for pid := 0; pid < np; pid++ {
+		if st.pairResolved[pid] {
+			st.pairAns[pid] = st.pairRes[pid]
+			wl = append(wl, int32(pid))
+		}
 	}
 	for {
-		for len(worklist) > 0 {
-			pk := worklist[len(worklist)-1]
-			worklist = worklist[:len(worklist)-1]
-			for _, c := range consumers[pk] {
+		for len(wl) > 0 {
+			pid := wl[len(wl)-1]
+			wl = wl[:len(wl)-1]
+			coff, cln := st.consOff[pid], st.consLen[pid]
+			for _, c := range st.consStore[coff : coff+cln] {
 				var union AnswerSet
-				for _, s := range suppliers[c] {
-					union |= res.Answers[s.Key] & s.Mask
+				off, ln := st.pairSupOff[c], st.pairSupLen[c]
+				for i := off; i < off+ln; i++ {
+					if src := st.supSrc[i]; src >= 0 {
+						union |= st.pairAns[src] & st.supStore[i].Mask
+					}
 				}
-				if union != res.Answers[c] {
-					res.Answers[c] = union
-					worklist = append(worklist, c)
+				if union != st.pairAns[c] {
+					st.pairAns[c] = union
+					wl = append(wl, c)
 				}
 			}
 		}
@@ -87,34 +116,45 @@ func (r *run) rollback() {
 		// truncation, or it passes only through TRANS-masked summary
 		// edges). The paper's rule applies: whatever remains unresolved is
 		// UNDEF. Such pairs become resolution sites — their partial
-		// supplier information must not constrain restructuring — and the
-		// forced answers propagate to their consumers before the rollback
-		// finishes.
-		var forced []PairKey
-		for n, qs := range res.Queries {
-			for _, q := range qs {
-				pk := PairKey{n, q.ID}
-				if res.Answers[pk] == 0 {
-					res.Answers[pk] = AnsUndef
-					res.Resolved[pk] = AnsUndef
-					delete(res.Suppliers, pk)
-					forced = append(forced, pk)
-				}
+		// supplier information must not constrain restructuring, so their
+		// published suppliers are withdrawn (the fixpoint keeps using the
+		// relation internally) — and the forced answers propagate to their
+		// consumers before the rollback finishes.
+		forced := wl[:0]
+		for pid := 0; pid < np; pid++ {
+			if st.pairAns[pid] == 0 {
+				st.pairAns[pid] = AnsUndef
+				st.resolvePair(int32(pid), AnsUndef)
+				st.pairSupDeleted[pid] = true
+				forced = append(forced, int32(pid))
 			}
 		}
 		if len(forced) == 0 {
+			st.scratch = wl[:0]
 			return
 		}
-		worklist = forced
+		wl = forced
 	}
 }
 
-// suppliersOf recomputes where the answers for an unresolved pair come
-// from, mirroring the propagation cases of process().
-func (r *run) suppliersOf(pk PairKey) []EdgeSupplier {
-	n := r.p.Node(pk.Node)
-	q := r.res.queries[pk.Query]
-	var sups []EdgeSupplier
+func resizeInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// appendSuppliersOf recomputes where the answers for an unresolved pair
+// come from, mirroring the propagation cases of process(), and appends them
+// to the supplier arena.
+func (r *run) appendSuppliersOf(pid int32) {
+	st := r.st
+	n := r.p.Node(st.pairNode[pid])
+	q := st.queries[st.pairQ[pid]]
 
 	switch n.Kind {
 	case ir.NEntry:
@@ -122,54 +162,51 @@ func (r *run) suppliersOf(pk PairKey) []EdgeSupplier {
 		// call-site predecessors.
 		for _, m := range n.Preds {
 			call := r.p.Node(m)
-			sq := r.substEntryLookup(q, call, q.Owner)
-			if sq != nil {
-				sups = append(sups, EdgeSupplier{Pred: m, Query: sq, Mask: maskAll})
+			if sq := r.substEntryLookup(q, call, q.Owner); sq != nil {
+				st.supStore = append(st.supStore, EdgeSupplier{Pred: m, Query: sq, Mask: maskAll})
 			}
 		}
 
 	case ir.NCallExit:
 		cv, cp := r.callExitContent(n, q)
-		call := r.p.CallPred(n)
-		exit := r.p.ExitPred(n)
-		if call == nil || exit == nil {
-			return nil
+		call := r.idx.CallPred(n.ID)
+		exit := r.idx.ExitPred(n.ID)
+		if call == ir.NoNode || exit == ir.NoNode {
+			return
 		}
 		if !r.mustTraverse(n.Callee, cv) {
 			if sq := r.lookupQuery(cv, cp, q.Owner); sq != nil {
-				sups = append(sups, EdgeSupplier{Pred: call.ID, Query: sq, Mask: maskAll})
+				st.supStore = append(st.supStore, EdgeSupplier{Pred: call, Query: sq, Mask: maskAll})
 			}
-			return sups
+			return
 		}
-		key := queryKey{v: cv, op: cp.Op, c: cp.C, owner: int(exit.ID)}
-		s := r.sneByKey[key]
+		s := st.findSNE(exit, cv, cp)
 		if s == nil {
-			return nil
+			return
 		}
 		// Answers resolved inside the callee, minus transparency.
-		sups = append(sups, EdgeSupplier{Pred: exit.ID, Query: s.Qsn,
+		st.supStore = append(st.supStore, EdgeSupplier{Pred: exit, Query: s.Qsn,
 			Mask: maskAll &^ AnsTrans, FromExit: true})
 		// Answers flowing across the transparent paths: the entry queries
 		// continued at the call node.
-		en := r.p.EntrySucc(call)
-		for _, qo := range s.Entries[en.ID] {
-			cq := r.substEntryLookup(qo, call, q.Owner)
-			if cq != nil {
-				sups = append(sups, EdgeSupplier{Pred: call.ID, Query: cq, Mask: maskAll})
+		en := r.idx.EntrySucc(call)
+		callNode := r.p.Node(call)
+		for _, qo := range s.EntriesAt(en) {
+			if cq := r.substEntryLookup(qo, callNode, q.Owner); cq != nil {
+				st.supStore = append(st.supStore, EdgeSupplier{Pred: call, Query: cq, Mask: maskAll})
 			}
 		}
 
 	default:
 		out := r.transfer(n, q)
 		if out.resolved {
-			// Resolved pairs never reach suppliersOf.
-			return nil
+			// Resolved pairs never reach appendSuppliersOf.
+			return
 		}
 		for _, m := range n.Preds {
-			sups = append(sups, EdgeSupplier{Pred: m, Query: out.next, Mask: maskAll})
+			st.supStore = append(st.supStore, EdgeSupplier{Pred: m, Query: out.next, Mask: maskAll})
 		}
 	}
-	return sups
 }
 
 // substEntryLookup is substEntry without interning: it returns nil when the
@@ -198,14 +235,15 @@ func (r *Result) DuplicationEstimate(p *ir.Program) int {
 	// estCap saturates the estimate (deliberately not named cap: a local
 	// `cap` would shadow the builtin for the whole function body).
 	const estCap = 1 << 30
+	st := r.st
 	est := 0
-	for n, qs := range r.Queries {
+	for _, n := range st.visited {
 		if p.Node(n) == nil {
 			continue
 		}
 		copies := 1
-		for _, q := range qs {
-			if c := r.Answers[PairKey{n, q.ID}].Count(); c > 1 {
+		for _, pid := range st.nodePair[n] {
+			if c := st.pairAns[pid].Count(); c > 1 {
 				copies *= c
 				if copies > estCap {
 					copies = estCap
@@ -228,10 +266,11 @@ func (r *Result) DuplicationEstimate(p *ir.Program) int {
 // nodes where queries resolved TRUE or FALSE (the paper's Figure 10
 // estimate).
 func (r *Result) EstimatedBenefit(execCount map[ir.NodeID]int64) int64 {
+	st := r.st
 	var total int64
-	for pk, ans := range r.Resolved {
-		if ans&(AnsTrue|AnsFalse) != 0 {
-			total += execCount[pk.Node]
+	for pid := range st.pairNode {
+		if st.pairResolved[pid] && st.pairRes[pid]&(AnsTrue|AnsFalse) != 0 {
+			total += execCount[st.pairNode[pid]]
 		}
 	}
 	return total
@@ -239,17 +278,26 @@ func (r *Result) EstimatedBenefit(execCount map[ir.NodeID]int64) int64 {
 
 // ApproxBytes estimates the memory consumed by the analysis structures
 // (queries, pairs, summary node entries), for the Table 2 memory column.
+// The per-entry constants mirror what the seed's map-based representation
+// charged, so the Table 2 memory column stays comparable across versions.
 func (r *Result) ApproxBytes() int64 {
+	st := r.st
 	var b int64
-	b += int64(len(r.queries)) * 48
+	b += int64(len(st.queries)) * 48
 	b += int64(r.PairsRaised) * 40 // raised set + worklist entries
-	b += int64(len(r.Resolved)) * 24
-	b += int64(len(r.Answers)) * 24
-	for _, s := range r.snes {
+	resolved := 0
+	for pid := range st.pairNode {
+		if st.pairResolved[pid] {
+			resolved++
+		}
+	}
+	b += int64(resolved) * 24
+	b += int64(len(st.pairNode)) * 24
+	for _, s := range st.snes {
 		b += 64
 		b += int64(len(s.Waiters)) * 40
-		for _, qs := range s.Entries {
-			b += 16 + int64(len(qs))*8
+		for i := range s.entries {
+			b += 16 + int64(len(s.entries[i].qs))*8
 		}
 	}
 	return b

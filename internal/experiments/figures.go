@@ -74,6 +74,8 @@ func Figure9(ws []*progs.Workload) ([]Fig9Row, error) {
 				row.InterFullPct++
 				row.InterFullDynPct += weight
 			}
+			resInter.Release()
+			resIntra.Release()
 		}
 		row.AnalyzablePct = pct(row.AnalyzablePct, totalStatic)
 		row.IntraSomePct = pct(row.IntraSomePct, totalStatic)
@@ -135,19 +137,25 @@ func Figure10(ws []*progs.Workload) (intra, inter []Fig10Point, err error) {
 		anInter := analysis.New(p, interOpts(0))
 		anIntra := analysis.New(p, intraOpts(0))
 		for _, b := range analyzableBranches(p) {
-			if res := anIntra.AnalyzeBranch(b.ID); res != nil && res.HasCorrelation() {
-				intra = append(intra, Fig10Point{
-					Workload: w.Name, Line: b.Line,
-					Dup:     res.DuplicationEstimate(p),
-					Benefit: res.EstimatedBenefit(prof),
-				})
+			if res := anIntra.AnalyzeBranch(b.ID); res != nil {
+				if res.HasCorrelation() {
+					intra = append(intra, Fig10Point{
+						Workload: w.Name, Line: b.Line,
+						Dup:     res.DuplicationEstimate(p),
+						Benefit: res.EstimatedBenefit(prof),
+					})
+				}
+				res.Release()
 			}
-			if res := anInter.AnalyzeBranch(b.ID); res != nil && res.HasCorrelation() {
-				inter = append(inter, Fig10Point{
-					Workload: w.Name, Line: b.Line,
-					Dup:     res.DuplicationEstimate(p),
-					Benefit: res.EstimatedBenefit(prof),
-				})
+			if res := anInter.AnalyzeBranch(b.ID); res != nil {
+				if res.HasCorrelation() {
+					inter = append(inter, Fig10Point{
+						Workload: w.Name, Line: b.Line,
+						Dup:     res.DuplicationEstimate(p),
+						Benefit: res.EstimatedBenefit(prof),
+					})
+				}
+				res.Release()
 			}
 		}
 	}

@@ -106,6 +106,7 @@ func Table2(ws []*progs.Workload, limit int) ([]Table2Row, error) {
 			if mb := res.ApproxBytes(); mb > 0 {
 				row.AnalysisBytes += mb
 			}
+			res.Release()
 		}
 		row.AnalysisSec = time.Since(ta).Seconds()
 		row.OverallSec = time.Since(t0).Seconds()

@@ -111,33 +111,36 @@ func (p Pred) Negate() Pred { return Pred{Op: p.Op.Negate(), C: p.C} }
 func (p Pred) Eval(v int64) bool { return p.Op.Eval(v, p.C) }
 
 // Sat returns the set of integer values satisfying p.
-func (p Pred) Sat() Set {
+func (p Pred) Sat() Set { return Set(p.satInto(nil)) }
+
+// satInto appends the satisfying intervals of p (at most two) to ivs. With
+// a caller-provided stack buffer it builds the set without heap allocation.
+func (p Pred) satInto(ivs []Interval) []Interval {
 	switch p.Op {
 	case Eq:
-		return Set{{Fin(p.C), Fin(p.C)}}
+		return append(ivs, Interval{Fin(p.C), Fin(p.C)})
 	case Ne:
-		s := Set{}
 		if p.C != math.MinInt64 {
-			s = append(s, Interval{NegInf(), Fin(p.C - 1)})
+			ivs = append(ivs, Interval{NegInf(), Fin(p.C - 1)})
 		}
 		if p.C != math.MaxInt64 {
-			s = append(s, Interval{Fin(p.C + 1), PosInf()})
+			ivs = append(ivs, Interval{Fin(p.C + 1), PosInf()})
 		}
-		return s
+		return ivs
 	case Lt:
 		if p.C == math.MinInt64 {
-			return Set{}
+			return ivs
 		}
-		return Set{{NegInf(), Fin(p.C - 1)}}
+		return append(ivs, Interval{NegInf(), Fin(p.C - 1)})
 	case Le:
-		return Set{{NegInf(), Fin(p.C)}}
+		return append(ivs, Interval{NegInf(), Fin(p.C)})
 	case Gt:
 		if p.C == math.MaxInt64 {
-			return Set{}
+			return ivs
 		}
-		return Set{{Fin(p.C + 1), PosInf()}}
+		return append(ivs, Interval{Fin(p.C + 1), PosInf()})
 	case Ge:
-		return Set{{Fin(p.C), PosInf()}}
+		return append(ivs, Interval{Fin(p.C), PosInf()})
 	}
 	panic(fmt.Sprintf("pred: invalid operator %d", int(p.Op)))
 }
@@ -168,12 +171,59 @@ func (o Outcome) String() string {
 // fact satisfies p (False), or neither (Unknown). An empty fact set denotes
 // unreachable state; Decide returns True for it (any answer is sound; True
 // keeps the common x != x style degenerate cases deterministic).
-func Decide(fact Set, p Pred) Outcome {
-	sat := p.Sat()
-	if fact.SubsetOf(sat) {
+func Decide(fact Set, p Pred) Outcome { return decideIntervals(fact, p) }
+
+// DecidePred is Decide with the fact given as a predicate's satisfying set:
+// Decide(fact.Sat(), p) without materializing the Set. The analysis' assert
+// transfer sits on this call, so the savings are per node-query pair.
+func DecidePred(fact, p Pred) Outcome {
+	var buf [2]Interval
+	return decideIntervals(fact.satInto(buf[:0]), p)
+}
+
+// decideIntervals decides p against a union of disjoint non-empty closed
+// intervals by comparing effective integer endpoints, with infinite bounds
+// clamped to the int64 range (every representable value lies within it).
+func decideIntervals(fact []Interval, p Pred) Outcome {
+	all, some := true, false
+	for _, iv := range fact {
+		lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+		if iv.Lo.Finite() {
+			lo = iv.Lo.v
+		}
+		if iv.Hi.Finite() {
+			hi = iv.Hi.v
+		}
+		var a, s bool
+		switch p.Op {
+		case Eq:
+			a = lo == p.C && hi == p.C
+			s = lo <= p.C && p.C <= hi
+		case Ne:
+			a = p.C < lo || hi < p.C
+			s = !(lo == p.C && hi == p.C)
+		case Lt:
+			a = hi < p.C
+			s = lo < p.C
+		case Le:
+			a = hi <= p.C
+			s = lo <= p.C
+		case Gt:
+			a = lo > p.C
+			s = hi > p.C
+		case Ge:
+			a = lo >= p.C
+			s = hi >= p.C
+		default:
+			panic(fmt.Sprintf("pred: invalid operator %d", int(p.Op)))
+		}
+		all = all && a
+		some = some || s
+	}
+	if all {
 		return True
 	}
-	if !fact.Intersects(sat) {
+	if !some {
 		return False
 	}
 	return Unknown

@@ -223,6 +223,10 @@ func TestDecide(t *testing.T) {
 		{Range(0, 255), Pred{Le, 255}, True},      //
 		{Range(0, 255), Pred{Lt, 255}, Unknown},   //
 		{Range(0, 255), Pred{Gt, 255}, False},     //
+		{All(), Pred{Lt, math.MinInt64}, False},   // unsatisfiable predicate
+		{All(), Pred{Gt, math.MaxInt64}, False},   //
+		{All(), Pred{Le, math.MaxInt64}, True},    // tautological predicate
+		{Single(math.MinInt64), Pred{Le, math.MinInt64}, True},
 	}
 	for _, tc := range tests {
 		if got := Decide(tc.fact, tc.p); got != tc.want {
@@ -268,6 +272,10 @@ func TestDecideAgreesWithBruteForce(t *testing.T) {
 					}
 					if !allTrue && !allFalse && got != Unknown {
 						t.Errorf("fact (v %s %d), q (v %s %d): want Unknown, got %v", fop, fc, qop, qc, got)
+					}
+					if dp := DecidePred(Pred{Op: fop, C: fc}, q); dp != got {
+						t.Errorf("DecidePred(v %s %d, v %s %d) = %v, Decide = %v",
+							fop, fc, qop, qc, dp, got)
 					}
 				}
 			}

@@ -143,6 +143,15 @@ type DriverStats struct {
 	// when the run had none. Every counted failure was rolled back and
 	// carries a CondReport entry with its BranchFailure.
 	Failures map[FailureKind]int
+	// SNEMemoEntries and SNEMemoHits expose the cross-conditional summary
+	// memo (analysis.SummaryMemo): committed records at the end of the run
+	// and summaries replayed instead of re-propagated. CacheBytes is the
+	// memo's footprint. The driver commits the memo once per round against
+	// the round's dirty set and workers replay only from the frozen
+	// per-round view, so all three are deterministic.
+	SNEMemoEntries int
+	SNEMemoHits    int64
+	CacheBytes     int64
 	// VerifyRuns counts shadow executions performed by the differential
 	// oracle (DriverOptions.Verify); VerifyWall is their summed wall time.
 	VerifyRuns int
@@ -213,6 +222,13 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 	}
 	aopts := opts.Analysis
 	aopts.CacheAnswers = false
+	// The summary memo outlives the per-round analyzers; the driver owns the
+	// commit points so workers replay only round-frozen records (see
+	// analysis.SummaryMemo for the invalidation contract).
+	var memo *analysis.SummaryMemo
+	if aopts.MemoSummaries && aopts.Interprocedural {
+		memo = analysis.NewSummaryMemo()
+	}
 	ctx := opts.Ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -258,7 +274,7 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 		// Phase 1: concurrent, read-only analysis of the whole batch
 		// against the immutable snapshot. One analyzer is shared so the
 		// MOD summaries are computed once per round.
-		results := analyzeBatch(ctx, work, batch, aopts, opts, workers, &out.Stats)
+		results := analyzeBatch(ctx, work, batch, aopts, memo, opts, workers, &out.Stats)
 
 		// Phase 2: serial application in batch order. dirty accumulates
 		// the nodes changed by restructurings applied this round; a later
@@ -276,6 +292,7 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 			if ctx.Err() != nil {
 				// Deadline expired mid-apply: everything still unsettled
 				// is requeued and reported Skipped below.
+				release(cr)
 				next = append(next, cr.b)
 				continue
 			}
@@ -286,6 +303,7 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 				if cr.res != nil {
 					out.PairsTotal += cr.res.PairsProcessed
 				}
+				release(cr)
 				out.Reports = append(out.Reports, cr.rep)
 				continue
 			}
@@ -296,12 +314,14 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 			}
 			if visitedDirty(cr.res, dirty) {
 				out.Stats.Reanalyses++
+				release(cr)
 				next = append(next, cr.b)
 				continue
 			}
 			out.PairsTotal += cr.res.PairsProcessed
 			if !cr.apply {
 				out.Stats.ClonesAvoided++
+				release(cr)
 				out.Reports = append(out.Reports, cr.rep)
 				continue
 			}
@@ -336,9 +356,16 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 					}
 				}
 			}
+			release(cr)
 			out.Reports = append(out.Reports, cr.rep)
 		}
 		out.Stats.ApplyWall += time.Since(t0)
+		if memo != nil {
+			// Publish this round's summary records and drop everything the
+			// round's restructurings invalidated; the next round replays
+			// only records valid for its snapshot.
+			memo.Commit(dirty)
+		}
 		queue = append(append([]ir.NodeID(nil), overflow...), next...)
 	}
 
@@ -366,8 +393,21 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 		out.Reports = append(out.Reports, rep)
 		out.Truncated = true
 	}
+	if memo != nil {
+		out.Stats.SNEMemoEntries = memo.Entries()
+		out.Stats.SNEMemoHits = memo.Hits()
+		out.Stats.CacheBytes = memo.Bytes()
+	}
 	out.Program = work
 	return out
+}
+
+// release returns a settled conditional's pooled analysis state. Everything
+// the driver keeps past this point (the report, counters) was copied out.
+func release(cr *condResult) {
+	if cr.res != nil {
+		cr.res.Release()
+	}
 }
 
 // applyOne performs one transactional restructuring attempt on the scratch
@@ -415,9 +455,10 @@ func applyOne(work, scratch *ir.Program, cr *condResult, opts DriverOptions,
 // alone; the per-branch deadline (DriverOptions.BranchTimeout) and the
 // driver context interrupt propagation cooperatively.
 func analyzeBatch(ctx context.Context, snapshot *ir.Program, batch []ir.NodeID,
-	aopts analysis.Options, opts DriverOptions, workers int, stats *DriverStats) []condResult {
+	aopts analysis.Options, memo *analysis.SummaryMemo, opts DriverOptions,
+	workers int, stats *DriverStats) []condResult {
 	t0 := time.Now()
-	an := analysis.New(snapshot, aopts)
+	an := analysis.NewWithMemo(snapshot, aopts, memo)
 	results := make([]condResult, len(batch))
 	analyzeOne := func(i int) {
 		cr := &results[i]
@@ -526,21 +567,22 @@ func analyzeBatch(ctx context.Context, snapshot *ir.Program, batch []ir.NodeID,
 }
 
 // visitedDirty reports whether the analysis visited any node changed by a
-// restructuring applied earlier in the round (Result.Queries keys are the
-// paper's Q[n]: exactly the nodes the demand-driven analysis reached).
+// restructuring applied earlier in the round (the visited set is the
+// paper's Q[n] domain: exactly the nodes the demand-driven analysis
+// reached).
 func visitedDirty(res *analysis.Result, dirty map[ir.NodeID]bool) bool {
 	if len(dirty) == 0 {
 		return false
 	}
-	if len(dirty) < len(res.Queries) {
+	if len(dirty) < res.NumVisited() {
 		for n := range dirty {
-			if _, ok := res.Queries[n]; ok {
+			if res.Visited(n) {
 				return true
 			}
 		}
 		return false
 	}
-	for n := range res.Queries {
+	for _, n := range res.VisitedNodes() {
 		if dirty[n] {
 			return true
 		}

@@ -138,16 +138,15 @@ func (r *rest) origOf(id ir.NodeID) ir.NodeID {
 }
 
 func (r *rest) queriesAt(id ir.NodeID) []*analysis.Query {
-	return r.res.Queries[r.origOf(id)]
+	return r.res.QueriesAt(r.origOf(id))
 }
 
 func (r *rest) resolvedAt(id ir.NodeID, q *analysis.Query) (analysis.AnswerSet, bool) {
-	a, ok := r.res.Resolved[analysis.PairKey{Node: r.origOf(id), Query: q.ID}]
-	return a, ok
+	return r.res.ResolvedAt(r.origOf(id), q)
 }
 
 func (r *rest) suppliers(id ir.NodeID, q *analysis.Query) []analysis.EdgeSupplier {
-	return r.res.Suppliers[analysis.PairKey{Node: r.origOf(id), Query: q.ID}]
+	return r.res.SuppliersAt(r.origOf(id), q)
 }
 
 func (r *rest) enqueue(id ir.NodeID) {
@@ -160,17 +159,17 @@ func (r *rest) enqueue(id ir.NodeID) {
 
 func (r *rest) init() {
 	// Copy the analysis answers into the mutable per-node answer state.
-	for pk, a := range r.res.Answers {
-		if r.p.Node(pk.Node) == nil {
-			continue
+	r.res.ForEachPair(func(pn ir.NodeID, q *analysis.Query, a analysis.AnswerSet) {
+		if r.p.Node(pn) == nil {
+			return
 		}
-		m := r.ans[pk.Node]
+		m := r.ans[pn]
 		if m == nil {
 			m = make(map[int]analysis.AnswerSet)
-			r.ans[pk.Node] = m
+			r.ans[pn] = m
 		}
-		m[pk.Query] = a
-	}
+		m[q.ID] = a
+	})
 	// Snapshot branch arms in the visited region (and the conditional
 	// itself) before any mutation.
 	for id := range r.ans {
@@ -214,22 +213,26 @@ func (r *rest) init() {
 // exactly one caller-side query and edge fixing is path-precise.
 func (r *rest) checkTransparencyUnambiguous() error {
 	// Sorted pair order so the reported call-site exit is stable.
-	pks := make([]analysis.PairKey, 0, len(r.res.Answers))
-	for pk := range r.res.Answers {
-		pks = append(pks, pk)
+	type pk struct {
+		node ir.NodeID
+		q    *analysis.Query
 	}
-	sort.Slice(pks, func(i, j int) bool {
-		if pks[i].Node != pks[j].Node {
-			return pks[i].Node < pks[j].Node
-		}
-		return pks[i].Query < pks[j].Query
+	var pks []pk
+	r.res.ForEachPair(func(pn ir.NodeID, q *analysis.Query, _ analysis.AnswerSet) {
+		pks = append(pks, pk{pn, q})
 	})
-	for _, pk := range pks {
-		node := r.p.Node(pk.Node)
+	sort.Slice(pks, func(i, j int) bool {
+		if pks[i].node != pks[j].node {
+			return pks[i].node < pks[j].node
+		}
+		return pks[i].q.ID < pks[j].q.ID
+	})
+	for _, k := range pks {
+		node := r.p.Node(k.node)
 		if node == nil || node.Kind != ir.NCallExit {
 			continue
 		}
-		sups := r.res.Suppliers[pk]
+		sups := r.res.SuppliersAt(k.node, k.q)
 		if !hasExitSupplier(sups) {
 			continue
 		}
@@ -241,7 +244,7 @@ func (r *rest) checkTransparencyUnambiguous() error {
 			}
 		}
 		if len(distinct) > 1 {
-			return fmt.Errorf("%w (call-site exit %d)", ErrAmbiguousTransparency, pk.Node)
+			return fmt.Errorf("%w (call-site exit %d)", ErrAmbiguousTransparency, k.node)
 		}
 	}
 	return nil
