@@ -1,0 +1,79 @@
+package icbe
+
+import (
+	"testing"
+
+	"icbe/internal/progs"
+	"icbe/internal/randprog"
+)
+
+// TestCheckLayerWorkloads runs the full pipeline with the static check layer
+// on every workload and requires a clean bill of health: the SCCP oracle
+// never contradicts a demand-driven answer, the invariant lints stay silent
+// before and after restructuring, nothing is refused, and the optimized
+// program is byte-identical to a run without the layer (observation must not
+// perturb the optimization).
+func TestCheckLayerWorkloads(t *testing.T) {
+	for _, w := range progs.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := Compile(w.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, _, err := p.Optimize(DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.Check = true
+			opt, rep, err := p.Optimize(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := rep.Stats
+			if s.CheckRuns == 0 {
+				t.Fatal("check layer never ran")
+			}
+			if s.SCCPDisagreements != 0 {
+				t.Errorf("SCCP disagreements = %d, want 0", s.SCCPDisagreements)
+			}
+			if n := s.Failures["check"]; n != 0 {
+				t.Errorf("check refusals = %d, want 0", n)
+			}
+			if s.CheckFindingsPre != 0 || s.CheckFindingsPost != 0 {
+				t.Errorf("invariant findings = %d -> %d, want 0 -> 0",
+					s.CheckFindingsPre, s.CheckFindingsPost)
+			}
+			if opt.Dump() != plain.Dump() {
+				t.Error("check layer changed the optimization result")
+			}
+		})
+	}
+}
+
+// TestCheckLayerRandprog runs the differential-equivalence seed programs
+// through Optimize with CheckFatal, so any oracle disagreement or lint
+// regression surfaces as a hard error instead of a contained rollback.
+func TestCheckLayerRandprog(t *testing.T) {
+	cfg := randprog.Config{Procs: 3, MaxStmts: 4, MaxDepth: 2}
+	for _, seed := range []uint64{0, 1, 2, 3, 7, 11, 42, 99, 1234, 0xdeadbeef} {
+		src := randprog.Generate(seed, cfg)
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d rejected: %v", seed, err)
+		}
+		opts := DefaultOptions()
+		opts.CheckFatal = true
+		_, rep, err := p.Optimize(opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		if rep.Stats.CheckRuns == 0 {
+			t.Fatalf("seed %d: CheckFatal did not imply Check", seed)
+		}
+		if rep.Stats.SCCPDisagreements != 0 {
+			t.Fatalf("seed %d: %d SCCP disagreements\n%s",
+				seed, rep.Stats.SCCPDisagreements, src)
+		}
+	}
+}

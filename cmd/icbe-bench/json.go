@@ -28,6 +28,23 @@ type benchRecord struct {
 	PairsPerSec float64 `json:"pairs_per_sec"`
 }
 
+// checkRecord is one workload's static verification summary in the JSON
+// output: SCCP cross-check agreement, the recall metric (constant branches
+// ICBE left in the optimized program), and the invariant lint finding
+// counts. Disagreements, refusals, and findings are correctness indicators
+// and must be zero.
+type checkRecord struct {
+	Name          string `json:"name"`
+	Analyzable    int    `json:"analyzable"`
+	Optimized     int    `json:"optimized"`
+	Agreements    int    `json:"sccp_agreements"`
+	Disagreements int    `json:"sccp_disagreements"`
+	Recall        int    `json:"sccp_recall"`
+	FindingsPre   int    `json:"check_findings_pre"`
+	FindingsPost  int    `json:"check_findings_post"`
+	CheckFailures int    `json:"check_failures"`
+}
+
 // benchFile is the top-level BENCH_<n>.json document.
 type benchFile struct {
 	GoVersion  string        `json:"go_version"`
@@ -35,6 +52,7 @@ type benchFile struct {
 	GOARCH     string        `json:"goarch"`
 	NumCPU     int           `json:"num_cpu"`
 	Benchmarks []benchRecord `json:"benchmarks"`
+	Check      []checkRecord `json:"check"`
 }
 
 // measure times fn like a testing.B loop: one untimed warm-up (so pools and
@@ -130,6 +148,27 @@ func writeBenchJSON(path string, ws []*progs.Workload, termLim int) error {
 			return err
 		}
 		out.Benchmarks = append(out.Benchmarks, rec)
+	}
+
+	// The static verification summary rides along so correctness indicators
+	// (zero disagreements, zero findings) diff across PRs like the perf
+	// numbers do.
+	rows, err := experiments.CheckReport(ws, termLim)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		out.Check = append(out.Check, checkRecord{
+			Name:          r.Name,
+			Analyzable:    r.Analyzable,
+			Optimized:     r.Optimized,
+			Agreements:    r.Agreements,
+			Disagreements: r.Disagreements,
+			Recall:        r.Recall,
+			FindingsPre:   r.FindingsPre,
+			FindingsPost:  r.FindingsPost,
+			CheckFailures: r.CheckFailures,
+		})
 	}
 
 	data, err := json.MarshalIndent(&out, "", "  ")

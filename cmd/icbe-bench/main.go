@@ -30,6 +30,7 @@ func main() {
 		headline  = flag.Bool("headline", false, "headline claims (3-18% eliminated, ~2.5x vs intra)")
 		inlining  = flag.Bool("inlining", false, "inlining vs ICBE comparison (paper §5)")
 		heuristic = flag.Bool("heuristic", false, "growth-limit vs profile-guided benefit heuristic")
+		checkRep  = flag.Bool("check", false, "static verification: SCCP cross-check agreement and recall per workload")
 		workload  = flag.String("workload", "", "restrict to one workload by name")
 		termLim   = flag.Int("term", experiments.PaperTerminationLimit, "analysis termination limit")
 		workers   = flag.Int("workers", runtime.NumCPU(), "analysis worker goroutines per driver run (1 = serial)")
@@ -41,7 +42,7 @@ func main() {
 	experiments.Workers = *workers
 	experiments.Verify = *verify
 	experiments.Timeout = *timeout
-	if !*all && !*table1 && !*table2 && !*fig9 && !*fig10 && !*fig11 && !*headline && !*inlining && !*heuristic && *jsonOut == "" {
+	if !*all && !*table1 && !*table2 && !*fig9 && !*fig10 && !*fig11 && !*headline && !*inlining && !*heuristic && !*checkRep && *jsonOut == "" {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -99,6 +100,11 @@ func main() {
 		rows, err := experiments.HeuristicComparison(ws, *termLim)
 		check(err)
 		fmt.Println(experiments.FormatHeuristic(rows))
+	}
+	if *all || *checkRep {
+		rows, err := experiments.CheckReport(ws, *termLim)
+		check(err)
+		fmt.Println(experiments.FormatCheckReport(rows))
 	}
 }
 

@@ -44,6 +44,8 @@ func main() {
 		compact  = flag.Bool("compact", false, "contract synthetic no-op nodes after optimization")
 		workers  = flag.Int("workers", runtime.NumCPU(), "analysis worker goroutines for -optimize (1 = serial)")
 		verify   = flag.Bool("verify", false, "differentially shadow-execute after each applied restructuring; violations roll back")
+		chk      = flag.Bool("check", false, "cross-check answers against a forward SCCP oracle and lint each applied restructuring; violations roll back")
+		chkFatal = flag.Bool("check-fatal", false, "like -check, but exit nonzero when the check layer refused any conditional")
 		timeout  = flag.Duration("timeout", 0, "overall -optimize deadline, e.g. 500ms (0 = none)")
 		branchTO = flag.Duration("branch-timeout", 0, "per-conditional analysis deadline (0 = none)")
 	)
@@ -73,6 +75,8 @@ func main() {
 	opts.Compact = *compact
 	opts.Workers = *workers
 	opts.Verify = *verify
+	opts.Check = *chk
+	opts.CheckFatal = *chkFatal
 	opts.Timeout = *timeout
 	opts.BranchTimeout = *branchTO
 
@@ -120,9 +124,10 @@ func main() {
 	work := prog
 	if *doOpt {
 		var rep *icbe.Report
-		work, rep, err = prog.Optimize(opts)
-		if err != nil {
-			fatal(err)
+		var optErr error
+		work, rep, optErr = prog.Optimize(opts)
+		if optErr != nil && rep == nil {
+			fatal(optErr)
 		}
 		fmt.Printf("optimized %d conditionals (%d node-query pairs, operations %d -> %d)\n",
 			rep.Optimized, rep.PairsTotal, rep.OperationsBefore, rep.OperationsAfter)
@@ -162,6 +167,15 @@ func main() {
 			if s.VerifyRuns > 0 {
 				fmt.Printf("verify: %d shadow runs, %v\n", s.VerifyRuns, s.VerifyWall)
 			}
+			if s.CheckRuns > 0 {
+				fmt.Printf("check: %d oracle runs, %d agreements, %d disagreements, recall %d, findings %d -> %d, %v\n",
+					s.CheckRuns, s.SCCPAgreements, s.SCCPDisagreements, s.SCCPRecall,
+					s.CheckFindingsPre, s.CheckFindingsPost, s.CheckWall)
+			}
+		}
+		if optErr != nil {
+			// -check-fatal: the refusals were printed above; exit nonzero.
+			fatal(optErr)
 		}
 	}
 

@@ -168,6 +168,18 @@ type Options struct {
 	Verify bool
 	// VerifyInputs supplies workload input streams for Verify.
 	VerifyInputs [][]int64
+	// Check enables the static verification layer: a forward SCCP oracle
+	// cross-checks every demand-driven answer before its restructuring is
+	// attempted, and invariant lint passes (unreachable node,
+	// use-before-def, must-fail assertion, structural linkage) re-run on
+	// every applied restructuring, rolling back any apply that regresses.
+	// Unlike Verify no inputs are run, so the static layer covers all paths;
+	// the two oracles compose. See Report.Stats' check counters.
+	Check bool
+	// CheckFatal additionally turns any cross-check disagreement or check
+	// veto into an Optimize error after the (fully rolled-back) run
+	// completes. It implies Check.
+	CheckFatal bool
 	// Timeout bounds the whole optimization run (0 = none). On expiry the
 	// program optimized so far is returned and still-queued conditionals
 	// are reported Skipped with a "timeout" failure.
@@ -228,7 +240,7 @@ type CondReport struct {
 	Skipped bool
 	// FailureKind categorizes a contained failure that rolled this
 	// branch's optimization back: "panic", "validate", "diff-mismatch",
-	// "op-growth" or "timeout"; empty when none. The program returned by
+	// "op-growth", "timeout" or "check"; empty when none. The program returned by
 	// Optimize never includes a restructuring that failed a gate.
 	FailureKind string
 	// Err holds the restructuring failure, if any (the detailed
@@ -255,8 +267,9 @@ type DriverStats struct {
 	Clones        int
 	ClonesAvoided int
 	// Failures counts contained per-conditional failures by category
-	// ("panic", "validate", "diff-mismatch", "op-growth", "timeout"); nil
-	// when the run had none. Every counted failure was rolled back.
+	// ("panic", "validate", "diff-mismatch", "op-growth", "timeout",
+	// "check"); nil when the run had none. Every counted failure was
+	// rolled back.
 	Failures map[string]int
 	// SNEMemoEntries and SNEMemoHits count the summary-memo records held at
 	// the end of the run and the procedure summaries replayed from them
@@ -268,6 +281,21 @@ type DriverStats struct {
 	// oracle (Options.Verify); VerifyWall is their summed wall time.
 	VerifyRuns int
 	VerifyWall time.Duration
+	// CheckRuns counts static check-layer analyses (Options.Check) and
+	// CheckWall their summed wall time. SCCPAgreements and
+	// SCCPDisagreements count cross-checked conditionals the SCCP oracle
+	// confirmed or contradicted (disagreements are contained "check"
+	// failures; a healthy run has zero). SCCPRecall counts analyzable
+	// branches of the final program whose outcome the oracle still decides —
+	// constant branches ICBE left in place. CheckFindingsPre/Post count
+	// invariant lint findings on the input and final programs.
+	CheckRuns         int
+	CheckWall         time.Duration
+	SCCPAgreements    int
+	SCCPDisagreements int
+	SCCPRecall        int
+	CheckFindingsPre  int
+	CheckFindingsPost int
 	// AnalysisWall and ApplyWall are the summed wall-clock times of the
 	// concurrent analysis phases and the serial apply phases.
 	AnalysisWall time.Duration
@@ -315,6 +343,7 @@ func (p *Program) Optimize(opts Options) (op *Program, rep *Report, err error) {
 		Workers:        opts.Workers,
 		Verify:         opts.Verify,
 		VerifyInputs:   opts.VerifyInputs,
+		Check:          opts.Check || opts.CheckFatal,
 		Timeout:        opts.Timeout,
 		BranchTimeout:  opts.BranchTimeout,
 		Ctx:            opts.Ctx,
@@ -329,19 +358,26 @@ func (p *Program) Optimize(opts Options) (op *Program, rep *Report, err error) {
 		OperationsAfter:  ir.Collect(dr.Program).Operations,
 		Truncated:        dr.Truncated,
 		Stats: DriverStats{
-			Workers:        dr.Stats.Workers,
-			Rounds:         dr.Stats.Rounds,
-			Analyses:       dr.Stats.Analyses,
-			Reanalyses:     dr.Stats.Reanalyses,
-			Clones:         dr.Stats.Clones,
-			ClonesAvoided:  dr.Stats.ClonesAvoided,
-			SNEMemoEntries: dr.Stats.SNEMemoEntries,
-			SNEMemoHits:    dr.Stats.SNEMemoHits,
-			CacheBytes:     dr.Stats.CacheBytes,
-			VerifyRuns:     dr.Stats.VerifyRuns,
-			VerifyWall:     dr.Stats.VerifyWall,
-			AnalysisWall:   dr.Stats.AnalysisWall,
-			ApplyWall:      dr.Stats.ApplyWall,
+			Workers:           dr.Stats.Workers,
+			Rounds:            dr.Stats.Rounds,
+			Analyses:          dr.Stats.Analyses,
+			Reanalyses:        dr.Stats.Reanalyses,
+			Clones:            dr.Stats.Clones,
+			ClonesAvoided:     dr.Stats.ClonesAvoided,
+			SNEMemoEntries:    dr.Stats.SNEMemoEntries,
+			SNEMemoHits:       dr.Stats.SNEMemoHits,
+			CacheBytes:        dr.Stats.CacheBytes,
+			VerifyRuns:        dr.Stats.VerifyRuns,
+			VerifyWall:        dr.Stats.VerifyWall,
+			AnalysisWall:      dr.Stats.AnalysisWall,
+			ApplyWall:         dr.Stats.ApplyWall,
+			CheckRuns:         dr.Stats.CheckRuns,
+			CheckWall:         dr.Stats.CheckWall,
+			SCCPAgreements:    dr.Stats.SCCPAgreements,
+			SCCPDisagreements: dr.Stats.SCCPDisagreements,
+			SCCPRecall:        dr.Stats.SCCPRecall,
+			CheckFindingsPre:  dr.Stats.CheckFindingsPre,
+			CheckFindingsPost: dr.Stats.CheckFindingsPost,
 		},
 	}
 	for kind, n := range dr.Stats.Failures {
@@ -367,6 +403,14 @@ func (p *Program) Optimize(opts Options) (op *Program, rep *Report, err error) {
 			c.FailureKind = r.Failure.Kind.String()
 		}
 		rep.Conditionals = append(rep.Conditionals, c)
+	}
+	if opts.CheckFatal && rep.Stats.Failures["check"] > 0 {
+		// The refusals were contained and rolled back; the caller asked for
+		// them to be fatal. The program and report are still returned for
+		// inspection.
+		return &Program{g: dr.Program}, rep,
+			fmt.Errorf("icbe: static check layer refused %d conditional(s) (%d oracle disagreements); see CondReport entries with FailureKind %q",
+				rep.Stats.Failures["check"], rep.Stats.SCCPDisagreements, "check")
 	}
 	return &Program{g: dr.Program}, rep, nil
 }

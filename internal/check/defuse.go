@@ -1,0 +1,257 @@
+package check
+
+import (
+	"icbe/internal/ir"
+)
+
+// forEachRead calls f for every variable the node's transfer function
+// reads. Call-site exits read the callee's return variable, which is a
+// cross-procedure read handled separately by the callers that need it; the
+// implicit return-variable read at procedure exits is likewise opt-in (see
+// assignFlow.forEachMayUndefRead).
+func forEachRead(n *ir.Node, f func(ir.VarID)) {
+	operand := func(o ir.Operand) {
+		if !o.IsConst {
+			f(o.Var)
+		}
+	}
+	switch n.Kind {
+	case ir.NAssign:
+		switch n.RHS.Kind {
+		case ir.RCopy, ir.RNeg, ir.RByte:
+			f(n.RHS.Src)
+		case ir.RBinop:
+			operand(n.RHS.A)
+			operand(n.RHS.B)
+		case ir.RLoad:
+			f(n.RHS.Src)
+			operand(n.RHS.A)
+		case ir.RAlloc:
+			operand(n.RHS.A)
+		}
+	case ir.NBranch:
+		f(n.CondVar)
+		operand(n.CondRHS)
+	case ir.NAssert:
+		f(n.AVar)
+	case ir.NCall:
+		for _, a := range n.Args {
+			f(a)
+		}
+	case ir.NStore:
+		f(n.Ptr)
+		operand(n.Idx)
+		operand(n.Val)
+	case ir.NPrint:
+		operand(n.Val)
+	}
+}
+
+// assignFlow holds the per-node assigned-variable sets of one procedure:
+// a forward definite-assignment analysis (intersection over predecessors;
+// used to seed SCCP cells with the interpreter's implicit zero for
+// variables that may be read before any assignment) and a forward
+// maybe-assignment analysis (union over predecessors; a read of a variable
+// that is not even maybe-assigned is the use-before-def lint finding).
+//
+// Dataflow edges are the intraprocedural ones: successor edges within the
+// procedure, excluding return edges (procedure exit → call-site exit) and
+// call-to-entry edges of self-recursive calls — a call site's local
+// continuation is its call-site exit, whose only intraprocedural dataflow
+// predecessor is the call.
+type assignFlow struct {
+	p    *ir.Program
+	proc int
+	// vars are the procedure's own variables in VarID order; varPos maps a
+	// VarID to its bit position.
+	vars   []ir.VarID
+	varPos map[ir.VarID]int
+	nodes  []*ir.Node
+	pos    map[ir.NodeID]int
+	words  int
+	defIn  []uint64 // definitely-assigned at node entry, words per node
+	mayIn  []uint64 // maybe-assigned at node entry
+}
+
+// analyzeAssignments runs both assignment dataflows for one procedure.
+func analyzeAssignments(p *ir.Program, proc int) *assignFlow {
+	af := &assignFlow{p: p, proc: proc, varPos: make(map[ir.VarID]int), pos: make(map[ir.NodeID]int)}
+	for _, v := range p.Vars {
+		if v != nil && !v.IsGlobal() && v.Proc == proc {
+			af.varPos[v.ID] = len(af.vars)
+			af.vars = append(af.vars, v.ID)
+		}
+	}
+	for _, n := range p.Nodes {
+		if n != nil && n.Proc == proc {
+			af.pos[n.ID] = len(af.nodes)
+			af.nodes = append(af.nodes, n)
+		}
+	}
+	af.words = (len(af.vars) + 63) / 64
+	if af.words == 0 || len(af.nodes) == 0 {
+		return af
+	}
+	af.defIn = make([]uint64, af.words*len(af.nodes))
+	af.mayIn = make([]uint64, af.words*len(af.nodes))
+	// Non-entry in-states start at the intersection identity (all ones) for
+	// the definite analysis and empty for the maybe analysis; entry nodes
+	// have no dataflow predecessors and keep empty in-states (their formals
+	// are transfer-function definitions).
+	for i, n := range af.nodes {
+		if n.Kind != ir.NEntry {
+			row := af.defIn[i*af.words : (i+1)*af.words]
+			for w := range row {
+				row[w] = ^uint64(0)
+			}
+		}
+	}
+	af.solve()
+	return af
+}
+
+// defs collects the node's assigned bit positions: assignment and call-site
+// exit destinations, plus the formals at procedure entries.
+func (af *assignFlow) defs(n *ir.Node, emit func(pos int)) {
+	add := func(v ir.VarID) {
+		if pos, ok := af.varPos[v]; ok {
+			emit(pos)
+		}
+	}
+	switch n.Kind {
+	case ir.NAssign, ir.NCallExit:
+		if n.Dst != ir.NoVar {
+			add(n.Dst)
+		}
+	case ir.NEntry:
+		if n.Proc >= 0 && n.Proc < len(af.p.Procs) && af.p.Procs[n.Proc] != nil {
+			for _, formal := range af.p.Procs[n.Proc].Formals {
+				add(formal)
+			}
+		}
+	}
+}
+
+// flowPreds calls emit for every intraprocedural dataflow predecessor.
+func (af *assignFlow) flowPreds(n *ir.Node, emit func(pos int)) {
+	if n.Kind == ir.NEntry {
+		return // entry predecessors are call sites of other frames
+	}
+	for _, m := range n.Preds {
+		mn := af.p.Node(m)
+		if mn == nil || mn.Proc != af.proc || mn.Kind == ir.NExit {
+			continue // return edges are not local dataflow
+		}
+		if pos, ok := af.pos[m]; ok {
+			emit(pos)
+		}
+	}
+}
+
+// solve iterates both analyses to their fixpoints with round-robin sweeps
+// (the definite sets only shrink, the maybe sets only grow, so joint
+// iteration terminates).
+func (af *assignFlow) solve() {
+	w := af.words
+	// Per-node def bitsets, computed once: out(n) = in(n) | defRow(n).
+	defRows := make([]uint64, w*len(af.nodes))
+	for i, n := range af.nodes {
+		row := defRows[i*w : (i+1)*w]
+		af.defs(n, func(pos int) {
+			row[pos/64] |= 1 << (pos % 64)
+		})
+	}
+	defOut := make([]uint64, w)
+	mayOut := make([]uint64, w)
+	for changed := true; changed; {
+		changed = false
+		for i, n := range af.nodes {
+			if n.Kind == ir.NEntry {
+				continue // boundary in-states stay empty
+			}
+			havePreds := false
+			for k := 0; k < w; k++ {
+				defOut[k] = ^uint64(0)
+				mayOut[k] = 0
+			}
+			af.flowPreds(n, func(pp int) {
+				havePreds = true
+				dr := af.defIn[pp*w : (pp+1)*w]
+				mr := af.mayIn[pp*w : (pp+1)*w]
+				gen := defRows[pp*w : (pp+1)*w]
+				for k := 0; k < w; k++ {
+					defOut[k] &= dr[k] | gen[k]
+					mayOut[k] |= mr[k] | gen[k]
+				}
+			})
+			if !havePreds {
+				continue // orphan: keep the vacuous all-ones / empty states
+			}
+			drow := af.defIn[i*w : (i+1)*w]
+			mrow := af.mayIn[i*w : (i+1)*w]
+			for k := 0; k < w; k++ {
+				if nv := drow[k] & defOut[k]; nv != drow[k] {
+					drow[k] = nv
+					changed = true
+				}
+				if nv := mrow[k] | mayOut[k]; nv != mrow[k] {
+					mrow[k] = nv
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (af *assignFlow) bit(set []uint64, nodePos int, v ir.VarID) (bool, bool) {
+	pos, ok := af.varPos[v]
+	if !ok || set == nil {
+		return false, false
+	}
+	return set[nodePos*af.words+pos/64]&(1<<(pos%64)) != 0, true
+}
+
+// definitelyAssignedIn reports whether the procedure's variable is assigned
+// on every intraprocedural path reaching the node. The second result is
+// false when the variable does not belong to this procedure.
+func (af *assignFlow) definitelyAssignedIn(n ir.NodeID, v ir.VarID) (bool, bool) {
+	pos, ok := af.pos[n]
+	if !ok {
+		return false, false
+	}
+	return af.bit(af.defIn, pos, v)
+}
+
+// maybeAssignedIn reports whether any intraprocedural path reaching the
+// node assigns the variable.
+func (af *assignFlow) maybeAssignedIn(n ir.NodeID, v ir.VarID) (bool, bool) {
+	pos, ok := af.pos[n]
+	if !ok {
+		return false, false
+	}
+	return af.bit(af.mayIn, pos, v)
+}
+
+// forEachMayUndefRead calls f for every procedure variable with a read that
+// is not definitely preceded by an assignment — the variables whose SCCP
+// cell must include the interpreter's implicit zero. Procedure exits count
+// as implicit reads of the return variable.
+func (af *assignFlow) forEachMayUndefRead(f func(ir.VarID)) {
+	reported := make(map[ir.VarID]bool)
+	for _, n := range af.nodes {
+		check := func(v ir.VarID) {
+			if reported[v] {
+				return
+			}
+			def, owned := af.definitelyAssignedIn(n.ID, v)
+			if owned && !def {
+				reported[v] = true
+				f(v)
+			}
+		}
+		forEachRead(n, check)
+		if n.Kind == ir.NExit && n.Proc >= 0 && n.Proc < len(af.p.Procs) && af.p.Procs[n.Proc] != nil {
+			check(af.p.Procs[n.Proc].RetVar)
+		}
+	}
+}

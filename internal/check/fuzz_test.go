@@ -1,0 +1,151 @@
+package check
+
+import (
+	"testing"
+
+	"icbe/internal/analysis"
+	"icbe/internal/ir"
+	"icbe/internal/pred"
+	"icbe/internal/randprog"
+)
+
+// fuzzCfg keeps generated programs small enough for tight fuzz iterations
+// while still exercising calls, branches, and globals.
+var fuzzCfg = randprog.Config{Procs: 3, MaxStmts: 4, MaxDepth: 2}
+
+// fuzzRNG is a splitmix64 stream, so mutations are a pure function of the
+// fuzz input and failures replay deterministically.
+type fuzzRNG struct{ s uint64 }
+
+func (r *fuzzRNG) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *fuzzRNG) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// liveNodeIDs returns the non-nil node ids, the mutation candidates.
+func liveNodeIDs(p *ir.Program) []ir.NodeID {
+	var ids []ir.NodeID
+	for i, n := range p.Nodes {
+		if n != nil {
+			ids = append(ids, ir.NodeID(i))
+		}
+	}
+	return ids
+}
+
+func removePredOnce(ids []ir.NodeID, x ir.NodeID) []ir.NodeID {
+	for i, id := range ids {
+		if id == x {
+			return append(ids[:i:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// mutate applies one random graph corruption: the kinds of damage a buggy
+// restructuring could inflict (dangling and asymmetric edges, freed nodes,
+// out-of-range variable/procedure references, invalid kinds and operators).
+func mutate(p *ir.Program, r *fuzzRNG) {
+	ids := liveNodeIDs(p)
+	if len(ids) == 0 {
+		return
+	}
+	n := p.Node(ids[r.intn(len(ids))])
+	switch r.intn(9) {
+	case 0: // free a node while edges still reference it
+		p.Nodes[n.ID] = nil
+	case 1: // drop the backward direction of an edge (asymmetry)
+		if len(n.Succs) > 0 {
+			s := n.Succs[r.intn(len(n.Succs))]
+			if sn := p.Node(s); sn != nil {
+				sn.Preds = removePredOnce(sn.Preds, n.ID)
+			}
+		}
+	case 2: // rewrite a successor slot to an arbitrary id
+		if len(n.Succs) > 0 {
+			n.Succs[r.intn(len(n.Succs))] = ir.NodeID(r.intn(len(p.Nodes)+6) - 3)
+		}
+	case 3: // retype the node, possibly to an invalid kind
+		n.Kind = ir.NodeKind(r.intn(16))
+	case 4: // out-of-range variable references
+		n.Dst = ir.VarID(len(p.Vars) + r.intn(4))
+		n.CondVar = ir.VarID(-1 - r.intn(2))
+		n.AVar = ir.VarID(len(p.Vars) + 1)
+	case 5: // out-of-range procedure references
+		n.Callee = len(p.Procs) + r.intn(3)
+		n.Proc = -1 - r.intn(2)
+	case 6: // invalid predicate operators
+		n.CondOp = pred.Op(64 + r.intn(8))
+		n.APred.Op = pred.Op(64 + r.intn(8))
+	case 7: // out-of-range argument list
+		n.Args = append(n.Args, ir.VarID(len(p.Vars)+r.intn(3)))
+	default: // invalid main procedure
+		p.MainProc = len(p.Procs) + r.intn(2)
+	}
+}
+
+// FuzzCheck feeds randomly generated programs — intact and with random graph
+// corruptions — through the whole static check layer and requires it to stay
+// panic-free: ir.Validate, the lint passes, the SCCP oracle, and the
+// cross-check must diagnose arbitrary damage, never crash on it (the driver
+// runs them on every candidate restructuring). On intact programs it also
+// requires a clean bill of health: no validation error, no invariant
+// findings, no must-fail asserts.
+func FuzzCheck(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 2, 3, 7, 11, 42, 99, 1234, 0xdeadbeef} {
+		f.Add(seed, seed*3)
+		f.Add(seed, uint64(0))
+	}
+	f.Fuzz(func(t *testing.T, seed, mutSeed uint64) {
+		src := randprog.Generate(seed, fuzzCfg)
+		p, err := ir.Build(src)
+		if err != nil {
+			t.Fatalf("generated program rejected: %v\n%s", err, src)
+		}
+
+		r := &fuzzRNG{s: mutSeed}
+		nmut := int(mutSeed % 4)
+		for i := 0; i < nmut; i++ {
+			mutate(p, r)
+		}
+
+		verr := ir.Validate(p)
+		Analyze(p)
+		s := RunSCCP(p)
+		s.MustFailAsserts()
+		s.DecidedBranches()
+		RecallCount(p, s)
+		for _, id := range liveNodeIDs(p) {
+			if p.Node(id).Kind != ir.NBranch {
+				continue
+			}
+			for _, ans := range []analysis.AnswerSet{analysis.AnsTrue, analysis.AnsFalse} {
+				if _, cf := CrossCheck(p, s, id, ans); cf != nil {
+					_ = cf.Error()
+				}
+			}
+		}
+
+		if nmut == 0 {
+			if verr != nil {
+				t.Fatalf("intact program failed validation: %v\n%s", verr, src)
+			}
+			if inv := AnalyzeInvariants(p); len(inv.Findings) != 0 {
+				t.Fatalf("intact program has invariant findings: %v\n%s", inv.Findings, src)
+			}
+			if mf := s.MustFailAsserts(); len(mf) != 0 {
+				t.Fatalf("intact program has must-fail asserts %v\n%s", mf, src)
+			}
+		}
+	})
+}

@@ -1,0 +1,271 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+
+	"icbe/internal/ir"
+	"icbe/internal/pred"
+)
+
+// The built-in passes, in the fixed registry order reports use.
+func init() {
+	Register(structurePass{})
+	Register(unreachablePass{})
+	Register(useBeforeDefPass{})
+	Register(sccpConsistencyPass{})
+	Register(deadStorePass{})
+	Register(constantBranchPass{})
+}
+
+// structurePass surfaces ir.Validate's structural and linkage violations
+// (arena consistency, edge symmetry, call-site normal form, call↔entry↔exit
+// linkage, variable references) as findings, one per violation.
+type structurePass struct{}
+
+func (structurePass) Name() string { return "structure" }
+func (structurePass) Kind() Kind   { return Invariant }
+func (structurePass) Run(cx *Context) []Finding {
+	err := ir.Validate(cx.Prog)
+	if err == nil {
+		return nil
+	}
+	var out []Finding
+	for _, e := range flattenErrors(err) {
+		out = append(out, Finding{Pass: "structure", Node: ir.NoNode, Msg: e.Error()})
+	}
+	return out
+}
+
+// flattenErrors unwraps errors.Join trees into leaves.
+func flattenErrors(err error) []error {
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		var out []error
+		for _, e := range joined.Unwrap() {
+			out = append(out, flattenErrors(e)...)
+		}
+		return out
+	}
+	return []error{err}
+}
+
+// reachableFromEntries computes the per-procedure structural reachability
+// set: BFS from the procedure's entries over same-procedure successor
+// edges. This is exactly the rule restructure's pruning uses, so a node
+// outside the set after an apply is a node pruning should have removed.
+func reachableFromEntries(p *ir.Program, pr *ir.Proc) map[ir.NodeID]bool {
+	seen := make(map[ir.NodeID]bool)
+	var stack []ir.NodeID
+	for _, e := range pr.Entries {
+		if p.Node(e) != nil && !seen[e] {
+			seen[e] = true
+			stack = append(stack, e)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range p.Node(id).Succs {
+			sn := p.Node(s)
+			if sn == nil || sn.Proc != pr.Index || seen[s] {
+				continue
+			}
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	return seen
+}
+
+// unreachablePass flags live nodes not reachable from their procedure's
+// entries. Lowering never emits them and restructuring prunes them, so one
+// left behind means a restructuring kept dead code alive (or wired a split
+// copy to nothing).
+type unreachablePass struct{}
+
+func (unreachablePass) Name() string { return "unreachable-node" }
+func (unreachablePass) Kind() Kind   { return Invariant }
+func (unreachablePass) Run(cx *Context) []Finding {
+	var out []Finding
+	for _, pr := range cx.Prog.Procs {
+		if pr == nil {
+			continue
+		}
+		seen := reachableFromEntries(cx.Prog, pr)
+		for _, n := range cx.Prog.ProcNodes(pr.Index) {
+			if !seen[n.ID] {
+				out = append(out, Finding{Pass: "unreachable-node", Node: n.ID, Line: n.Line,
+					Msg: fmt.Sprintf("node (%s) unreachable from proc %q entries", n.Kind, pr.Name)})
+			}
+		}
+	}
+	return out
+}
+
+// useBeforeDefPass flags reads of a procedure's own variables on paths
+// where no assignment can have happened yet. Lowering zero-initializes
+// every local and return variable at declaration, so compiled programs have
+// none; a finding after restructuring means path duplication detached a
+// use from its defining assignment.
+type useBeforeDefPass struct{}
+
+func (useBeforeDefPass) Name() string { return "use-before-def" }
+func (useBeforeDefPass) Kind() Kind   { return Invariant }
+func (useBeforeDefPass) Run(cx *Context) []Finding {
+	var out []Finding
+	for _, pr := range cx.Prog.Procs {
+		if pr == nil {
+			continue
+		}
+		af := analyzeAssignments(cx.Prog, pr.Index)
+		seen := reachableFromEntries(cx.Prog, pr)
+		for _, n := range af.nodes {
+			if !seen[n.ID] {
+				continue // unreachable nodes are the unreachable-node pass's finding
+			}
+			reportedHere := make(map[ir.VarID]bool)
+			forEachRead(n, func(v ir.VarID) {
+				may, owned := af.maybeAssignedIn(n.ID, v)
+				if !owned || may || reportedHere[v] {
+					return
+				}
+				reportedHere[v] = true
+				name := fmt.Sprintf("v%d", int(v))
+				if v >= 0 && int(v) < len(cx.Prog.Vars) && cx.Prog.Vars[v] != nil {
+					name = cx.Prog.Vars[v].Name
+				}
+				out = append(out, Finding{Pass: "use-before-def", Node: n.ID, Line: n.Line,
+					Msg: fmt.Sprintf("%q read before any assignment", name)})
+			})
+		}
+	}
+	return out
+}
+
+// sccpConsistencyPass flags executable assertions the oracle proves can
+// never hold. Assertions materialize branch edge facts, so a must-fail
+// assertion means control reaches an edge whose guarding branch cannot take
+// it — the signature of a restructuring that kept the wrong arm.
+type sccpConsistencyPass struct{}
+
+func (sccpConsistencyPass) Name() string { return "sccp-consistency" }
+func (sccpConsistencyPass) Kind() Kind   { return Invariant }
+func (sccpConsistencyPass) Run(cx *Context) []Finding {
+	var out []Finding
+	for _, id := range cx.SCCP.MustFailAsserts() {
+		n := cx.Prog.Node(id)
+		if n == nil {
+			continue
+		}
+		c, _ := cx.SCCP.VarValue(n.AVar).Const()
+		out = append(out, Finding{Pass: "sccp-consistency", Node: id, Line: n.Line,
+			Msg: fmt.Sprintf("reachable assertion (v%d %s) can never hold: variable is always %d",
+				int(n.AVar), n.APred, c)})
+	}
+	return out
+}
+
+// deadStorePass reports compiler temporaries that are assigned somewhere
+// but never read anywhere. Restructuring can legitimately orphan a temp
+// (eliminating a branch removes the read of its condition temp), so this is
+// diagnostic, not gating.
+type deadStorePass struct{}
+
+func (deadStorePass) Name() string { return "dead-store" }
+func (deadStorePass) Kind() Kind   { return Diagnostic }
+func (deadStorePass) Run(cx *Context) []Finding {
+	p := cx.Prog
+	read := make([]bool, len(p.Vars))
+	firstStore := make([]ir.NodeID, len(p.Vars))
+	for i := range firstStore {
+		firstStore[i] = ir.NoNode
+	}
+	mark := func(v ir.VarID) {
+		if v >= 0 && int(v) < len(read) {
+			read[v] = true
+		}
+	}
+	p.LiveNodes(func(n *ir.Node) {
+		forEachRead(n, mark)
+		switch n.Kind {
+		case ir.NAssign, ir.NCallExit:
+			d := n.Dst
+			if d >= 0 && int(d) < len(firstStore) &&
+				(firstStore[d] == ir.NoNode || n.ID < firstStore[d]) {
+				firstStore[d] = n.ID
+			}
+		case ir.NExit:
+			// The exit's implicit read of the return variable.
+			if n.Proc >= 0 && n.Proc < len(p.Procs) && p.Procs[n.Proc] != nil {
+				mark(p.Procs[n.Proc].RetVar)
+			}
+		}
+	})
+	var out []Finding
+	for i, v := range p.Vars {
+		if v == nil || v.Kind != ir.VarTemp || read[i] || firstStore[i] == ir.NoNode {
+			continue
+		}
+		n := p.Node(firstStore[i])
+		line := 0
+		if n != nil {
+			line = n.Line
+		}
+		out = append(out, Finding{Pass: "dead-store", Node: firstStore[i], Line: line,
+			Msg: fmt.Sprintf("temporary %q assigned but never read", v.Name)})
+	}
+	return out
+}
+
+// constantBranchPass reports executable branches whose outcome SCCP
+// decides. On the input program these are legal (and common in generated
+// code); after optimization, the analyzable ones are exactly the recall gap
+// between the forward oracle and ICBE — constant branches the
+// restructuring left in place.
+type constantBranchPass struct{}
+
+func (constantBranchPass) Name() string { return "constant-branch" }
+func (constantBranchPass) Kind() Kind   { return Diagnostic }
+func (constantBranchPass) Run(cx *Context) []Finding {
+	var out []Finding
+	cx.Prog.LiveNodes(func(n *ir.Node) {
+		if n.Kind != ir.NBranch {
+			return
+		}
+		o := cx.SCCP.BranchOutcome(n.ID)
+		if o == pred.Unknown {
+			return
+		}
+		kind := "non-analyzable"
+		if n.Analyzable() {
+			kind = "analyzable"
+		}
+		out = append(out, Finding{Pass: "constant-branch", Node: n.ID, Line: n.Line,
+			Msg: fmt.Sprintf("%s branch condition is constant: always %s", kind, o)})
+	})
+	return out
+}
+
+// RecallCount counts the analyzable branches of the program whose outcome
+// the oracle decides — after optimization, the branches ICBE could have
+// eliminated but did not (the recall metric reported by the driver).
+func RecallCount(p *ir.Program, s *SCCP) int {
+	n := 0
+	p.LiveNodes(func(nd *ir.Node) {
+		if nd.Kind == ir.NBranch && nd.Analyzable() && s.BranchOutcome(nd.ID) != pred.Unknown {
+			n++
+		}
+	})
+	return n
+}
+
+// FirstFinding returns the first finding of the named pass, for error
+// reporting.
+func (r *Report) FirstFinding(pass string) (Finding, error) {
+	for _, f := range r.Findings {
+		if f.Pass == pass {
+			return f, nil
+		}
+	}
+	return Finding{}, errors.New("check: no finding for pass " + pass)
+}

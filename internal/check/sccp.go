@@ -1,0 +1,537 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"icbe/internal/ir"
+	"icbe/internal/pred"
+)
+
+// Value is an SCCP lattice element for one variable: ⊤ (no executable
+// assignment seen yet), a single constant, or ⊥ (provably more than one
+// runtime value, or a value the analysis does not model).
+type Value struct {
+	kind uint8 // 0 = ⊤, 1 = const, 2 = ⊥
+	c    int64
+}
+
+const (
+	vTop uint8 = iota
+	vConst
+	vBottom
+)
+
+func top() Value             { return Value{} }
+func constant(c int64) Value { return Value{kind: vConst, c: c} }
+func bottom() Value          { return Value{kind: vBottom} }
+
+// IsTop reports the ⊤ element.
+func (v Value) IsTop() bool { return v.kind == vTop }
+
+// IsBottom reports the ⊥ element.
+func (v Value) IsBottom() bool { return v.kind == vBottom }
+
+// Const returns the constant and true for a const element.
+func (v Value) Const() (int64, bool) { return v.c, v.kind == vConst }
+
+func (v Value) String() string {
+	switch v.kind {
+	case vTop:
+		return "⊤"
+	case vConst:
+		return fmt.Sprintf("%d", v.c)
+	}
+	return "⊥"
+}
+
+// meet is the lattice meet: ⊤ is the identity, unequal constants fall to ⊥.
+func meet(a, b Value) Value {
+	switch {
+	case a.kind == vTop:
+		return b
+	case b.kind == vTop:
+		return a
+	case a.kind == vConst && b.kind == vConst && a.c == b.c:
+		return a
+	}
+	return bottom()
+}
+
+// SCCP is the result of one forward sparse conditional constant propagation
+// run: per-variable lattice cells plus the executable-node set, computed
+// with an executable-edge worklist over the ICFG. Calls and returns are
+// handled context-insensitively: argument values meet into the callee's
+// formals at every executable call site, and the callee's return variable
+// meets into the call-site-exit destination; a call-site exit becomes
+// executable only when both its call-site and its procedure-exit
+// predecessor are.
+//
+// The cells are flow-insensitive (one per variable), so a const cell is a
+// whole-program fact: every runtime read of the variable yields that
+// constant. That makes the oracle's claims directly comparable with the
+// backward analysis' full-correlation answers without any false
+// disagreement from program points the backward analysis reasons about
+// path-sensitively.
+type SCCP struct {
+	prog     *ir.Program
+	cells    []Value
+	exec     []bool
+	mustFail []ir.NodeID
+}
+
+// RunSCCP computes the SCCP facts of a program. It is read-only, total, and
+// panic-free even on malformed graphs (every node, variable, and procedure
+// reference is bounds-checked), which the fuzz harness relies on.
+func RunSCCP(p *ir.Program) *SCCP {
+	r := &sccpRun{
+		p:     p,
+		cells: make([]Value, len(p.Vars)),
+		exec:  make([]bool, len(p.Nodes)),
+		inWL:  make([]bool, len(p.Nodes)),
+		users: make([][]ir.NodeID, len(p.Vars)),
+	}
+	r.seedCells()
+	r.buildUsers()
+	// Execution starts at the first entry of main, matching the interpreter.
+	if p.MainProc >= 0 && p.MainProc < len(p.Procs) && p.Procs[p.MainProc] != nil {
+		if es := p.Procs[p.MainProc].Entries; len(es) > 0 {
+			r.markNode(es[0])
+		}
+	}
+	for {
+		r.drain()
+		// A quiescent executable branch whose condition is still ⊤ was never
+		// computed on any modeled path; treat it as unknown and mark both
+		// arms, then propagate the consequences.
+		if !r.expandTopBranches() {
+			break
+		}
+	}
+	s := &SCCP{prog: p, cells: r.cells, exec: r.exec}
+	// Executable assertions that can never hold under a constant cell are
+	// the sccp-consistency findings (a correct restructuring only keeps an
+	// assert on edges consistent with the branch it materializes).
+	p.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NAssert && s.Reachable(n.ID) {
+			if c, ok := s.VarValue(n.AVar).Const(); ok && validOp(n.APred.Op) && !n.APred.Eval(c) {
+				s.mustFail = append(s.mustFail, n.ID)
+			}
+		}
+	})
+	return s
+}
+
+// Reachable reports whether SCCP proved the node executable. False means
+// statically unreachable (the proof is conservative: unreachable nodes may
+// still be reported reachable, never the reverse).
+func (s *SCCP) Reachable(n ir.NodeID) bool {
+	return n >= 0 && int(n) < len(s.exec) && s.exec[n]
+}
+
+// VarValue returns the variable's lattice cell. Out-of-range variables
+// (including NoVar) are ⊥.
+func (s *SCCP) VarValue(v ir.VarID) Value {
+	if v < 0 || int(v) >= len(s.cells) {
+		return bottom()
+	}
+	return s.cells[v]
+}
+
+// ConstOf returns the proved constant value of a variable, if any.
+func (s *SCCP) ConstOf(v ir.VarID) (int64, bool) { return s.VarValue(v).Const() }
+
+// BranchOutcome decides a branch's condition from the final cells:
+// pred.True / pred.False when the branch is executable and both operands
+// are proved constants, pred.Unknown otherwise (including unreachable or
+// non-branch nodes).
+func (s *SCCP) BranchOutcome(b ir.NodeID) pred.Outcome {
+	n := s.prog.Node(b)
+	if n == nil || n.Kind != ir.NBranch || !s.Reachable(b) {
+		return pred.Unknown
+	}
+	o, resolved := decideBranch(n, func(v ir.VarID) Value { return s.VarValue(v) })
+	if !resolved {
+		return pred.Unknown
+	}
+	return o
+}
+
+// MustFailAsserts returns the executable assert nodes whose predicate is
+// statically false under a constant cell, in node order. On a well-formed
+// program this is empty: an assert only becomes executable through edges
+// consistent with the branch that materialized it.
+func (s *SCCP) MustFailAsserts() []ir.NodeID {
+	return append([]ir.NodeID(nil), s.mustFail...)
+}
+
+// DecidedBranches returns the executable branches whose outcome
+// BranchOutcome decides, in node order.
+func (s *SCCP) DecidedBranches() []ir.NodeID {
+	var out []ir.NodeID
+	s.prog.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NBranch && s.BranchOutcome(n.ID) != pred.Unknown {
+			out = append(out, n.ID)
+		}
+	})
+	return out
+}
+
+// sccpRun is the in-flight worklist state of one RunSCCP call.
+type sccpRun struct {
+	p     *ir.Program
+	cells []Value
+	exec  []bool
+	// users indexes, per variable, the nodes whose transfer function reads
+	// it — the sparse re-evaluation set when a cell changes.
+	users [][]ir.NodeID
+	queue []ir.NodeID
+	inWL  []bool
+}
+
+// seedCells initializes the lattice: globals start at their initial value,
+// and any local that may be read before being assigned (per-procedure
+// definite-assignment dataflow) starts at the interpreter's implicit zero.
+// Everything else starts at ⊤ and is lowered only by executable
+// assignments, so a const cell soundly covers every runtime read.
+func (r *sccpRun) seedCells() {
+	for i, v := range r.p.Vars {
+		if v != nil && v.IsGlobal() {
+			r.cells[i] = constant(v.Init)
+		}
+	}
+	for proc := range r.p.Procs {
+		af := analyzeAssignments(r.p, proc)
+		af.forEachMayUndefRead(func(v ir.VarID) {
+			if v >= 0 && int(v) < len(r.cells) {
+				r.cells[v] = meet(r.cells[v], constant(0))
+			}
+		})
+	}
+}
+
+func (r *sccpRun) buildUsers() {
+	addUser := func(v ir.VarID, n ir.NodeID) {
+		if v >= 0 && int(v) < len(r.users) {
+			r.users[v] = append(r.users[v], n)
+		}
+	}
+	r.p.LiveNodes(func(n *ir.Node) {
+		forEachRead(n, func(v ir.VarID) { addUser(v, n.ID) })
+		if n.Kind == ir.NCallExit {
+			// The call-site exit's transfer reads the callee's return
+			// variable across the procedure boundary.
+			if rv, ok := r.retVarOf(n.Callee); ok {
+				addUser(rv, n.ID)
+			}
+		}
+	})
+}
+
+func (r *sccpRun) retVarOf(callee int) (ir.VarID, bool) {
+	if callee < 0 || callee >= len(r.p.Procs) || r.p.Procs[callee] == nil {
+		return ir.NoVar, false
+	}
+	rv := r.p.Procs[callee].RetVar
+	if rv < 0 || int(rv) >= len(r.cells) {
+		return ir.NoVar, false
+	}
+	return rv, true
+}
+
+func (r *sccpRun) markNode(id ir.NodeID) {
+	if id < 0 || int(id) >= len(r.exec) || r.exec[id] {
+		return
+	}
+	r.exec[id] = true
+	r.enqueue(id)
+}
+
+func (r *sccpRun) enqueue(id ir.NodeID) {
+	if id < 0 || int(id) >= len(r.inWL) || r.inWL[id] {
+		return
+	}
+	r.inWL[id] = true
+	r.queue = append(r.queue, id)
+}
+
+func (r *sccpRun) drain() {
+	for len(r.queue) > 0 {
+		id := r.queue[0]
+		r.queue = r.queue[1:]
+		r.inWL[id] = false
+		r.process(id)
+	}
+}
+
+func (r *sccpRun) cellOf(v ir.VarID) Value {
+	if v < 0 || int(v) >= len(r.cells) {
+		return bottom()
+	}
+	return r.cells[v]
+}
+
+// setCell meets val into the variable's cell; a lowered cell re-enqueues
+// every executable user of the variable.
+func (r *sccpRun) setCell(v ir.VarID, val Value) {
+	if v < 0 || int(v) >= len(r.cells) {
+		return
+	}
+	nv := meet(r.cells[v], val)
+	if nv == r.cells[v] {
+		return
+	}
+	r.cells[v] = nv
+	for _, u := range r.users[v] {
+		if r.exec[u] {
+			r.enqueue(u)
+		}
+	}
+}
+
+func (r *sccpRun) markAllSuccs(n *ir.Node) {
+	for _, s := range n.Succs {
+		r.markNode(s)
+	}
+}
+
+func (r *sccpRun) process(id ir.NodeID) {
+	n := r.p.Node(id)
+	if n == nil {
+		return
+	}
+	switch n.Kind {
+	case ir.NAssign:
+		r.setCell(n.Dst, r.evalRHS(n))
+		r.markAllSuccs(n)
+	case ir.NBranch:
+		o, resolved := decideBranch(n, r.cellOf)
+		if !resolved {
+			return // an operand is still ⊤; expandTopBranches resolves leftovers
+		}
+		switch o {
+		case pred.True:
+			if len(n.Succs) > 0 {
+				r.markNode(n.Succs[0])
+			}
+		case pred.False:
+			if len(n.Succs) > 1 {
+				r.markNode(n.Succs[1])
+			}
+		default:
+			r.markAllSuccs(n)
+		}
+	case ir.NAssert:
+		if c, ok := r.cellOf(n.AVar).Const(); ok && validOp(n.APred.Op) && !n.APred.Eval(c) {
+			// Statically failing assertion: control cannot continue past it.
+			return
+		}
+		r.markAllSuccs(n)
+	case ir.NCall:
+		r.bindFormals(n)
+		for _, s := range n.Succs {
+			sn := r.p.Node(s)
+			switch {
+			case sn == nil:
+			case sn.Kind == ir.NCallExit:
+				r.markCallExit(sn)
+			default:
+				// The callee entry; on malformed graphs any other successor
+				// is treated as plain control flow.
+				r.markNode(s)
+			}
+		}
+	case ir.NExit:
+		for _, s := range n.Succs {
+			sn := r.p.Node(s)
+			switch {
+			case sn == nil:
+			case sn.Kind == ir.NCallExit:
+				r.markCallExit(sn)
+			default:
+				r.markNode(s)
+			}
+		}
+	case ir.NCallExit:
+		if n.Dst != ir.NoVar {
+			if rv, ok := r.retVarOf(n.Callee); ok {
+				r.setCell(n.Dst, r.cellOf(rv))
+			} else {
+				r.setCell(n.Dst, bottom())
+			}
+		}
+		r.markAllSuccs(n)
+	default: // NEntry, NStore, NPrint, NNop
+		r.markAllSuccs(n)
+	}
+}
+
+// bindFormals meets the executable call's argument values into the callee's
+// formals (context-insensitive entry meet).
+func (r *sccpRun) bindFormals(call *ir.Node) {
+	callee := call.Callee
+	if callee < 0 || callee >= len(r.p.Procs) || r.p.Procs[callee] == nil {
+		return
+	}
+	for i, formal := range r.p.Procs[callee].Formals {
+		if i < len(call.Args) {
+			r.setCell(formal, r.cellOf(call.Args[i]))
+		} else {
+			r.setCell(formal, bottom())
+		}
+	}
+}
+
+// markCallExit marks a call-site exit executable once both interprocedural
+// conditions hold: its call-site predecessor is executable (the call is
+// reached) and its procedure-exit predecessor is executable (the callee
+// returns). Any executable predecessor of another kind (malformed graphs
+// only) marks it directly.
+func (r *sccpRun) markCallExit(ce *ir.Node) {
+	hasCall, hasExit := false, false
+	for _, m := range ce.Preds {
+		mn := r.p.Node(m)
+		if mn == nil || m < 0 || int(m) >= len(r.exec) || !r.exec[m] {
+			continue
+		}
+		switch mn.Kind {
+		case ir.NCall:
+			hasCall = true
+		case ir.NExit:
+			hasExit = true
+		default:
+			hasCall, hasExit = true, true
+		}
+	}
+	if hasCall && hasExit {
+		r.markNode(ce.ID)
+	}
+}
+
+// expandTopBranches marks both arms of every quiescent executable branch
+// whose condition is still ⊤, reporting whether anything new became
+// executable.
+func (r *sccpRun) expandTopBranches() bool {
+	changed := false
+	r.p.LiveNodes(func(n *ir.Node) {
+		if n.Kind != ir.NBranch || int(n.ID) >= len(r.exec) || !r.exec[n.ID] {
+			return
+		}
+		if _, resolved := decideBranch(n, r.cellOf); resolved {
+			return
+		}
+		for _, s := range n.Succs {
+			if s >= 0 && int(s) < len(r.exec) && !r.exec[s] {
+				r.markNode(s)
+				changed = true
+			}
+		}
+	})
+	return changed
+}
+
+// evalRHS folds an assignment right-hand side over the cells, mirroring the
+// interpreter's semantics exactly: negation and arithmetic wrap natively,
+// byte conversion masks to the low 8 bits, and a right-hand side that can
+// fault (division or modulo by a constant zero) or that the lattice does
+// not model (heap loads, allocations, input) is ⊥.
+func (r *sccpRun) evalRHS(n *ir.Node) Value {
+	rh := n.RHS
+	switch rh.Kind {
+	case ir.RConst:
+		return constant(rh.Const)
+	case ir.RCopy:
+		return r.cellOf(rh.Src)
+	case ir.RNeg:
+		if c, ok := r.cellOf(rh.Src).Const(); ok {
+			return constant(-c)
+		}
+		return r.cellOf(rh.Src)
+	case ir.RByte:
+		if c, ok := r.cellOf(rh.Src).Const(); ok {
+			return constant(c & 0xFF)
+		}
+		return r.cellOf(rh.Src)
+	case ir.RBinop:
+		a, b := r.operandValue(rh.A), r.operandValue(rh.B)
+		if ac, ok := a.Const(); ok {
+			if bc, ok := b.Const(); ok {
+				if v, ok := foldBinop(rh.Op, ac, bc); ok {
+					return constant(v)
+				}
+				return bottom()
+			}
+		}
+		if a.IsBottom() || b.IsBottom() {
+			return bottom()
+		}
+		return top()
+	}
+	return bottom()
+}
+
+func (r *sccpRun) operandValue(o ir.Operand) Value {
+	if o.IsConst {
+		return constant(o.Const)
+	}
+	return r.cellOf(o.Var)
+}
+
+// foldBinop evaluates a binary operation on constants with the
+// interpreter's exact semantics; ok is false when the operation faults at
+// runtime (division or modulo by zero).
+func foldBinop(op ir.BinOp, a, b int64) (int64, bool) {
+	switch op {
+	case ir.OpAdd:
+		return a + b, true
+	case ir.OpSub:
+		return a - b, true
+	case ir.OpMul:
+		return a * b, true
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		if a == math.MinInt64 && b == -1 {
+			return math.MinInt64, true
+		}
+		return a / b, true
+	case ir.OpMod:
+		if b == 0 {
+			return 0, false
+		}
+		if a == math.MinInt64 && b == -1 {
+			return 0, true
+		}
+		return a % b, true
+	}
+	return 0, false
+}
+
+// decideBranch evaluates a branch condition over lattice cells. resolved is
+// false while an operand is still ⊤ (the condition was never computed on a
+// modeled path); with both operands constant the outcome is True/False, and
+// a ⊥ operand or a malformed operator decides Unknown (both arms live).
+func decideBranch(n *ir.Node, cell func(ir.VarID) Value) (o pred.Outcome, resolved bool) {
+	lhs := cell(n.CondVar)
+	rhs := constant(n.CondRHS.Const)
+	if !n.CondRHS.IsConst {
+		rhs = cell(n.CondRHS.Var)
+	}
+	if !validOp(n.CondOp) || lhs.IsBottom() || rhs.IsBottom() {
+		return pred.Unknown, true
+	}
+	lc, lok := lhs.Const()
+	rc, rok := rhs.Const()
+	if !lok || !rok {
+		return pred.Unknown, false
+	}
+	if n.CondOp.Eval(lc, rc) {
+		return pred.True, true
+	}
+	return pred.False, true
+}
+
+// validOp guards pred.Op.Eval, which panics on out-of-range operators
+// (possible only on fuzz-mutated graphs).
+func validOp(op pred.Op) bool { return op >= pred.Eq && op <= pred.Ge }

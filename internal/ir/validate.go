@@ -44,13 +44,77 @@ func Validate(p *Program) error {
 		}
 	}
 
-	// Per-kind shape.
+	// Variable arena consistency.
+	for i, v := range p.Vars {
+		if v == nil {
+			continue
+		}
+		if int(v.ID) != i {
+			bad("var at index %d has ID %d", i, v.ID)
+		}
+		if !v.IsGlobal() && (v.Proc < 0 || v.Proc >= len(p.Procs)) {
+			bad("var %d (%q) has invalid proc %d", v.ID, v.Name, v.Proc)
+		}
+	}
+
+	// checkVar verifies one node's variable reference: in range, live, and
+	// owned by the referencing node's procedure (or global). Cross-procedure
+	// references cannot arise from lowering or restructuring — splits copy
+	// nodes within one procedure — so one here means a corrupted rewrite.
+	checkVar := func(n *Node, v VarID, role string) {
+		if v < 0 || int(v) >= len(p.Vars) || p.Vars[v] == nil {
+			bad("node %d (%s) %s references invalid var %d", n.ID, n.Kind, role, v)
+			return
+		}
+		if vr := p.Vars[v]; !vr.IsGlobal() && vr.Proc != n.Proc {
+			bad("node %d (%s) %s references var %q of another proc", n.ID, n.Kind, role, vr.Name)
+		}
+	}
+	checkOperand := func(n *Node, o Operand, role string) {
+		if !o.IsConst {
+			checkVar(n, o.Var, role)
+		}
+	}
+
+	// Per-kind shape. Nodes with an invalid proc were reported above and
+	// cannot be checked further without faulting.
 	p.LiveNodes(func(n *Node) {
+		if n.Proc < 0 || n.Proc >= len(p.Procs) || p.Procs[n.Proc] == nil {
+			return
+		}
+		switch n.Kind {
+		case NAssign:
+			if n.Dst != NoVar {
+				checkVar(n, n.Dst, "dst")
+			}
+			switch n.RHS.Kind {
+			case RCopy, RNeg, RByte:
+				checkVar(n, n.RHS.Src, "src")
+			case RBinop:
+				checkOperand(n, n.RHS.A, "operand")
+				checkOperand(n, n.RHS.B, "operand")
+			case RLoad:
+				checkVar(n, n.RHS.Src, "base")
+				checkOperand(n, n.RHS.A, "index")
+			case RAlloc:
+				checkOperand(n, n.RHS.A, "size")
+			}
+		case NAssert:
+			checkVar(n, n.AVar, "assert var")
+		case NStore:
+			checkVar(n, n.Ptr, "base")
+			checkOperand(n, n.Idx, "index")
+			checkOperand(n, n.Val, "value")
+		case NPrint:
+			checkOperand(n, n.Val, "value")
+		}
 		switch n.Kind {
 		case NBranch:
 			if len(n.Succs) != 2 {
 				bad("branch %d has %d successors, want 2", n.ID, len(n.Succs))
 			}
+			checkVar(n, n.CondVar, "condition")
+			checkOperand(n, n.CondRHS, "condition rhs")
 		case NExit:
 			for _, s := range n.Succs {
 				if sn := p.Node(s); sn != nil && sn.Kind != NCallExit {
@@ -62,8 +126,15 @@ func Validate(p *Program) error {
 			}
 		case NEntry:
 			for _, m := range n.Preds {
-				if mn := p.Node(m); mn != nil && mn.Kind != NCall {
+				mn := p.Node(m)
+				if mn == nil {
+					continue
+				}
+				if mn.Kind != NCall {
 					bad("entry %d has non-call predecessor %d (%s)", n.ID, m, mn.Kind)
+				} else if mn.Callee != n.Proc {
+					bad("entry %d of proc %q reached by call %d targeting callee %d",
+						n.ID, p.Procs[n.Proc].Name, m, mn.Callee)
 				}
 			}
 			if !containsID(p.Procs[n.Proc].Entries, n.ID) {
@@ -71,13 +142,16 @@ func Validate(p *Program) error {
 			}
 		case NCall:
 			callee := n.Callee
-			if callee < 0 || callee >= len(p.Procs) {
+			if callee < 0 || callee >= len(p.Procs) || p.Procs[callee] == nil {
 				bad("call %d has invalid callee %d", n.ID, callee)
 				return
 			}
 			if len(n.Args) != len(p.Procs[callee].Formals) {
 				bad("call %d passes %d args to %q which has %d formals",
 					n.ID, len(n.Args), p.Procs[callee].Name, len(p.Procs[callee].Formals))
+			}
+			for _, a := range n.Args {
+				checkVar(n, a, "argument")
 			}
 			entries, callExits := 0, 0
 			for _, s := range n.Succs {
@@ -89,7 +163,7 @@ func Validate(p *Program) error {
 				case NEntry:
 					entries++
 					if sn.Proc != callee {
-						bad("call %d to %q enters proc %q", n.ID, p.Procs[callee].Name, p.Procs[sn.Proc].Name)
+						bad("call %d to %q enters proc %q", n.ID, p.Procs[callee].Name, procName(p, sn.Proc))
 					}
 				case NCallExit:
 					callExits++
@@ -108,6 +182,13 @@ func Validate(p *Program) error {
 				bad("call %d has no call-site-exit successor", n.ID)
 			}
 		case NCallExit:
+			if n.Callee < 0 || n.Callee >= len(p.Procs) || p.Procs[n.Callee] == nil {
+				bad("callexit %d has invalid callee %d", n.ID, n.Callee)
+				return
+			}
+			if n.Dst != NoVar {
+				checkVar(n, n.Dst, "dst")
+			}
 			calls, exits := 0, 0
 			for _, m := range n.Preds {
 				mn := p.Node(m)
@@ -124,7 +205,7 @@ func Validate(p *Program) error {
 					exits++
 					if mn.Proc != n.Callee {
 						bad("callexit %d returns from proc %q, want %q",
-							n.ID, p.Procs[mn.Proc].Name, p.Procs[n.Callee].Name)
+							n.ID, procName(p, mn.Proc), p.Procs[n.Callee].Name)
 					}
 				default:
 					bad("callexit %d has invalid predecessor kind %s", n.ID, mn.Kind)
@@ -150,24 +231,72 @@ func Validate(p *Program) error {
 	// procedure whose every call site was optimized away may be fully
 	// pruned (no entries and no nodes) — that is valid dead-code removal.
 	for _, pr := range p.Procs {
+		if pr == nil {
+			continue
+		}
 		if len(pr.Entries) == 0 && len(p.ProcNodes(pr.Index)) > 0 {
 			bad("proc %q has nodes but no entries", pr.Name)
 		}
+		seenEntry := make(map[NodeID]bool)
 		for _, e := range pr.Entries {
 			n := p.Node(e)
 			if n == nil || n.Kind != NEntry || n.Proc != pr.Index {
 				bad("proc %q entry %d invalid", pr.Name, e)
 			}
+			if seenEntry[e] {
+				bad("proc %q lists entry %d twice", pr.Name, e)
+			}
+			seenEntry[e] = true
 		}
+		seenExit := make(map[NodeID]bool)
 		for _, e := range pr.Exits {
 			n := p.Node(e)
 			if n == nil || n.Kind != NExit || n.Proc != pr.Index {
 				bad("proc %q exit %d invalid", pr.Name, e)
 			}
+			if seenExit[e] {
+				bad("proc %q lists exit %d twice", pr.Name, e)
+			}
+			seenExit[e] = true
+		}
+		// The procedure's declared interface variables: formals are
+		// parameters of this procedure, the return slot is its VarRet.
+		for _, f := range pr.Formals {
+			v := varOf(p, f)
+			if v == nil {
+				bad("proc %q formal %d invalid", pr.Name, f)
+			} else if v.Kind != VarParam || v.Proc != pr.Index {
+				bad("proc %q formal %q is %s of proc %d, want its own parameter",
+					pr.Name, v.Name, v.Kind, v.Proc)
+			}
+		}
+		if v := varOf(p, pr.RetVar); v == nil {
+			bad("proc %q return var %d invalid", pr.Name, pr.RetVar)
+		} else if v.Kind != VarRet || v.Proc != pr.Index {
+			bad("proc %q return var %q is %s of proc %d, want its own return slot",
+				pr.Name, v.Name, v.Kind, v.Proc)
 		}
 	}
 
+	if p.MainProc < 0 || p.MainProc >= len(p.Procs) || p.Procs[p.MainProc] == nil {
+		bad("main proc index %d invalid", p.MainProc)
+	}
+
 	return errors.Join(errs...)
+}
+
+func procName(p *Program, i int) string {
+	if i >= 0 && i < len(p.Procs) && p.Procs[i] != nil {
+		return p.Procs[i].Name
+	}
+	return fmt.Sprintf("?%d", i)
+}
+
+func varOf(p *Program, v VarID) *Var {
+	if v < 0 || int(v) >= len(p.Vars) {
+		return nil
+	}
+	return p.Vars[v]
 }
 
 func count(ids []NodeID, x NodeID) int {

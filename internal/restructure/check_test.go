@@ -1,0 +1,177 @@
+package restructure
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"icbe/internal/analysis"
+	"icbe/internal/check"
+	"icbe/internal/ir"
+)
+
+func setAnswerHook(t *testing.T, hook func(ir.NodeID, analysis.AnswerSet) analysis.AnswerSet) {
+	t.Helper()
+	testHookCheckAnswers = hook
+	t.Cleanup(func() { testHookCheckAnswers = nil })
+}
+
+// TestCheckCleanRun enables the static layer on a healthy program: the
+// optimization outcome is unchanged, every cross-check agrees, and the final
+// program carries no residual constant branches or invariant findings.
+func TestCheckCleanRun(t *testing.T) {
+	plain := Optimize(buildSafety(t), DriverOptions{})
+	checked := Optimize(buildSafety(t), DriverOptions{Check: true})
+	if checked.Optimized != plain.Optimized {
+		t.Fatalf("Check changed the outcome: %d optimized vs %d plain", checked.Optimized, plain.Optimized)
+	}
+	if got, want := checked.Program.Dump(), plain.Program.Dump(); got != want {
+		t.Fatalf("Check changed the program:\n--- plain ---\n%s\n--- checked ---\n%s", want, got)
+	}
+	st := checked.Stats
+	if st.SCCPDisagreements != 0 {
+		t.Errorf("SCCPDisagreements = %d, want 0", st.SCCPDisagreements)
+	}
+	if st.SCCPAgreements != 3 {
+		t.Errorf("SCCPAgreements = %d, want 3 (three constant conditionals)", st.SCCPAgreements)
+	}
+	if st.SCCPRecall != 0 {
+		t.Errorf("SCCPRecall = %d, want 0 (all constant branches eliminated)", st.SCCPRecall)
+	}
+	if st.CheckFindingsPre != 0 || st.CheckFindingsPost != 0 {
+		t.Errorf("findings pre/post = %d/%d, want 0/0", st.CheckFindingsPre, st.CheckFindingsPost)
+	}
+	if st.CheckRuns == 0 || st.CheckWall <= 0 {
+		t.Errorf("check layer apparently never ran: runs %d, wall %v", st.CheckRuns, st.CheckWall)
+	}
+	if plain.Stats.CheckRuns != 0 {
+		t.Errorf("check layer ran without opting in: %d runs", plain.Stats.CheckRuns)
+	}
+}
+
+// TestCheckCatchesCorruptedSplit injects a deliberately corrupted
+// restructure output — an unreachable nop spliced into the scratch clone,
+// which structural validation accepts — and checks the post-apply gate
+// refuses it with FailCheck and rolls back.
+func TestCheckCatchesCorruptedSplit(t *testing.T) {
+	p := buildSafety(t)
+	want := ir.Clone(p).Dump()
+	setHooks(t, nil, func(scratch *ir.Program, cond ir.NodeID) error {
+		pr := scratch.Procs[scratch.MainProc]
+		orphan := scratch.NewNode(ir.NNop, pr.Index)
+		scratch.AddEdge(orphan.ID, pr.Exits[0])
+		return nil
+	})
+
+	res := Optimize(p, DriverOptions{Check: true})
+	if res.Optimized != 0 {
+		t.Fatalf("Optimized = %d, want 0 when every apply is corrupted", res.Optimized)
+	}
+	if got := res.Program.Dump(); got != want {
+		t.Fatalf("corrupted apply not rolled back:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	if n := countKind(res, FailCheck); n != 3 {
+		t.Fatalf("check failures = %d (stats %v), want 3", n, res.Stats.Failures)
+	}
+	for _, r := range res.Reports {
+		if r.Failure == nil {
+			continue
+		}
+		if r.Failure.Kind != FailCheck {
+			t.Errorf("failure kind = %v, want check", r.Failure.Kind)
+		}
+		if !strings.Contains(r.Failure.Msg, "unreachable-node") {
+			t.Errorf("failure msg %q does not name the regressed pass", r.Failure.Msg)
+		}
+	}
+	// Without the check layer the same corruption sails through structural
+	// validation — the coverage the lint gate adds.
+	res2 := Optimize(buildSafety(t), DriverOptions{})
+	if res2.Optimized == 0 {
+		t.Fatalf("corrupted applies were refused even without Check; the corruption is not validate-invisible")
+	}
+}
+
+// TestCheckCatchesDisagreement simulates a buggy backward analysis by
+// flipping every decided answer and checks the pre-apply cross-check refuses
+// each conditional with a typed CheckFailure.
+func TestCheckCatchesDisagreement(t *testing.T) {
+	p := buildSafety(t)
+	want := ir.Clone(p).Dump()
+	setAnswerHook(t, func(b ir.NodeID, ans analysis.AnswerSet) analysis.AnswerSet {
+		switch ans {
+		case analysis.AnsTrue:
+			return analysis.AnsFalse
+		case analysis.AnsFalse:
+			return analysis.AnsTrue
+		}
+		return ans
+	})
+
+	res := Optimize(p, DriverOptions{Check: true})
+	if res.Optimized != 0 {
+		t.Fatalf("Optimized = %d, want 0 when every answer disagrees", res.Optimized)
+	}
+	if got := res.Program.Dump(); got != want {
+		t.Fatalf("disagreeing conditionals not left untouched:\n%s", got)
+	}
+	if res.Stats.SCCPDisagreements != 3 {
+		t.Errorf("SCCPDisagreements = %d, want 3", res.Stats.SCCPDisagreements)
+	}
+	if n := countKind(res, FailCheck); n != 3 {
+		t.Fatalf("check failures = %d (stats %v), want 3", n, res.Stats.Failures)
+	}
+	var cf *check.CheckFailure
+	if !errors.As(res.Reports[0].Err, &cf) {
+		t.Fatalf("report Err does not unwrap to *check.CheckFailure: %v", res.Reports[0].Err)
+	}
+	if cf.Answers != analysis.AnsFalse {
+		t.Errorf("CheckFailure.Answers = %v, want {F} (the flipped claim)", cf.Answers)
+	}
+}
+
+// TestCheckComposesWithVerify runs both oracles together on a healthy
+// program.
+func TestCheckComposesWithVerify(t *testing.T) {
+	res := Optimize(buildSafety(t), DriverOptions{Check: true, Verify: true})
+	if res.Optimized == 0 {
+		t.Fatalf("nothing optimized with both oracles on")
+	}
+	if res.Stats.SCCPDisagreements != 0 || len(res.Stats.Failures) != 0 {
+		t.Fatalf("healthy program failed a gate: %v", res.Stats.Failures)
+	}
+	if res.Stats.VerifyRuns == 0 || res.Stats.CheckRuns == 0 {
+		t.Fatalf("an oracle did not run: verify %d, check %d", res.Stats.VerifyRuns, res.Stats.CheckRuns)
+	}
+}
+
+func TestFailCheckString(t *testing.T) {
+	if got := FailCheck.String(); got != "check" {
+		t.Errorf("FailCheck.String() = %q, want %q", got, "check")
+	}
+}
+
+// TestCheckRecallCountsResidualConstantBranch pins the recall metric: a
+// constant branch the driver is forbidden to optimize (duplication limit)
+// stays in the final program and is counted.
+func TestCheckRecallCountsResidualConstantBranch(t *testing.T) {
+	p, err := ir.Build(`
+		func main() {
+			var x = 5;
+			if (x == 5) { print(1); } else { print(2); }
+		}
+	`)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	// MaxWork exhausts the budget before the branch is settled, so the
+	// constant branch survives to the final program.
+	res := Optimize(p, DriverOptions{Check: true, MaxWork: 1, FullOnly: true,
+		Analysis: analysis.Options{ModSummaries: true, TerminationLimit: 1}})
+	if res.Stats.SCCPRecall == 0 && res.Optimized > 0 {
+		t.Skipf("branch optimized despite limits; recall legitimately 0")
+	}
+	if res.Optimized == 0 && res.Stats.SCCPRecall != 1 {
+		t.Errorf("SCCPRecall = %d, want 1 (unoptimized constant branch)", res.Stats.SCCPRecall)
+	}
+}

@@ -79,6 +79,15 @@ type DriverOptions struct {
 	// VerifyInputs supplies workload input vectors for Verify, checked in
 	// addition to the built-in vectors.
 	VerifyInputs [][]int64
+	// Check enables the static verification layer (internal/check): every
+	// demand-driven answer is cross-checked against a forward SCCP oracle
+	// before its restructuring is attempted, and each applied restructuring
+	// must not raise an invariant lint finding (unreachable node,
+	// use-before-def, must-fail assertion, structural violation) over the
+	// working program's baseline. Violations roll back with FailCheck.
+	// Unlike Verify it runs no inputs, so it covers all paths statically;
+	// the two oracles compose.
+	Check bool
 }
 
 // CondReport records the per-conditional outcome of a driver run.
@@ -155,12 +164,31 @@ type DriverStats struct {
 	// VerifyRuns counts shadow executions performed by the differential
 	// oracle (DriverOptions.Verify); VerifyWall is their summed wall time.
 	VerifyRuns int
+	// CheckRuns counts static check-layer analyses (DriverOptions.Check):
+	// the initial baseline, one per attempted apply, and recomputations
+	// after commits. CheckWall is their summed wall time.
+	CheckRuns int
+	// SCCPAgreements and SCCPDisagreements count cross-checked conditionals
+	// whose demand-driven answer the SCCP oracle confirmed (agree or
+	// vacuous) or contradicted. Disagreements are contained FailCheck
+	// refusals; a healthy run has zero.
+	SCCPAgreements    int
+	SCCPDisagreements int
+	// SCCPRecall counts analyzable branches of the final program whose
+	// outcome the oracle still decides — constant branches ICBE left in
+	// place (the recall gap of the demand-driven analysis).
+	SCCPRecall int
+	// CheckFindingsPre and CheckFindingsPost count invariant lint findings
+	// on the input and final working programs (both 0 for sound inputs).
+	CheckFindingsPre  int
+	CheckFindingsPost int
 	// AnalysisWall and ApplyWall sum the wall-clock time of the analysis
 	// phases and the serial apply phases. They and VerifyWall are the only
 	// nondeterministic fields of a driver result.
 	AnalysisWall time.Duration
 	ApplyWall    time.Duration
 	VerifyWall   time.Duration
+	CheckWall    time.Duration
 }
 
 // DriverResult is the outcome of optimizing a whole program.
@@ -245,6 +273,11 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 	work := ir.Clone(p)
 	out.Stats.Clones = 1
 
+	var gate *checkGate
+	if opts.Check {
+		gate = newCheckGate(work, &out.Stats)
+	}
+
 	// The work queue starts with the conditionals of the input program.
 	// When restructuring one conditional splits another into copies, the
 	// copies are requeued so the duplication-limit sweep stays monotone; a
@@ -319,6 +352,19 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 				continue
 			}
 			out.PairsTotal += cr.res.PairsProcessed
+			if gate != nil {
+				// Static cross-check: a demand-driven answer contradicting
+				// the SCCP oracle refuses this conditional outright, before
+				// any restructuring is attempted.
+				if fail := gate.crossCheck(work, cr); fail != nil {
+					cr.rep.Failure = fail
+					cr.rep.Err = fail
+					out.Stats.countFailure(fail.Kind)
+					release(cr)
+					out.Reports = append(out.Reports, cr.rep)
+					continue
+				}
+			}
 			if !cr.apply {
 				out.Stats.ClonesAvoided++
 				release(cr)
@@ -332,7 +378,7 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 			// commit point; every earlier exit rolls back by discarding it.
 			scratch := ir.Clone(work)
 			out.Stats.Clones++
-			oc, declined, fail := applyOne(work, scratch, cr, opts, &out.Stats)
+			oc, declined, fail := applyOne(work, scratch, cr, opts, gate, &out.Stats)
 			switch {
 			case fail != nil:
 				cr.rep.Failure = fail
@@ -346,6 +392,9 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 				out.Optimized++
 				markChanged(dirty, work, scratch)
 				work = scratch
+				if gate != nil {
+					gate.adopt(work)
+				}
 				// Requeue branch copies created as a side effect of this
 				// restructuring (including surviving copies of cr.b
 				// itself), in ID order for determinism.
@@ -398,6 +447,9 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 		out.Stats.SNEMemoHits = memo.Hits()
 		out.Stats.CacheBytes = memo.Bytes()
 	}
+	if gate != nil {
+		gate.finish(work)
+	}
 	out.Program = work
 	return out
 }
@@ -416,7 +468,7 @@ func release(cr *condResult) {
 // violation) — in every non-commit case the caller simply discards the
 // scratch clone, which is the rollback.
 func applyOne(work, scratch *ir.Program, cr *condResult, opts DriverOptions,
-	stats *DriverStats) (oc *Outcome, declined error, fail *BranchFailure) {
+	gate *checkGate, stats *DriverStats) (oc *Outcome, declined error, fail *BranchFailure) {
 	defer func() {
 		if r := recover(); r != nil {
 			oc, declined = nil, nil
@@ -436,6 +488,13 @@ func applyOne(work, scratch *ir.Program, cr *condResult, opts DriverOptions,
 	if err := ir.Validate(scratch); err != nil {
 		return nil, nil, &BranchFailure{Kind: FailValidate, Cond: cr.b, Line: cr.rep.Line,
 			Msg: "restructured program failed structural validation", Err: err}
+	}
+	if gate != nil {
+		// Static post-apply gate: the scratch clone must not regress any
+		// invariant lint pass over the working program's baseline.
+		if f := gate.checkApply(scratch, cr); f != nil {
+			return nil, nil, f
+		}
 	}
 	if opts.Verify {
 		if f := verifyShadow(work, scratch, verifyInputs(opts), stats); f != nil {

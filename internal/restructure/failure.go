@@ -34,6 +34,12 @@ const (
 	// FailTimeout: a per-branch analysis deadline or the overall driver
 	// deadline expired before the conditional could be settled.
 	FailTimeout
+	// FailCheck: the static check layer (DriverOptions.Check) vetoed the
+	// conditional — either its demand-driven answer contradicted the SCCP
+	// oracle, or applying its restructuring raised an invariant lint
+	// finding (unreachable node, use-before-def, must-fail assertion) the
+	// working program did not have.
+	FailCheck
 )
 
 func (k FailureKind) String() string {
@@ -48,6 +54,8 @@ func (k FailureKind) String() string {
 		return "op-growth"
 	case FailTimeout:
 		return "timeout"
+	case FailCheck:
+		return "check"
 	}
 	return fmt.Sprintf("FailureKind(%d)", int(k))
 }
