@@ -1,0 +1,114 @@
+// Command icbe-serve runs the resilient optimization service: a long-running
+// HTTP/JSON front end that compiles and optimizes MiniC programs with
+// admission control, per-request deadlines, a degradation ladder, and
+// per-failure-kind circuit breakers (see internal/server).
+//
+// Usage:
+//
+//	icbe-serve [flags]
+//
+// Endpoints:
+//
+//	POST /optimize  {"program": "...", "deadline_ms": 2000, "input": [1,2]}
+//	GET  /healthz   liveness
+//	GET  /readyz    readiness (503 while draining)
+//	GET  /stats     aggregate service statistics
+//
+// SIGTERM or SIGINT starts a graceful drain: admission stops, in-flight
+// requests finish by their deadlines (cancelled cooperatively after
+// -drain-timeout), then the process exits 0. A second signal exits
+// immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"icbe/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxInFlight = flag.Int("max-inflight", 4, "concurrent optimizations")
+		maxQueue    = flag.Int("max-queue", 64, "admission queue depth beyond in-flight; excess is shed 429")
+		maxReqBytes = flag.Int64("max-request-bytes", 1<<20, "request body cap; larger requests are shed 413")
+		maxMemBytes = flag.Int64("max-inflight-bytes", 256<<20, "admitted memory-estimate cap; excess is shed 429")
+		deadline    = flag.Duration("deadline", 5*time.Second, "default per-request optimization deadline")
+		maxDeadline = flag.Duration("max-deadline", 30*time.Second, "clamp on client-requested deadlines")
+		workers     = flag.Int("workers", 2, "driver analysis workers per request")
+		drainTO     = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight work on SIGTERM before cooperative cancellation")
+		brkWindow   = flag.Duration("breaker-window", 10*time.Second, "circuit-breaker failure-rate window")
+		brkTrip     = flag.Int("breaker-trip", 5, "failures within the window that trip a breaker")
+		brkCooldown = flag.Duration("breaker-cooldown", 2*time.Second, "initial breaker cooldown before a half-open probe")
+		brkMaxCool  = flag.Duration("breaker-max-cooldown", 30*time.Second, "breaker cooldown cap under repeated failed probes")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: icbe-serve [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	svc := server.New(server.Config{
+		MaxInFlight:      *maxInFlight,
+		MaxQueue:         *maxQueue,
+		MaxRequestBytes:  *maxReqBytes,
+		MaxInFlightBytes: *maxMemBytes,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDeadline,
+		Workers:          *workers,
+		Breaker: server.BreakerConfig{
+			Window:        *brkWindow,
+			TripThreshold: *brkTrip,
+			Cooldown:      *brkCooldown,
+			MaxCooldown:   *brkMaxCool,
+		},
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("icbe-serve: listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatalf("icbe-serve: %v", err)
+	case sig := <-sigCh:
+		log.Printf("icbe-serve: %v received, draining (grace %v; signal again to force exit)", sig, *drainTO)
+	}
+	go func() {
+		sig := <-sigCh
+		log.Printf("icbe-serve: second %v, exiting immediately", sig)
+		os.Exit(130)
+	}()
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		log.Printf("icbe-serve: drain grace expired; in-flight work cancelled cooperatively")
+	}
+	// In-flight handlers have all returned; shut the listener down.
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("icbe-serve: shutdown: %v", err)
+	}
+	log.Printf("icbe-serve: drained cleanly")
+}

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"icbe"
+	"icbe/internal/reportjson"
 )
 
 func main() {
@@ -48,6 +49,8 @@ func main() {
 		chkFatal = flag.Bool("check-fatal", false, "like -check, but exit nonzero when the check layer refused any conditional")
 		timeout  = flag.Duration("timeout", 0, "overall -optimize deadline, e.g. 500ms (0 = none)")
 		branchTO = flag.Duration("branch-timeout", 0, "per-conditional analysis deadline (0 = none)")
+		jsonOut  = flag.Bool("json", false, "emit the optimization report as JSON on stdout (with -optimize; replaces the text report)")
+		strict   = flag.Bool("strict", false, "exit 3 when any conditional failed a gate or work was truncated")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -121,6 +124,11 @@ func main() {
 		}
 	}
 
+	if *jsonOut && !*doOpt {
+		fatal(fmt.Errorf("-json requires -optimize"))
+	}
+
+	strictViolated := false
 	work := prog
 	if *doOpt {
 		var rep *icbe.Report
@@ -129,15 +137,26 @@ func main() {
 		if optErr != nil && rep == nil {
 			fatal(optErr)
 		}
-		fmt.Printf("optimized %d conditionals (%d node-query pairs, operations %d -> %d)\n",
-			rep.Optimized, rep.PairsTotal, rep.OperationsBefore, rep.OperationsAfter)
+		if *strict && (rep.Truncated || len(rep.Stats.Failures) > 0) {
+			strictViolated = true
+		}
+		if *jsonOut {
+			// The same encoder the service uses for /optimize and /stats,
+			// so CLI and server reports cannot drift.
+			if err := reportjson.Encode(os.Stdout, reportjson.FromReport(rep)); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Printf("optimized %d conditionals (%d node-query pairs, operations %d -> %d)\n",
+				rep.Optimized, rep.PairsTotal, rep.OperationsBefore, rep.OperationsAfter)
+		}
 		if rep.Truncated {
 			fmt.Fprintf(os.Stderr, "icbe: warning: work budget or deadline exhausted; some conditionals were not analyzed (see report)\n")
 		}
 		if fs := rep.FailureSummary(); fs != "" {
 			fmt.Fprintf(os.Stderr, "icbe: warning: contained failures rolled back: %s\n", fs)
 		}
-		if *doReport {
+		if *doReport && !*jsonOut {
 			fmt.Printf("%6s %10s %8s %6s %8s %8s %13s\n",
 				"line", "analyzable", "answers", "full", "dup est", "pairs", "applied")
 			for _, c := range rep.Conditionals {
@@ -194,6 +213,13 @@ func main() {
 			fmt.Println(v)
 		}
 		fmt.Fprintf(os.Stderr, "executed %d operations, %d conditionals\n", res.Operations, res.Conditionals)
+	}
+	if strictViolated {
+		// -strict: contained failures and truncation are warnings by
+		// default (the emitted program is still correct); strict callers
+		// get a distinct exit code, separate from hard errors (1).
+		fmt.Fprintln(os.Stderr, "icbe: strict: conditionals failed a gate or work was truncated")
+		os.Exit(3)
 	}
 }
 

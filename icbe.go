@@ -330,6 +330,16 @@ type Report struct {
 // conditionals still optimize. A panic escaping the driver itself is
 // recovered here and returned as an error — library callers never crash.
 func (p *Program) Optimize(opts Options) (op *Program, rep *Report, err error) {
+	return p.OptimizeContext(opts.Ctx, opts)
+}
+
+// OptimizeContext is Optimize bound to a context: the context's deadline and
+// cancellation propagate into the driver cooperatively (the analysis resolves
+// pending queries UNDEF and still-queued conditionals are reported Skipped
+// with a timeout failure), so a caller serving requests can cancel a run
+// without losing the work already applied. It overrides Options.Ctx.
+func (p *Program) OptimizeContext(ctx context.Context, opts Options) (op *Program, rep *Report, err error) {
+	opts.Ctx = ctx
 	defer func() {
 		if r := recover(); r != nil {
 			op, rep = nil, nil

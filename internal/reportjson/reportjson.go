@@ -1,0 +1,188 @@
+// Package reportjson is the single machine-readable encoding of an
+// optimization report. Both `cmd/icbe -json` and the serving layer
+// (internal/server's /optimize responses and /stats aggregates) marshal
+// through these types, so the CLI and the service can never drift: a field
+// added here appears in both, and a consumer can parse either with one
+// schema.
+//
+// Durations are encoded as integer nanoseconds (suffix `_ns`) so aggregation
+// across requests is exact integer addition.
+package reportjson
+
+import (
+	"encoding/json"
+	"io"
+
+	"icbe"
+)
+
+// Report mirrors icbe.Report.
+type Report struct {
+	Optimized        int            `json:"optimized"`
+	PairsTotal       int            `json:"pairs_total"`
+	OperationsBefore int            `json:"operations_before"`
+	OperationsAfter  int            `json:"operations_after"`
+	Truncated        bool           `json:"truncated"`
+	Failures         map[string]int `json:"failures,omitempty"`
+	Stats            DriverStats    `json:"stats"`
+	Conditionals     []CondReport   `json:"conditionals,omitempty"`
+}
+
+// DriverStats mirrors icbe.DriverStats. All fields except Workers and the
+// wall clocks are deterministic per run; all fields except Workers are
+// meaningful to sum across runs with Add.
+type DriverStats struct {
+	Workers           int            `json:"workers"`
+	Rounds            int            `json:"rounds"`
+	Analyses          int            `json:"analyses"`
+	Reanalyses        int            `json:"reanalyses"`
+	Clones            int            `json:"clones"`
+	ClonesAvoided     int            `json:"clones_avoided"`
+	Failures          map[string]int `json:"failures,omitempty"`
+	SNEMemoEntries    int            `json:"sne_memo_entries"`
+	SNEMemoHits       int64          `json:"sne_memo_hits"`
+	CacheBytes        int64          `json:"cache_bytes"`
+	VerifyRuns        int            `json:"verify_runs"`
+	VerifyWallNS      int64          `json:"verify_wall_ns"`
+	CheckRuns         int            `json:"check_runs"`
+	CheckWallNS       int64          `json:"check_wall_ns"`
+	SCCPAgreements    int            `json:"sccp_agreements"`
+	SCCPDisagreements int            `json:"sccp_disagreements"`
+	SCCPRecall        int            `json:"sccp_recall"`
+	CheckFindingsPre  int            `json:"check_findings_pre"`
+	CheckFindingsPost int            `json:"check_findings_post"`
+	AnalysisWallNS    int64          `json:"analysis_wall_ns"`
+	ApplyWallNS       int64          `json:"apply_wall_ns"`
+}
+
+// CondReport mirrors icbe.CondReport.
+type CondReport struct {
+	Line           int    `json:"line"`
+	Analyzable     bool   `json:"analyzable"`
+	Correlated     bool   `json:"correlated"`
+	Full           bool   `json:"full"`
+	Answers        string `json:"answers,omitempty"`
+	DupEstimate    int    `json:"dup_estimate"`
+	PairsProcessed int    `json:"pairs_processed"`
+	Applied        bool   `json:"applied"`
+	Skipped        bool   `json:"skipped"`
+	FailureKind    string `json:"failure_kind,omitempty"`
+	Error          string `json:"error,omitempty"`
+}
+
+// FromReport converts an optimization report to its wire form.
+func FromReport(r *icbe.Report) *Report {
+	if r == nil {
+		return nil
+	}
+	out := &Report{
+		Optimized:        r.Optimized,
+		PairsTotal:       r.PairsTotal,
+		OperationsBefore: r.OperationsBefore,
+		OperationsAfter:  r.OperationsAfter,
+		Truncated:        r.Truncated,
+		Failures:         copyCounts(r.Stats.Failures),
+		Stats:            FromDriverStats(r.Stats),
+	}
+	for _, c := range r.Conditionals {
+		wc := CondReport{
+			Line:           c.Line,
+			Analyzable:     c.Analyzable,
+			Correlated:     c.Correlated,
+			Full:           c.Full,
+			Answers:        c.Answers,
+			DupEstimate:    c.DupEstimate,
+			PairsProcessed: c.PairsProcessed,
+			Applied:        c.Applied,
+			Skipped:        c.Skipped,
+			FailureKind:    c.FailureKind,
+		}
+		if c.Err != nil {
+			wc.Error = c.Err.Error()
+		}
+		out.Conditionals = append(out.Conditionals, wc)
+	}
+	return out
+}
+
+// FromDriverStats converts driver counters to their wire form.
+func FromDriverStats(s icbe.DriverStats) DriverStats {
+	return DriverStats{
+		Workers:           s.Workers,
+		Rounds:            s.Rounds,
+		Analyses:          s.Analyses,
+		Reanalyses:        s.Reanalyses,
+		Clones:            s.Clones,
+		ClonesAvoided:     s.ClonesAvoided,
+		Failures:          copyCounts(s.Failures),
+		SNEMemoEntries:    s.SNEMemoEntries,
+		SNEMemoHits:       s.SNEMemoHits,
+		CacheBytes:        s.CacheBytes,
+		VerifyRuns:        s.VerifyRuns,
+		VerifyWallNS:      int64(s.VerifyWall),
+		CheckRuns:         s.CheckRuns,
+		CheckWallNS:       int64(s.CheckWall),
+		SCCPAgreements:    s.SCCPAgreements,
+		SCCPDisagreements: s.SCCPDisagreements,
+		SCCPRecall:        s.SCCPRecall,
+		CheckFindingsPre:  s.CheckFindingsPre,
+		CheckFindingsPost: s.CheckFindingsPost,
+		AnalysisWallNS:    int64(s.AnalysisWall),
+		ApplyWallNS:       int64(s.ApplyWall),
+	}
+}
+
+// Add accumulates another run's counters into d (Workers is kept as the
+// maximum, every other field sums). The serving layer's /stats aggregates
+// per-request DriverStats with it.
+func (d *DriverStats) Add(o DriverStats) {
+	if o.Workers > d.Workers {
+		d.Workers = o.Workers
+	}
+	d.Rounds += o.Rounds
+	d.Analyses += o.Analyses
+	d.Reanalyses += o.Reanalyses
+	d.Clones += o.Clones
+	d.ClonesAvoided += o.ClonesAvoided
+	if len(o.Failures) > 0 {
+		if d.Failures == nil {
+			d.Failures = make(map[string]int, len(o.Failures))
+		}
+		for k, n := range o.Failures {
+			d.Failures[k] += n
+		}
+	}
+	d.SNEMemoEntries += o.SNEMemoEntries
+	d.SNEMemoHits += o.SNEMemoHits
+	d.CacheBytes += o.CacheBytes
+	d.VerifyRuns += o.VerifyRuns
+	d.VerifyWallNS += o.VerifyWallNS
+	d.CheckRuns += o.CheckRuns
+	d.CheckWallNS += o.CheckWallNS
+	d.SCCPAgreements += o.SCCPAgreements
+	d.SCCPDisagreements += o.SCCPDisagreements
+	d.SCCPRecall += o.SCCPRecall
+	d.CheckFindingsPre += o.CheckFindingsPre
+	d.CheckFindingsPost += o.CheckFindingsPost
+	d.AnalysisWallNS += o.AnalysisWallNS
+	d.ApplyWallNS += o.ApplyWallNS
+}
+
+func copyCounts(m map[string]int) map[string]int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Encode writes v as indented JSON with a trailing newline — the one
+// rendering used everywhere a report leaves the process.
+func Encode(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -10,8 +10,8 @@ import (
 
 // testHookCheckAnswers lets tests substitute the answer set the cross-check
 // sees for one conditional, simulating a buggy backward analysis without
-// having one. It must be nil outside tests.
-var testHookCheckAnswers func(b ir.NodeID, ans analysis.AnswerSet) analysis.AnswerSet
+// having one (see SetFaultInjection). It must be nil outside tests.
+var testHookCheckAnswers func(p *ir.Program, b ir.NodeID, ans analysis.AnswerSet) analysis.AnswerSet
 
 // checkGate is the static verification layer of the driver
 // (DriverOptions.Check): the forward SCCP oracle cross-checks every
@@ -69,7 +69,7 @@ func (g *checkGate) sccpFor(p *ir.Program) *check.SCCP {
 func (g *checkGate) crossCheck(work *ir.Program, cr *condResult) *BranchFailure {
 	ans := cr.rep.Answers
 	if testHookCheckAnswers != nil {
-		ans = testHookCheckAnswers(cr.b, ans)
+		ans = testHookCheckAnswers(work, cr.b, ans)
 	}
 	verdict, cf := check.CrossCheck(work, g.sccpFor(work), cr.b, ans)
 	switch verdict {

@@ -10,7 +10,7 @@ import (
 	"icbe/internal/ir"
 )
 
-func setAnswerHook(t *testing.T, hook func(ir.NodeID, analysis.AnswerSet) analysis.AnswerSet) {
+func setAnswerHook(t *testing.T, hook func(*ir.Program, ir.NodeID, analysis.AnswerSet) analysis.AnswerSet) {
 	t.Helper()
 	testHookCheckAnswers = hook
 	t.Cleanup(func() { testHookCheckAnswers = nil })
@@ -98,7 +98,7 @@ func TestCheckCatchesCorruptedSplit(t *testing.T) {
 func TestCheckCatchesDisagreement(t *testing.T) {
 	p := buildSafety(t)
 	want := ir.Clone(p).Dump()
-	setAnswerHook(t, func(b ir.NodeID, ans analysis.AnswerSet) analysis.AnswerSet {
+	setAnswerHook(t, func(_ *ir.Program, b ir.NodeID, ans analysis.AnswerSet) analysis.AnswerSet {
 		switch ans {
 		case analysis.AnsTrue:
 			return analysis.AnsFalse

@@ -12,13 +12,14 @@ import (
 	"icbe/internal/ir"
 )
 
-// Test-only fault-injection hooks. testHookAnalyze runs at the start of
-// every branch analysis; testHookAfterApply runs on the scratch clone after
-// a successful Eliminate, before the gating oracles, and a non-nil return
-// is treated as a validation failure. Both may panic to exercise the
-// driver's fault isolation. They must be nil outside tests.
+// Test-only fault-injection hooks (see SetFaultInjection). testHookAnalyze
+// runs at the start of every branch analysis against the round's snapshot;
+// testHookAfterApply runs on the scratch clone after a successful Eliminate,
+// before the gating oracles, and a non-nil return is treated as a validation
+// failure. Both may panic to exercise the driver's fault isolation. They
+// must be nil outside tests.
 var (
-	testHookAnalyze    func(b ir.NodeID)
+	testHookAnalyze    func(snapshot *ir.Program, b ir.NodeID)
 	testHookAfterApply func(scratch *ir.Program, cond ir.NodeID) error
 )
 
@@ -541,7 +542,7 @@ func analyzeBatch(ctx context.Context, snapshot *ir.Program, batch []ir.NodeID,
 		}
 		cr.rep.Analyzable = true
 		if testHookAnalyze != nil {
-			testHookAnalyze(cr.b)
+			testHookAnalyze(snapshot, cr.b)
 		}
 		var interrupt func() bool
 		if opts.BranchTimeout > 0 || ctx.Done() != nil {

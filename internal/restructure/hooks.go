@@ -1,0 +1,46 @@
+package restructure
+
+import (
+	"icbe/internal/analysis"
+	"icbe/internal/ir"
+)
+
+// AllFailureKinds enumerates every FailureKind the driver can contain, in
+// gating order. Callers that key state per kind — the serving layer keeps a
+// circuit breaker per kind — iterate this instead of hard-coding the
+// taxonomy, so a kind added here is automatically covered there.
+func AllFailureKinds() []FailureKind {
+	return []FailureKind{
+		FailPanic, FailValidate, FailDiffMismatch, FailOpGrowth, FailTimeout, FailCheck,
+	}
+}
+
+// FaultInjection bundles the driver's fault-injection hooks so tests outside
+// this package (the serving layer's degradation-ladder tests) can force each
+// FailureKind. Every field may be nil. The hooks are process globals read by
+// concurrent analysis workers without synchronization: install them before
+// any driver run starts, clear them after every run has finished, and never
+// use them outside tests.
+type FaultInjection struct {
+	// Analyze runs at the start of every branch analysis against the
+	// round's snapshot. Panicking here exercises FailPanic containment; the
+	// snapshot lets a hook target only branches of a marked program.
+	Analyze func(snapshot *ir.Program, b ir.NodeID)
+	// AfterApply runs on the scratch clone after a successful Eliminate,
+	// before the gating oracles; a non-nil error is treated as a validation
+	// failure (FailValidate).
+	AfterApply func(scratch *ir.Program, cond ir.NodeID) error
+	// CheckAnswers substitutes the answer set the static cross-check sees
+	// for one conditional, simulating a buggy backward analysis (FailCheck)
+	// without having one.
+	CheckAnswers func(p *ir.Program, b ir.NodeID, ans analysis.AnswerSet) analysis.AnswerSet
+}
+
+// SetFaultInjection installs the given hooks, replacing any previous set.
+// Pass the zero value to clear. Test-only; see FaultInjection for the
+// synchronization contract.
+func SetFaultInjection(f FaultInjection) {
+	testHookAnalyze = f.Analyze
+	testHookAfterApply = f.AfterApply
+	testHookCheckAnswers = f.CheckAnswers
+}

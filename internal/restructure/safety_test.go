@@ -40,7 +40,7 @@ func buildSafety(t *testing.T) *ir.Program {
 // setHooks installs the fault-injection hooks and restores them when the
 // test ends. The hooks are package globals, so tests using them must not run
 // in parallel (they don't: no t.Parallel in this file).
-func setHooks(t *testing.T, analyze func(ir.NodeID), afterApply func(*ir.Program, ir.NodeID) error) {
+func setHooks(t *testing.T, analyze func(*ir.Program, ir.NodeID), afterApply func(*ir.Program, ir.NodeID) error) {
 	t.Helper()
 	testHookAnalyze = analyze
 	testHookAfterApply = afterApply
@@ -186,7 +186,7 @@ func TestAnalysisPanicContained(t *testing.T) {
 		if target < 0 {
 			t.Fatal("no branch found")
 		}
-		setHooks(t, func(b ir.NodeID) {
+		setHooks(t, func(_ *ir.Program, b ir.NodeID) {
 			if b == target {
 				panic("injected analysis panic")
 			}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestAdmissionBoundsInFlightAndQueue(t *testing.T) {
+	a := newAdmission(1, 1, 1<<30)
+	rel1, shed := a.admit(context.Background(), 100)
+	if shed != nil {
+		t.Fatalf("first admit shed: %v", shed)
+	}
+
+	// Second request queues; it gets the slot once the first releases.
+	admitted := make(chan func(), 1)
+	go func() {
+		rel2, shed2 := a.admit(context.Background(), 100)
+		if shed2 != nil {
+			t.Errorf("queued admit shed: %v", shed2)
+		}
+		admitted <- rel2
+	}()
+	waitFor(t, func() bool { q, _, _ := a.gauges(); return q == 1 })
+
+	// Third request exceeds the queue bound and is shed immediately.
+	if _, shed3 := a.admit(context.Background(), 100); shed3 == nil {
+		t.Fatal("third admit not shed with queue full")
+	} else if shed3.reason != "queue" || shed3.status != 429 {
+		t.Fatalf("shed = %q/%d, want queue/429", shed3.reason, shed3.status)
+	}
+
+	rel1()
+	rel2 := <-admitted
+	rel2()
+	if q, inFlight, bytes := a.gauges(); q != 0 || inFlight != 0 || bytes != 0 {
+		t.Fatalf("gauges after release = %d/%d/%d, want 0/0/0", q, inFlight, bytes)
+	}
+}
+
+func TestAdmissionShedsOnMemoryEstimate(t *testing.T) {
+	a := newAdmission(4, 4, 1000)
+	rel, shed := a.admit(context.Background(), 900)
+	if shed != nil {
+		t.Fatalf("first admit shed: %v", shed)
+	}
+	defer rel()
+	if _, shed2 := a.admit(context.Background(), 200); shed2 == nil {
+		t.Fatal("admit over the byte cap not shed")
+	} else if shed2.reason != "memory" {
+		t.Fatalf("shed reason = %q, want memory", shed2.reason)
+	}
+	// The rejected estimate was returned to the pool.
+	if _, _, bytes := a.gauges(); bytes != 900 {
+		t.Fatalf("bytes after memory shed = %d, want 900", bytes)
+	}
+}
+
+func TestAdmissionShedsOnDeadlineWhileQueued(t *testing.T) {
+	a := newAdmission(1, 4, 1<<30)
+	rel, shed := a.admit(context.Background(), 1)
+	if shed != nil {
+		t.Fatalf("first admit shed: %v", shed)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, shed2 := a.admit(ctx, 1)
+	if shed2 == nil {
+		t.Fatal("queued admit not shed when its deadline expired")
+	}
+	if shed2.reason != "queue-timeout" {
+		t.Fatalf("shed reason = %q, want queue-timeout", shed2.reason)
+	}
+	if q, _, bytes := a.gauges(); q != 0 || bytes != 1 {
+		t.Fatalf("gauges after queue-timeout = queued %d bytes %d, want 0/1", q, bytes)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

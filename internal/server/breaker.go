@@ -1,0 +1,248 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"icbe/internal/restructure"
+)
+
+// BreakerConfig tunes the per-FailureKind circuit breakers.
+type BreakerConfig struct {
+	// Window is the sliding window over which failures are counted; a
+	// breaker trips when TripThreshold failures of its kind land within it.
+	Window        time.Duration
+	TripThreshold int
+	// Cooldown is the initial open duration; each failed probe doubles it
+	// up to MaxCooldown.
+	Cooldown    time.Duration
+	MaxCooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.TripThreshold <= 0 {
+		c.TripThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = 30 * time.Second
+	}
+	return c
+}
+
+type breakerState int
+
+const (
+	bClosed breakerState = iota
+	bOpen
+	bHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case bClosed:
+		return "closed"
+	case bOpen:
+		return "open"
+	case bHalfOpen:
+		return "half-open"
+	}
+	return "?"
+}
+
+// pinFor maps a failure kind to the tier that no longer exhibits it: the
+// ceiling an open breaker imposes on new requests. Verify-only kinds pin
+// just below the shadow oracle, check refusals below the static layer,
+// timeouts at the cheap intraprocedural analysis, and restructuring faults
+// (panic, validate) at the only rung that does not restructure at all.
+func pinFor(kind string) Tier {
+	switch kind {
+	case restructure.FailDiffMismatch.String(), restructure.FailOpGrowth.String():
+		return TierCheckOnly
+	case restructure.FailCheck.String():
+		return TierNoOracles
+	case restructure.FailTimeout.String():
+		return TierIntraOnly
+	default: // panic, validate
+		return TierPassthrough
+	}
+}
+
+// breaker is one failure kind's circuit: closed (counting), open (pinning
+// the service ceiling at its tier until the cooldown elapses), or half-open
+// (one probe request runs above the pin; its outcome closes the breaker or
+// re-opens it with a doubled cooldown — the service probes its way back up).
+type breaker struct {
+	kind     string
+	pin      Tier
+	state    breakerState
+	recent   []time.Time // failure timestamps within the window (closed state only)
+	cooldown time.Duration
+	reopenAt time.Time
+	probing  bool
+	trips    int64
+}
+
+// breakerSet owns one breaker per restructure.FailureKind. All methods are
+// safe for concurrent use.
+type breakerSet struct {
+	mu    sync.Mutex
+	cfg   BreakerConfig
+	now   func() time.Time
+	order []string
+	m     map[string]*breaker
+}
+
+func newBreakerSet(cfg BreakerConfig, now func() time.Time) *breakerSet {
+	s := &breakerSet{cfg: cfg.withDefaults(), now: now, m: make(map[string]*breaker)}
+	for _, k := range restructure.AllFailureKinds() {
+		kind := k.String()
+		s.order = append(s.order, kind)
+		s.m[kind] = &breaker{kind: kind, pin: pinFor(kind), cooldown: s.cfg.Cooldown}
+	}
+	return s
+}
+
+// admitTier returns the tier a new request starts at — the most degraded pin
+// among open breakers — and the kinds this request probes: breakers whose
+// cooldown elapsed move to half-open and let exactly one request through
+// above their pin to test the waters. While a probe is in flight its breaker
+// keeps pinning everyone else.
+func (s *breakerSet) admitTier() (Tier, []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.now()
+	ceiling := TierFull
+	var probes []string
+	for _, kind := range s.order {
+		b := s.m[kind]
+		if b.state == bOpen && !t.Before(b.reopenAt) {
+			b.state = bHalfOpen
+		}
+		switch b.state {
+		case bOpen:
+			if b.pin > ceiling {
+				ceiling = b.pin
+			}
+		case bHalfOpen:
+			if !b.probing {
+				b.probing = true
+				probes = append(probes, kind)
+			} else if b.pin > ceiling {
+				ceiling = b.pin
+			}
+		}
+	}
+	return ceiling, probes
+}
+
+// record feeds one finished request's observed failure-kind counts back into
+// the breakers. probes are the kinds this request was probing: a probe that
+// saw its kind re-opens the breaker with a doubled cooldown, a clean probe
+// closes it.
+func (s *breakerSet) record(kinds map[string]int, probes []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.now()
+	probed := make(map[string]bool, len(probes))
+	for _, k := range probes {
+		probed[k] = true
+	}
+	for _, kind := range s.order {
+		b := s.m[kind]
+		n := kinds[kind]
+		if probed[kind] {
+			b.probing = false
+			if n > 0 {
+				b.cooldown *= 2
+				if b.cooldown > s.cfg.MaxCooldown {
+					b.cooldown = s.cfg.MaxCooldown
+				}
+				s.open(b, t)
+			} else {
+				b.state, b.recent, b.cooldown = bClosed, nil, s.cfg.Cooldown
+			}
+			continue
+		}
+		if n == 0 || b.state != bClosed {
+			continue
+		}
+		// Count this request once per observed failure (capped so one
+		// pathological request cannot flood the window bookkeeping).
+		if n > 16 {
+			n = 16
+		}
+		for i := 0; i < n; i++ {
+			b.recent = append(b.recent, t)
+		}
+		cut := t.Add(-s.cfg.Window)
+		for len(b.recent) > 0 && b.recent[0].Before(cut) {
+			b.recent = b.recent[1:]
+		}
+		if len(b.recent) >= s.cfg.TripThreshold {
+			b.cooldown = s.cfg.Cooldown
+			s.open(b, t)
+		}
+	}
+}
+
+func (s *breakerSet) open(b *breaker, t time.Time) {
+	b.state = bOpen
+	b.recent = nil
+	b.reopenAt = t.Add(b.cooldown)
+	b.trips++
+}
+
+// abortProbe returns probe slots without evidence (the request exited before
+// running any optimization, e.g. on a compile error); the breakers stay
+// half-open for the next request to probe.
+func (s *breakerSet) abortProbe(probes []string) {
+	if len(probes) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, kind := range probes {
+		if b := s.m[kind]; b != nil {
+			b.probing = false
+		}
+	}
+}
+
+// BreakerStatus is one breaker's /stats view.
+type BreakerStatus struct {
+	State      string `json:"state"`
+	Pin        string `json:"pin"`
+	Recent     int    `json:"recent"`
+	Trips      int64  `json:"trips"`
+	CooldownMS int64  `json:"cooldown_ms"`
+	Probing    bool   `json:"probing,omitempty"`
+}
+
+// snapshot reports every breaker's state and the resulting service ceiling.
+func (s *breakerSet) snapshot() (map[string]BreakerStatus, Tier) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]BreakerStatus, len(s.order))
+	ceiling := TierFull
+	for _, kind := range s.order {
+		b := s.m[kind]
+		out[kind] = BreakerStatus{
+			State:      b.state.String(),
+			Pin:        b.pin.String(),
+			Recent:     len(b.recent),
+			Trips:      b.trips,
+			CooldownMS: b.cooldown.Milliseconds(),
+			Probing:    b.probing,
+		}
+		if b.state != bClosed && b.pin > ceiling {
+			ceiling = b.pin
+		}
+	}
+	return out, ceiling
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"icbe/internal/restructure"
+)
+
+func testBreakerSet(clock *fakeClock) *breakerSet {
+	return newBreakerSet(BreakerConfig{
+		Window:        10 * time.Second,
+		TripThreshold: 3,
+		Cooldown:      2 * time.Second,
+		MaxCooldown:   8 * time.Second,
+	}, clock.Now)
+}
+
+func TestBreakerCoversEveryFailureKind(t *testing.T) {
+	s := testBreakerSet(newFakeClock())
+	for _, k := range restructure.AllFailureKinds() {
+		if s.m[k.String()] == nil {
+			t.Errorf("no breaker for failure kind %q", k)
+		}
+	}
+}
+
+func TestBreakerTripsWithinWindowAndPins(t *testing.T) {
+	clock := newFakeClock()
+	s := testBreakerSet(clock)
+
+	if tier, probes := s.admitTier(); tier != TierFull || len(probes) != 0 {
+		t.Fatalf("healthy admitTier = %v/%v, want full/none", tier, probes)
+	}
+	// Two failures, then the window slides them out: no trip.
+	s.record(map[string]int{"timeout": 2}, nil)
+	clock.Advance(11 * time.Second)
+	s.record(map[string]int{"timeout": 1}, nil)
+	if tier, _ := s.admitTier(); tier != TierFull {
+		t.Fatalf("breaker tripped on stale window: tier %v", tier)
+	}
+	// Three failures inside one window trip it; the ceiling pins at the
+	// kind's tier.
+	s.record(map[string]int{"timeout": 2}, nil)
+	if tier, _ := s.admitTier(); tier != TierIntraOnly {
+		t.Fatalf("tier after timeout trip = %v, want intra-only", tier)
+	}
+	// A harsher kind tripping too deepens the ceiling.
+	s.record(map[string]int{"panic": 3}, nil)
+	if tier, _ := s.admitTier(); tier != TierPassthrough {
+		t.Fatalf("tier after panic trip = %v, want passthrough", tier)
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	clock := newFakeClock()
+	s := testBreakerSet(clock)
+	s.record(map[string]int{"check": 3}, nil)
+	if tier, probes := s.admitTier(); tier != TierNoOracles || len(probes) != 0 {
+		t.Fatalf("after trip: %v/%v, want no-oracles with no probes during cooldown", tier, probes)
+	}
+
+	// Cooldown elapses: exactly one request probes above the pin while
+	// others stay pinned.
+	clock.Advance(3 * time.Second)
+	tier, probes := s.admitTier()
+	if tier != TierFull || len(probes) != 1 || probes[0] != "check" {
+		t.Fatalf("probe admit = %v/%v, want full with a check probe", tier, probes)
+	}
+	if tier2, probes2 := s.admitTier(); tier2 != TierNoOracles || len(probes2) != 0 {
+		t.Fatalf("second admit during probe = %v/%v, want still pinned", tier2, probes2)
+	}
+
+	// The probe fails: the breaker re-opens with a doubled cooldown.
+	s.record(map[string]int{"check": 1}, probes)
+	if tier3, _ := s.admitTier(); tier3 != TierNoOracles {
+		t.Fatalf("after failed probe: %v, want pinned", tier3)
+	}
+	clock.Advance(3 * time.Second) // less than the doubled 4s cooldown
+	if _, probes4 := s.admitTier(); len(probes4) != 0 {
+		t.Fatalf("probe allowed before doubled cooldown elapsed")
+	}
+	clock.Advance(2 * time.Second)
+	_, probes5 := s.admitTier()
+	if len(probes5) != 1 {
+		t.Fatalf("no probe after doubled cooldown")
+	}
+
+	// A clean probe closes the breaker and resets the cooldown.
+	s.record(nil, probes5)
+	if tier6, probes6 := s.admitTier(); tier6 != TierFull || len(probes6) != 0 {
+		t.Fatalf("after clean probe: %v/%v, want closed", tier6, probes6)
+	}
+	if b := s.m["check"]; b.state != bClosed || b.cooldown != 2*time.Second {
+		t.Fatalf("breaker after recovery: state %v cooldown %v, want closed/2s", b.state, b.cooldown)
+	}
+}
+
+func TestBreakerCooldownCapsUnderRepeatedFailedProbes(t *testing.T) {
+	clock := newFakeClock()
+	s := testBreakerSet(clock)
+	s.record(map[string]int{"validate": 3}, nil)
+	for i := 0; i < 5; i++ {
+		clock.Advance(time.Minute)
+		_, probes := s.admitTier()
+		if len(probes) != 1 {
+			t.Fatalf("round %d: no probe offered", i)
+		}
+		s.record(map[string]int{"validate": 1}, probes)
+	}
+	if b := s.m["validate"]; b.cooldown != 8*time.Second {
+		t.Fatalf("cooldown = %v, want capped at 8s", b.cooldown)
+	}
+}
+
+func TestBreakerAbortProbeLeavesHalfOpen(t *testing.T) {
+	clock := newFakeClock()
+	s := testBreakerSet(clock)
+	s.record(map[string]int{"panic": 3}, nil)
+	clock.Advance(3 * time.Second)
+	_, probes := s.admitTier()
+	if len(probes) != 1 {
+		t.Fatal("no probe offered after cooldown")
+	}
+	// The probing request exits early (e.g. compile error): the slot is
+	// returned and the next request probes instead.
+	s.abortProbe(probes)
+	_, probes2 := s.admitTier()
+	if len(probes2) != 1 || probes2[0] != "panic" {
+		t.Fatalf("probe slot not returned after abort: %v", probes2)
+	}
+}

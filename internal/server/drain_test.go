@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"icbe/internal/ir"
+	"icbe/internal/restructure"
+)
+
+// TestDrainFinishesInFlightWork starts a request, blocks it mid-analysis,
+// initiates a drain, and checks that (a) readiness flips and new work is
+// shed while the drain waits, (b) the in-flight request completes normally,
+// and (c) its result is byte-identical to the same request on a fresh,
+// undisturbed server.
+func TestDrainFinishesInFlightWork(t *testing.T) {
+	gate := make(chan struct{})
+	var blocked atomic.Bool
+	var once atomic.Bool
+	setFaults(t, restructure.FaultInjection{
+		Analyze: func(*ir.Program, ir.NodeID) {
+			if once.CompareAndSwap(false, true) {
+				blocked.Store(true)
+				<-gate
+			}
+		},
+	})
+	s, ts := newTestService(t, Config{DefaultDeadline: time.Minute, MaxDeadline: time.Minute})
+
+	inFlight := make(chan OptimizeResponse, 1)
+	go func() {
+		inFlight <- postOK(t, ts.URL, OptimizeRequest{Program: okSrc})
+	}()
+	waitFor(t, func() bool { return blocked.Load() })
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	waitFor(t, func() bool { return s.draining.Load() })
+
+	// While draining: not ready, and new optimization work is refused with
+	// a labeled shed rather than queued behind the drain.
+	if status := getJSON(t, ts.URL+"/readyz", nil); status != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining: status %d, want 503", status)
+	}
+	if status, _ := post(t, ts.URL, OptimizeRequest{Program: okSrc}); status != http.StatusServiceUnavailable {
+		t.Fatalf("new request while draining: status %d, want 503", status)
+	}
+	snap := serverStats(t, ts.URL)
+	if !snap.Draining || snap.Shed["draining"] != 1 {
+		t.Fatalf("stats while draining = draining=%v shed=%v", snap.Draining, snap.Shed)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned before in-flight work finished: %v", err)
+	default:
+	}
+
+	// Release the blocked analysis: the in-flight request completes at full
+	// fidelity and the drain observes completion.
+	close(gate)
+	got := <-inFlight
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got.Tier != "full" || got.Degraded {
+		t.Fatalf("drained request tier = %q degraded=%v, want full/false", got.Tier, got.Degraded)
+	}
+
+	// The same request on a fresh server, with no drain and no gate,
+	// produces the identical optimized program and output.
+	restructure.SetFaultInjection(restructure.FaultInjection{})
+	_, ts2 := newTestService(t, Config{})
+	want := postOK(t, ts2.URL, OptimizeRequest{Program: okSrc})
+	if got.Dump != want.Dump {
+		t.Fatalf("drained dump differs from fresh run:\n--- drained ---\n%s\n--- fresh ---\n%s", got.Dump, want.Dump)
+	}
+	if len(got.Output) != len(want.Output) {
+		t.Fatalf("output = %v, want %v", got.Output, want.Output)
+	}
+	for i := range want.Output {
+		if got.Output[i] != want.Output[i] {
+			t.Fatalf("output = %v, want %v", got.Output, want.Output)
+		}
+	}
+	if got.Report.Optimized != want.Report.Optimized {
+		t.Fatalf("optimized = %d, want %d", got.Report.Optimized, want.Report.Optimized)
+	}
+}
+
+// TestDrainCancelExpiredContext checks that a drain whose own deadline
+// expires cancels outstanding request work (rather than letting it run its
+// full budget) while still waiting for the terminal responses to be written.
+func TestDrainCancelExpiredContext(t *testing.T) {
+	gate := make(chan struct{})
+	var once atomic.Bool
+	setFaults(t, restructure.FaultInjection{
+		Analyze: func(*ir.Program, ir.NodeID) {
+			if once.CompareAndSwap(false, true) {
+				<-gate
+			}
+		},
+	})
+	s, ts := newTestService(t, Config{DefaultDeadline: time.Minute, MaxDeadline: time.Minute})
+
+	done := make(chan int, 1)
+	go func() {
+		status, _ := post(t, ts.URL, OptimizeRequest{Program: okSrc})
+		done <- status
+	}()
+	waitFor(t, func() bool { return once.Load() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(ctx) }()
+
+	// The drain's deadline expires and it cancels all outstanding request
+	// budgets; the simulated stall notices and unblocks, as a cooperative
+	// driver pass would.
+	select {
+	case <-s.baseCtx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("expired drain did not cancel outstanding work")
+	}
+	close(gate)
+	if err := <-drained; err != context.DeadlineExceeded {
+		t.Fatalf("drain error = %v, want deadline exceeded", err)
+	}
+	select {
+	case status := <-done:
+		if status != http.StatusOK {
+			t.Fatalf("cancelled request status = %d, want 200 (degraded terminal response)", status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("request hung after drain cancellation")
+	}
+}
+
+// TestDrainLeavesNoRequestGoroutines bounds goroutine growth across a burst
+// of requests plus a drain — the no-leak check CI's smoke test mirrors via
+// /stats.
+func TestDrainLeavesNoRequestGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, ts := newTestService(t, Config{})
+	for i := 0; i < 8; i++ {
+		postOK(t, ts.URL, OptimizeRequest{Program: okSrc, NoDump: true})
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines: %d before, %d after drain\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

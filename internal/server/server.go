@@ -1,0 +1,397 @@
+// Package server is the resilient optimization service behind cmd/icbe-serve:
+// a long-running HTTP/JSON front end over icbe.Optimize built so that no
+// request — hostile, oversized, or slow — can take the process down or starve
+// its neighbors.
+//
+// Robustness is layered:
+//
+//   - Admission control: a bounded queue with load shedding. At most
+//     MaxInFlight requests optimize concurrently, at most MaxQueue more wait,
+//     and the admitted memory estimate stays under MaxInFlightBytes; anything
+//     beyond is shed with 429 + Retry-After (413 for oversized bodies).
+//   - Deadlines: every request carries a deadline (defaulted and clamped)
+//     propagated into the driver's cooperative cancellation, so a slow
+//     analysis ends on time with partial work rather than being killed.
+//   - Crash-only request isolation: panics and fatal check refusals are
+//     contained per request and classified; the process never exits.
+//   - A degradation ladder (see Tier) retries failed or timed-out requests at
+//     progressively cheaper configurations down to a parse-and-echo
+//     passthrough, with capped exponential backoff between rungs. Every
+//     admitted request reaches a terminal, tier-labeled response.
+//   - Per-FailureKind circuit breakers (see breakerSet) pin the service at a
+//     degraded tier while a failure kind's rate is elevated and probe their
+//     way back up through half-open trial requests.
+//   - Graceful drain: Drain stops admission (readyz turns 503), lets
+//     in-flight work finish by its deadlines, and only then cancels
+//     cooperatively.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icbe"
+	"icbe/internal/reportjson"
+)
+
+// Config tunes the service. The zero value is usable: every field has a
+// production-shaped default.
+type Config struct {
+	// MaxInFlight bounds concurrent optimizations; MaxQueue bounds requests
+	// waiting for a slot beyond them.
+	MaxInFlight int
+	MaxQueue    int
+	// MaxRequestBytes caps the request body; larger requests are shed 413.
+	MaxRequestBytes int64
+	// MaxInFlightBytes caps the summed admission-time memory estimate of
+	// everything admitted; excess is shed 429.
+	MaxInFlightBytes int64
+	// DefaultDeadline applies when a request names none; MaxDeadline clamps
+	// what a request may ask for.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// Workers is the per-request driver worker ceiling.
+	Workers int
+	// BackoffBase/BackoffCap shape the ladder's capped exponential backoff
+	// between degradation retries.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Breaker tunes the per-FailureKind circuit breakers.
+	Breaker BreakerConfig
+
+	// now and sleep are test seams (nil = real clock / timer sleep).
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 1 << 20
+	}
+	if c.MaxInFlightBytes <= 0 {
+		c.MaxInFlightBytes = 256 << 20
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 5 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 30 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 5 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 100 * time.Millisecond
+	}
+	c.Breaker = c.Breaker.withDefaults()
+	return c
+}
+
+func (c Config) clock() func() time.Time {
+	if c.now != nil {
+		return c.now
+	}
+	return time.Now
+}
+
+// Server is one service instance. Create with New, mount Handler, stop with
+// Drain.
+type Server struct {
+	cfg       Config
+	adm       *admission
+	brk       *breakerSet
+	met       *metrics
+	draining  atomic.Bool
+	wg        sync.WaitGroup
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+}
+
+// New builds a Server from the config (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	baseCtx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:       cfg,
+		adm:       newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.MaxInFlightBytes),
+		brk:       newBreakerSet(cfg.Breaker, cfg.clock()),
+		met:       newMetrics(cfg.clock()()),
+		baseCtx:   baseCtx,
+		cancelAll: cancel,
+	}
+}
+
+// Handler returns the service's HTTP mux: POST /optimize, GET /healthz,
+// GET /readyz, GET /stats. Every route is wrapped in panic recovery so a
+// handler bug yields a 500, never a dead process.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/optimize", s.recoverWrap(s.handleOptimize))
+	mux.HandleFunc("/healthz", s.recoverWrap(s.handleHealthz))
+	mux.HandleFunc("/readyz", s.recoverWrap(s.handleReadyz))
+	mux.HandleFunc("/stats", s.recoverWrap(s.handleStats))
+	return mux
+}
+
+// Drain stops admission and waits for in-flight requests to finish. If the
+// context expires first, in-flight work is cancelled cooperatively (each
+// request degrades to passthrough and still answers) and Drain waits for the
+// handlers to unwind, returning the context's error to signal the forced
+// path. Drain is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Stats returns the current aggregate snapshot (the /stats payload).
+func (s *Server) Stats() StatsSnapshot {
+	snap := s.met.snapshot(s.cfg.clock()())
+	snap.Draining = s.draining.Load()
+	snap.QueueDepth, snap.InFlight, snap.InFlightBytes = s.adm.gauges()
+	breakers, ceiling := s.brk.snapshot()
+	snap.Breakers = breakers
+	snap.Ceiling = ceiling.String()
+	return snap
+}
+
+// OptimizeRequest is the /optimize request body.
+type OptimizeRequest struct {
+	// Program is MiniC source text.
+	Program string `json:"program"`
+	// DeadlineMS is the request's optimization budget in milliseconds
+	// (defaulted and clamped by the server config).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Input, when non-empty (or Run set), executes the optimized program on
+	// this stream and returns its output.
+	Input []int64 `json:"input,omitempty"`
+	Run   bool    `json:"run,omitempty"`
+	// NoDump omits the optimized ICFG listing from the response.
+	NoDump bool `json:"no_dump,omitempty"`
+	// Options carries the analysis knobs a client may tune.
+	Options *RequestOptions `json:"options,omitempty"`
+}
+
+// RequestOptions is the client-tunable subset of icbe.Options. Oracle and
+// analysis-mode selection belong to the degradation ladder, not the client.
+type RequestOptions struct {
+	// Term is the analysis termination limit (node-query pairs).
+	Term int `json:"term,omitempty"`
+	// Limit is the per-conditional duplication limit N.
+	Limit int `json:"limit,omitempty"`
+	// Workers requests driver workers (clamped to the server's ceiling).
+	Workers int `json:"workers,omitempty"`
+	// FullOnly restricts optimization to fully correlated conditionals.
+	FullOnly bool `json:"full_only,omitempty"`
+	// Compact contracts synthetic no-op nodes after optimization.
+	Compact bool `json:"compact,omitempty"`
+}
+
+// OptimizeResponse is the /optimize response body. Tier labels the rung that
+// produced the result; Degraded is set whenever that is not the full
+// configuration, and Attempts traces the descent.
+type OptimizeResponse struct {
+	Tier      string             `json:"tier"`
+	Degraded  bool               `json:"degraded"`
+	Attempts  []Attempt          `json:"attempts"`
+	Report    *reportjson.Report `json:"report,omitempty"`
+	Dump      string             `json:"dump,omitempty"`
+	Output    []int64            `json:"output,omitempty"`
+	RunError  string             `json:"run_error,omitempty"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	// Every request holds the drain group for its whole lifetime, including
+	// queue waits, so Drain cannot return while a handler is running.
+	s.wg.Add(1)
+	defer s.wg.Done()
+	s.met.request()
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	if s.draining.Load() {
+		s.met.shedOne("draining")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining", Reason: "draining"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	var req OptimizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.met.shedOne("oversized")
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), Reason: "oversized"})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if req.Program == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `missing "program"`})
+		return
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	// A drain past its grace period cancels in-flight requests through the
+	// server's base context.
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	release, shed := s.adm.admit(ctx, estimateBytes(len(req.Program)))
+	if shed != nil {
+		s.met.shedOne(shed.reason)
+		if shed.retryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprint(shed.retryAfter))
+		}
+		writeJSON(w, shed.status, errorResponse{Error: shed.msg, Reason: shed.reason})
+		return
+	}
+	defer release()
+	s.met.admit()
+
+	t0 := time.Now()
+	prog, err := icbe.Compile(req.Program)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error(), Reason: "compile"})
+		return
+	}
+
+	tier, probes := s.brk.admitTier()
+	recorded := false
+	defer func() {
+		if !recorded {
+			s.brk.abortProbe(probes)
+		}
+	}()
+	lr := s.runLadder(ctx, prog, s.baseOptions(req.Options), tier)
+	s.brk.record(lr.kinds, probes)
+	recorded = true
+
+	resp := OptimizeResponse{
+		Tier:     lr.tier.String(),
+		Degraded: lr.tier != TierFull,
+		Attempts: lr.attempts,
+		Report:   reportjson.FromReport(lr.report),
+	}
+	if !req.NoDump {
+		resp.Dump = lr.prog.Dump()
+	}
+	if req.Run || len(req.Input) > 0 {
+		if res, err := lr.prog.Run(req.Input); err != nil {
+			resp.RunError = err.Error()
+		} else {
+			resp.Output = res.Output
+		}
+	}
+	elapsed := time.Since(t0)
+	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	s.met.complete(lr, elapsed)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// baseOptions builds the pre-tier option set for one request.
+func (s *Server) baseOptions(ro *RequestOptions) icbe.Options {
+	o := icbe.DefaultOptions()
+	o.Workers = s.cfg.Workers
+	if ro == nil {
+		return o
+	}
+	if ro.Term > 0 {
+		o.TerminationLimit = ro.Term
+	}
+	if ro.Limit > 0 {
+		o.MaxDuplication = ro.Limit
+	}
+	if ro.Workers > 0 && ro.Workers < o.Workers {
+		o.Workers = ro.Workers
+	}
+	o.FullOnly = ro.FullOnly
+	o.Compact = ro.Compact
+	return o
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// Liveness: the process is up and serving; draining does not make it
+	// unhealthy (readiness does that).
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": s.cfg.clock()().Sub(s.met.start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// recoverWrap is the crash-only boundary for handler bugs: a panic becomes a
+// 500 and a counter, never a dead process.
+func (s *Server) recoverWrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.panicContained()
+				writeJSON(w, http.StatusInternalServerError,
+					errorResponse{Error: fmt.Sprintf("internal error: %v", rec)})
+			}
+		}()
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The shared reportjson encoder renders every payload that leaves the
+	// service, exactly as `icbe -json` renders the CLI's.
+	_ = reportjson.Encode(w, v)
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"icbe/internal/reportjson"
+)
+
+// latencyWindow bounds the sample ring used for the latency percentiles.
+const latencyWindow = 4096
+
+// metrics aggregates request outcomes across the server's lifetime. The
+// /stats endpoint serializes a snapshot; the driver-counter aggregate reuses
+// the reportjson encoding so the service and `icbe -json` can never drift.
+type metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	requests  int64
+	admitted  int64
+	completed int64
+	degraded  int64
+	retries   int64
+	panics    int64 // handler panics contained by the recovery middleware
+	shed      map[string]int64
+	tiers     map[string]int64
+	failures  map[string]int64
+	driver    reportjson.DriverStats
+	runs      int64
+
+	lat  []float64 // rolling latency samples, milliseconds
+	next int
+	n    int64
+}
+
+func newMetrics(now time.Time) *metrics {
+	return &metrics{
+		start:    now,
+		shed:     make(map[string]int64),
+		tiers:    make(map[string]int64),
+		failures: make(map[string]int64),
+		lat:      make([]float64, 0, latencyWindow),
+	}
+}
+
+func (m *metrics) request() {
+	m.mu.Lock()
+	m.requests++
+	m.mu.Unlock()
+}
+
+func (m *metrics) shedOne(reason string) {
+	m.mu.Lock()
+	m.shed[reason]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) admit() {
+	m.mu.Lock()
+	m.admitted++
+	m.mu.Unlock()
+}
+
+func (m *metrics) panicContained() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// complete folds one terminal response into the aggregates.
+func (m *metrics) complete(lr *ladderResult, latency time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed++
+	m.tiers[lr.tier.String()]++
+	if lr.tier != TierFull {
+		m.degraded++
+	}
+	m.retries += int64(lr.retries)
+	for k, n := range lr.kinds {
+		m.failures[k] += int64(n)
+	}
+	if lr.report != nil {
+		m.driver.Add(reportjson.FromDriverStats(lr.report.Stats))
+		m.runs++
+	}
+	ms := float64(latency) / float64(time.Millisecond)
+	if len(m.lat) < latencyWindow {
+		m.lat = append(m.lat, ms)
+	} else {
+		m.lat[m.next] = ms
+		m.next = (m.next + 1) % latencyWindow
+	}
+	m.n++
+}
+
+// LatencyStats is the /stats latency block (milliseconds, over the rolling
+// sample window).
+type LatencyStats struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// StatsSnapshot is the /stats payload.
+type StatsSnapshot struct {
+	UptimeMS      int64                    `json:"uptime_ms"`
+	Draining      bool                     `json:"draining"`
+	Requests      int64                    `json:"requests"`
+	Admitted      int64                    `json:"admitted"`
+	Completed     int64                    `json:"completed"`
+	Degraded      int64                    `json:"degraded"`
+	Retries       int64                    `json:"retries"`
+	HandlerPanics int64                    `json:"handler_panics"`
+	Shed          map[string]int64         `json:"shed,omitempty"`
+	ShedTotal     int64                    `json:"shed_total"`
+	QueueDepth    int64                    `json:"queue_depth"`
+	InFlight      int                      `json:"in_flight"`
+	InFlightBytes int64                    `json:"in_flight_bytes"`
+	Tiers         map[string]int64         `json:"tiers,omitempty"`
+	Failures      map[string]int64         `json:"failures,omitempty"`
+	Driver        reportjson.DriverStats   `json:"driver"`
+	OptimizeRuns  int64                    `json:"optimize_runs"`
+	Breakers      map[string]BreakerStatus `json:"breakers"`
+	Ceiling       string                   `json:"ceiling"`
+	LatencyMS     LatencyStats             `json:"latency_ms"`
+	Goroutines    int                      `json:"goroutines"`
+}
+
+func (m *metrics) snapshot(now time.Time) StatsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := StatsSnapshot{
+		UptimeMS:      now.Sub(m.start).Milliseconds(),
+		Requests:      m.requests,
+		Admitted:      m.admitted,
+		Completed:     m.completed,
+		Degraded:      m.degraded,
+		Retries:       m.retries,
+		HandlerPanics: m.panics,
+		Shed:          copyInt64s(m.shed),
+		Tiers:         copyInt64s(m.tiers),
+		Failures:      copyInt64s(m.failures),
+		Driver:        m.driver,
+		OptimizeRuns:  m.runs,
+		Goroutines:    runtime.NumGoroutine(),
+	}
+	s.Driver.Failures = copyInts(m.driver.Failures)
+	for _, n := range m.shed {
+		s.ShedTotal += n
+	}
+	s.LatencyMS = percentiles(m.lat)
+	return s
+}
+
+func percentiles(samples []float64) LatencyStats {
+	ls := LatencyStats{Count: int64(len(samples))}
+	if len(samples) == 0 {
+		return ls
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	ls.P50, ls.P95, ls.P99 = at(0.50), at(0.95), at(0.99)
+	return ls
+}
+
+func copyInt64s(m map[string]int64) map[string]int64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copyInts(m map[string]int) map[string]int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
