@@ -29,20 +29,24 @@ type benchRecord struct {
 }
 
 // checkRecord is one workload's static verification summary in the JSON
-// output: SCCP cross-check agreement, the recall metric (constant branches
-// ICBE left in the optimized program), and the invariant lint finding
-// counts. Disagreements, refusals, and findings are correctness indicators
-// and must be zero.
+// output: SCCP cross-check agreement, the recall ratio (graded fraction of
+// the claims the backward analysis decided), the residual metric (constant
+// branches ICBE left in the optimized program), and the invariant lint
+// finding counts. Disagreements, refusals, and findings are correctness
+// indicators and must be zero; zero total agreements across workloads means
+// the oracle has gone vacuous (the bench smoke job fails on it).
 type checkRecord struct {
-	Name          string `json:"name"`
-	Analyzable    int    `json:"analyzable"`
-	Optimized     int    `json:"optimized"`
-	Agreements    int    `json:"sccp_agreements"`
-	Disagreements int    `json:"sccp_disagreements"`
-	Recall        int    `json:"sccp_recall"`
-	FindingsPre   int    `json:"check_findings_pre"`
-	FindingsPost  int    `json:"check_findings_post"`
-	CheckFailures int    `json:"check_failures"`
+	Name          string  `json:"name"`
+	Analyzable    int     `json:"analyzable"`
+	Optimized     int     `json:"optimized"`
+	Agreements    int     `json:"sccp_agreements"`
+	Disagreements int     `json:"sccp_disagreements"`
+	Decided       int     `json:"sccp_decided"`
+	Recall        float64 `json:"sccp_recall"`
+	Residual      int     `json:"sccp_residual"`
+	FindingsPre   int     `json:"check_findings_pre"`
+	FindingsPost  int     `json:"check_findings_post"`
+	CheckFailures int     `json:"check_failures"`
 }
 
 // benchFile is the top-level BENCH_<n>.json document.
@@ -98,7 +102,7 @@ func measure(name string, fn func() (pairs int, err error)) (benchRecord, error)
 // NumCPU workers, matching BenchmarkTable2 and BenchmarkDriverWorkers in
 // bench_test.go except that the driver runs with the summary-node memo the
 // production driver enables by default — and writes the results to path.
-func writeBenchJSON(path string, ws []*progs.Workload, termLim int) error {
+func writeBenchJSON(path string, ws []*progs.Workload, termLim int, requireBite bool) error {
 	out := benchFile{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -164,11 +168,23 @@ func writeBenchJSON(path string, ws []*progs.Workload, termLim int) error {
 			Optimized:     r.Optimized,
 			Agreements:    r.Agreements,
 			Disagreements: r.Disagreements,
+			Decided:       r.Decided,
 			Recall:        r.Recall,
+			Residual:      r.Residual,
 			FindingsPre:   r.FindingsPre,
 			FindingsPost:  r.FindingsPost,
 			CheckFailures: r.CheckFailures,
 		})
+	}
+
+	if requireBite {
+		total := 0
+		for _, r := range out.Check {
+			total += r.Agreements
+		}
+		if total == 0 {
+			return fmt.Errorf("check oracle is vacuous: zero SCCP agreements across %d workloads", len(out.Check))
+		}
 	}
 
 	data, err := json.MarshalIndent(&out, "", "  ")

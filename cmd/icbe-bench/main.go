@@ -37,6 +37,7 @@ func main() {
 		verify    = flag.Bool("verify", false, "shadow-execute every applied restructuring differentially; violations roll back")
 		timeout   = flag.Duration("timeout", 0, "per-driver-run deadline, e.g. 30s (0 = none)")
 		jsonOut   = flag.String("json", "", "write machine-readable benchmark measurements (ns/op, allocs/op, pairs/sec) to this file, e.g. BENCH_3.json")
+		bite      = flag.Bool("require-check-bite", false, "with -json: exit nonzero if the check rows report zero total SCCP agreements (a vacuous oracle)")
 	)
 	flag.Parse()
 	experiments.Workers = *workers
@@ -58,7 +59,7 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		check(writeBenchJSON(*jsonOut, ws, *termLim))
+		check(writeBenchJSON(*jsonOut, ws, *termLim, *bite))
 	}
 
 	if *all || *table1 {

@@ -187,8 +187,9 @@ func main() {
 				fmt.Printf("verify: %d shadow runs, %v\n", s.VerifyRuns, s.VerifyWall)
 			}
 			if s.CheckRuns > 0 {
-				fmt.Printf("check: %d oracle runs, %d agreements, %d disagreements, recall %d, findings %d -> %d, %v\n",
-					s.CheckRuns, s.SCCPAgreements, s.SCCPDisagreements, s.SCCPRecall,
+				fmt.Printf("check: %d oracle runs, %d/%d claims graded (recall %.2f), %d disagreements, %d vacuous, %d residual, findings %d -> %d, %v\n",
+					s.CheckRuns, s.SCCPAgreements+s.SCCPDisagreements, s.SCCPDecided, s.SCCPRecall,
+					s.SCCPDisagreements, s.SCCPVacuous, s.SCCPResidual,
 					s.CheckFindingsPre, s.CheckFindingsPost, s.CheckWall)
 			}
 		}

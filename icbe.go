@@ -285,15 +285,22 @@ type DriverStats struct {
 	// CheckWall their summed wall time. SCCPAgreements and
 	// SCCPDisagreements count cross-checked conditionals the SCCP oracle
 	// confirmed or contradicted (disagreements are contained "check"
-	// failures; a healthy run has zero). SCCPRecall counts analyzable
-	// branches of the final program whose outcome the oracle still decides —
-	// constant branches ICBE left in place. CheckFindingsPre/Post count
-	// invariant lint findings on the input and final programs.
+	// failures; a healthy run has zero); SCCPVacuous counts conditionals the
+	// oracle proved unreachable, and SCCPDecided every non-vacuous
+	// conditional with a full demand-driven answer. SCCPRecall is the graded
+	// fraction (agreements+disagreements)/decided. SCCPResidual counts
+	// analyzable branches of the final program whose outcome the oracle
+	// still decides — constant branches ICBE left in place.
+	// CheckFindingsPre/Post count invariant lint findings on the input and
+	// final programs.
 	CheckRuns         int
 	CheckWall         time.Duration
 	SCCPAgreements    int
 	SCCPDisagreements int
-	SCCPRecall        int
+	SCCPVacuous       int
+	SCCPDecided       int
+	SCCPRecall        float64
+	SCCPResidual      int
 	CheckFindingsPre  int
 	CheckFindingsPost int
 	// AnalysisWall and ApplyWall are the summed wall-clock times of the
@@ -385,7 +392,10 @@ func (p *Program) OptimizeContext(ctx context.Context, opts Options) (op *Progra
 			CheckWall:         dr.Stats.CheckWall,
 			SCCPAgreements:    dr.Stats.SCCPAgreements,
 			SCCPDisagreements: dr.Stats.SCCPDisagreements,
+			SCCPVacuous:       dr.Stats.SCCPVacuous,
+			SCCPDecided:       dr.Stats.SCCPDecided,
 			SCCPRecall:        dr.Stats.SCCPRecall,
+			SCCPResidual:      dr.Stats.SCCPResidual,
 			CheckFindingsPre:  dr.Stats.CheckFindingsPre,
 			CheckFindingsPost: dr.Stats.CheckFindingsPost,
 		},

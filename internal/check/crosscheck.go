@@ -22,8 +22,9 @@ const (
 	// of which none execute).
 	VerdictVacuous
 	// VerdictICBEOnly: the backward analysis proved a full-correlation
-	// answer the forward oracle cannot see — its path-sensitivity
-	// advantage, not a defect.
+	// answer the forward oracle cannot see — correlations the
+	// branch-sensitive lattice does not represent (e.g. a != guard pokes no
+	// hole in an interval). ICBE's path-sensitivity advantage, not a defect.
 	VerdictICBEOnly
 	// VerdictSCCPOnly: the oracle decided a branch the backward analysis
 	// did not fully decide — the recall gap the driver counts.
@@ -74,8 +75,9 @@ func (f *CheckFailure) Error() string {
 // conditional against the oracle's forward facts. The backward analysis
 // claims an outcome only when its answer set is a full single answer ({T}
 // or {F}: the outcome is decided along every incoming path); the oracle
-// claims one when both condition operands are proved constant at a
-// reachable branch. A disagreement returns a non-nil *CheckFailure.
+// claims one when the comparison folds over the condition operands' entry
+// elements (constants or disjoint/contained intervals) at a reachable
+// branch. A disagreement returns a non-nil *CheckFailure.
 func CrossCheck(p *ir.Program, s *SCCP, branch ir.NodeID, answers analysis.AnswerSet) (Verdict, *CheckFailure) {
 	n := p.Node(branch)
 	if n == nil || n.Kind != ir.NBranch {

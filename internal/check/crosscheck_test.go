@@ -75,26 +75,27 @@ func TestCrossCheckVacuous(t *testing.T) {
 }
 
 func TestCrossCheckICBEOnly(t *testing.T) {
-	// x = input(); if (x == 5) { if (x == 5) ... } — the inner branch is
-	// fully correlated (always true on its incoming edge) but x is ⊥ to the
-	// flow-insensitive oracle.
+	// x = input(); if (x != 5) { if (x == 5) ... } — the inner branch is
+	// fully correlated (always false on its incoming edge), but the edge
+	// assertion x != 5 pokes no representable hole in x's ⊥ interval, so the
+	// oracle cannot decide it.
 	p := build(t, `
 		func main() {
 			var x = input();
-			if (x == 5) {
+			if (x != 5) {
 				if (x == 5) { print(1); } else { print(2); }
 			}
 		}
 	`)
 	s := RunSCCP(p)
 	branches := decidableBranches(p, "x", pred.Eq, 5)
-	if len(branches) != 2 {
-		t.Fatalf("want 2 branches on x == 5, got %d", len(branches))
+	if len(branches) != 1 {
+		t.Fatalf("want 1 branch on x == 5, got %d", len(branches))
 	}
-	inner := branches[1]
+	inner := branches[0]
 	ans := answersOf(t, p, inner)
-	if ans != analysis.AnsTrue {
-		t.Fatalf("inner branch answers = %v, want {T} (correlated)", ans)
+	if ans != analysis.AnsFalse {
+		t.Fatalf("inner branch answers = %v, want {F} (correlated)", ans)
 	}
 	v, cf := CrossCheck(p, s, inner.ID, ans)
 	if v != VerdictICBEOnly || cf != nil {

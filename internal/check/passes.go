@@ -157,10 +157,9 @@ func (sccpConsistencyPass) Run(cx *Context) []Finding {
 		if n == nil {
 			continue
 		}
-		c, _ := cx.SCCP.VarValue(n.AVar).Const()
 		out = append(out, Finding{Pass: "sccp-consistency", Node: id, Line: n.Line,
-			Msg: fmt.Sprintf("reachable assertion (v%d %s) can never hold: variable is always %d",
-				int(n.AVar), n.APred, c)})
+			Msg: fmt.Sprintf("reachable assertion (v%d %s) can never hold: variable is %s on entry",
+				int(n.AVar), n.APred, cx.SCCP.ValueAt(id, n.AVar))})
 	}
 	return out
 }

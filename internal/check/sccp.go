@@ -8,23 +8,42 @@ import (
 	"icbe/internal/pred"
 )
 
-// Value is an SCCP lattice element for one variable: ⊤ (no executable
-// assignment seen yet), a single constant, or ⊥ (provably more than one
-// runtime value, or a value the analysis does not model).
+// Value is a lattice element for one variable at one program point: ⊤ (no
+// executable computation seen yet), a single constant, a small integer
+// interval [lo,hi], or ⊥ (provably more than the lattice models). Intervals
+// let comparisons against bounds fold — byte() results live in [0,255], and
+// branch-edge assertions clamp the tested variable — which is what makes
+// the oracle decide branches the flow-insensitive lattice could not.
 type Value struct {
-	kind uint8 // 0 = ⊤, 1 = const, 2 = ⊥
-	c    int64
+	kind uint8 // vTop, vConst, vRange, vBottom
+	// lo is the constant for vConst; [lo,hi] the interval for vRange.
+	// vBottom carries the full int64 range so bound arithmetic is uniform.
+	lo, hi int64
 }
 
 const (
 	vTop uint8 = iota
 	vConst
 	vBottom
+	vRange
 )
 
 func top() Value             { return Value{} }
-func constant(c int64) Value { return Value{kind: vConst, c: c} }
-func bottom() Value          { return Value{kind: vBottom} }
+func constant(c int64) Value { return Value{kind: vConst, lo: c, hi: c} }
+func bottom() Value          { return Value{kind: vBottom, lo: math.MinInt64, hi: math.MaxInt64} }
+
+// rangeValue builds the normalized lattice element covering [lo,hi]:
+// singletons are constants and the full int64 range is ⊥, so structural
+// equality keeps meaning lattice equality.
+func rangeValue(lo, hi int64) Value {
+	switch {
+	case lo == hi:
+		return constant(lo)
+	case lo == math.MinInt64 && hi == math.MaxInt64:
+		return bottom()
+	}
+	return Value{kind: vRange, lo: lo, hi: hi}
+}
 
 // IsTop reports the ⊤ element.
 func (v Value) IsTop() bool { return v.kind == vTop }
@@ -33,134 +52,220 @@ func (v Value) IsTop() bool { return v.kind == vTop }
 func (v Value) IsBottom() bool { return v.kind == vBottom }
 
 // Const returns the constant and true for a const element.
-func (v Value) Const() (int64, bool) { return v.c, v.kind == vConst }
+func (v Value) Const() (int64, bool) { return v.lo, v.kind == vConst }
+
+// Range returns the inclusive bounds of a proper interval element.
+func (v Value) Range() (lo, hi int64, ok bool) { return v.lo, v.hi, v.kind == vRange }
 
 func (v Value) String() string {
 	switch v.kind {
 	case vTop:
 		return "⊤"
 	case vConst:
-		return fmt.Sprintf("%d", v.c)
+		return fmt.Sprintf("%d", v.lo)
+	case vRange:
+		return fmt.Sprintf("[%d,%d]", v.lo, v.hi)
 	}
 	return "⊥"
 }
 
-// meet is the lattice meet: ⊤ is the identity, unequal constants fall to ⊥.
+// meet is the lattice meet: ⊤ is the identity, an interval absorbs the
+// constants and sub-intervals it contains, and incomparable elements fall to
+// ⊥ (no interval hulling, so descending chains stay short).
 func meet(a, b Value) Value {
 	switch {
 	case a.kind == vTop:
 		return b
 	case b.kind == vTop:
 		return a
-	case a.kind == vConst && b.kind == vConst && a.c == b.c:
+	case a == b:
 		return a
+	case a.kind == vBottom || b.kind == vBottom:
+		return bottom()
+	case a.lo <= b.lo && b.hi <= a.hi:
+		return a
+	case b.lo <= a.lo && a.hi <= b.hi:
+		return b
 	}
 	return bottom()
 }
 
-// SCCP is the result of one forward sparse conditional constant propagation
-// run: per-variable lattice cells plus the executable-node set, computed
-// with an executable-edge worklist over the ICFG. Calls and returns are
-// handled context-insensitively: argument values meet into the callee's
-// formals at every executable call site, and the callee's return variable
-// meets into the call-site-exit destination; a call-site exit becomes
-// executable only when both its call-site and its procedure-exit
-// predecessor are.
-//
-// The cells are flow-insensitive (one per variable), so a const cell is a
-// whole-program fact: every runtime read of the variable yields that
-// constant. That makes the oracle's claims directly comparable with the
-// backward analysis' full-correlation answers without any false
-// disagreement from program points the backward analysis reasons about
-// path-sensitively.
-type SCCP struct {
-	prog     *ir.Program
-	cells    []Value
-	exec     []bool
-	mustFail []ir.NodeID
+// cell is one variable slot of a program-point state: its value element plus
+// an optional copy-chain root. When alias is set, the slot's variable
+// provably holds the same value as the root variable at this point, so a
+// branch-edge assertion about either refines the whole group.
+type cell struct {
+	v     Value
+	alias ir.VarID
 }
 
-// RunSCCP computes the SCCP facts of a program. It is read-only, total, and
-// panic-free even on malformed graphs (every node, variable, and procedure
-// reference is bounds-checked), which the fuzz harness relies on.
+// space is the state layout of one procedure: the globals (a prefix shared
+// by every space, in the same slot order) followed by the procedure's own
+// variables. ir.Validate guarantees a node references only globals and its
+// own procedure's variables, so per-point states never need the whole arena.
+type space struct {
+	// slots maps VarID → slot, -1 when the variable is not in this space.
+	slots []int32
+	// vars maps slot → VarID.
+	vars []ir.VarID
+}
+
+func (sp *space) slot(v ir.VarID) int {
+	if v < 0 || int(v) >= len(sp.slots) {
+		return -1
+	}
+	return int(sp.slots[v])
+}
+
+// SCCP is the result of one forward conditional constant propagation run:
+// per-node entry states (a cell per in-scope variable) plus the
+// executable-node set, computed with a worklist over the ICFG in the
+// Wegman–Zadeck style. The engine is branch-sensitive: only feasible branch
+// arms are entered, and on each arm the tested variable's cell (and its
+// copy-propagation group) is refined by the implied constant or interval.
+// Calls and returns are handled context-insensitively: entry states meet
+// across call sites, and a call-site exit combines its caller state (locals
+// survive the call in the caller's frame) with the callee exit's globals and
+// return value.
+//
+// Per-variable summaries (VarValue/ConstOf) meet the variable's entry value
+// over every executable read, so a constant summary is a whole-program fact
+// about runtime reads, directly comparable with the backward analysis'
+// answers; per-point facts are available through ValueAt and BranchOutcome.
+type SCCP struct {
+	prog     *ir.Program
+	spaces   []*space
+	fallback *space
+	nGlobals int
+	in       [][]cell
+	exec     []bool
+	mustFail []ir.NodeID
+	summary  []Value
+	// saturated is the sound give-up state for pathological graphs whose
+	// propagation exceeds the step budget: everything is reported reachable
+	// and nothing decided.
+	saturated bool
+}
+
+// RunSCCP computes the oracle facts of a program. It is read-only, total,
+// and panic-free even on malformed graphs (every node, variable, and
+// procedure reference is bounds-checked), which the fuzz harness relies on.
 func RunSCCP(p *ir.Program) *SCCP {
-	r := &sccpRun{
-		p:     p,
-		cells: make([]Value, len(p.Vars)),
-		exec:  make([]bool, len(p.Nodes)),
-		inWL:  make([]bool, len(p.Nodes)),
-		users: make([][]ir.NodeID, len(p.Vars)),
+	r := newSCCPRun(p)
+	r.seed()
+	r.drain()
+	s := &SCCP{
+		prog:      p,
+		spaces:    r.spaces,
+		fallback:  r.fallback,
+		nGlobals:  r.nGlob,
+		saturated: r.saturated,
 	}
-	r.seedCells()
-	r.buildUsers()
-	// Execution starts at the first entry of main, matching the interpreter.
-	if p.MainProc >= 0 && p.MainProc < len(p.Procs) && p.Procs[p.MainProc] != nil {
-		if es := p.Procs[p.MainProc].Entries; len(es) > 0 {
-			r.markNode(es[0])
-		}
+	if r.saturated {
+		return s
 	}
-	for {
-		r.drain()
-		// A quiescent executable branch whose condition is still ⊤ was never
-		// computed on any modeled path; treat it as unknown and mark both
-		// arms, then propagate the consequences.
-		if !r.expandTopBranches() {
-			break
-		}
-	}
-	s := &SCCP{prog: p, cells: r.cells, exec: r.exec}
-	// Executable assertions that can never hold under a constant cell are
-	// the sccp-consistency findings (a correct restructuring only keeps an
-	// assert on edges consistent with the branch it materializes).
+	s.in, s.exec = r.in, r.exec
+	// Executable assertions whose own variable cannot satisfy the predicate
+	// are the sccp-consistency findings (a correct restructuring only keeps
+	// an assert on edges consistent with the branch it materializes).
 	p.LiveNodes(func(n *ir.Node) {
-		if n.Kind == ir.NAssert && s.Reachable(n.ID) {
-			if c, ok := s.VarValue(n.AVar).Const(); ok && validOp(n.APred.Op) && !n.APred.Eval(c) {
-				s.mustFail = append(s.mustFail, n.ID)
+		if int(n.ID) < len(r.mustFail) && r.mustFail[n.ID] {
+			s.mustFail = append(s.mustFail, n.ID)
+		}
+	})
+	s.summary = make([]Value, len(p.Vars))
+	p.LiveNodes(func(n *ir.Node) {
+		st := s.stateOf(n.ID)
+		if st == nil {
+			return
+		}
+		sp := s.spaceOf(n.Proc)
+		forEachRead(n, func(v ir.VarID) {
+			if v >= 0 && int(v) < len(s.summary) {
+				s.summary[v] = meet(s.summary[v], valueOf(st, sp, v))
+			}
+		})
+		if n.Kind == ir.NExit {
+			// The exit's implicit read of the procedure's return variable.
+			if n.Proc >= 0 && n.Proc < len(p.Procs) && p.Procs[n.Proc] != nil {
+				rv := p.Procs[n.Proc].RetVar
+				if rv >= 0 && int(rv) < len(s.summary) {
+					s.summary[rv] = meet(s.summary[rv], valueOf(st, sp, rv))
+				}
 			}
 		}
 	})
 	return s
 }
 
-// Reachable reports whether SCCP proved the node executable. False means
-// statically unreachable (the proof is conservative: unreachable nodes may
-// still be reported reachable, never the reverse).
+func (s *SCCP) spaceOf(proc int) *space {
+	if proc >= 0 && proc < len(s.spaces) {
+		return s.spaces[proc]
+	}
+	return s.fallback
+}
+
+func (s *SCCP) stateOf(n ir.NodeID) []cell {
+	if s.saturated || n < 0 || int(n) >= len(s.in) {
+		return nil
+	}
+	return s.in[n]
+}
+
+// Reachable reports whether the oracle proved the node executable. False
+// means statically unreachable (the proof is conservative: unreachable nodes
+// may still be reported reachable, never the reverse).
 func (s *SCCP) Reachable(n ir.NodeID) bool {
+	if s.saturated {
+		return s.prog.Node(n) != nil
+	}
 	return n >= 0 && int(n) < len(s.exec) && s.exec[n]
 }
 
-// VarValue returns the variable's lattice cell. Out-of-range variables
-// (including NoVar) are ⊥.
+// VarValue returns the variable's summary element: the meet of its entry
+// value over every executable read site. Out-of-range variables (including
+// NoVar) are ⊥; a variable with no executable read stays ⊤.
 func (s *SCCP) VarValue(v ir.VarID) Value {
-	if v < 0 || int(v) >= len(s.cells) {
+	if s.saturated || v < 0 || int(v) >= len(s.summary) {
 		return bottom()
 	}
-	return s.cells[v]
+	return s.summary[v]
 }
 
-// ConstOf returns the proved constant value of a variable, if any.
+// ConstOf returns the proved constant value of a variable, if any: every
+// runtime read of the variable yields that constant.
 func (s *SCCP) ConstOf(v ir.VarID) (int64, bool) { return s.VarValue(v).Const() }
 
-// BranchOutcome decides a branch's condition from the final cells:
-// pred.True / pred.False when the branch is executable and both operands
-// are proved constants, pred.Unknown otherwise (including unreachable or
-// non-branch nodes).
-func (s *SCCP) BranchOutcome(b ir.NodeID) pred.Outcome {
-	n := s.prog.Node(b)
-	if n == nil || n.Kind != ir.NBranch || !s.Reachable(b) {
-		return pred.Unknown
+// ValueAt returns the variable's lattice element on entry to the given node
+// (⊥ when the node is unreachable, deleted, or out of range).
+func (s *SCCP) ValueAt(n ir.NodeID, v ir.VarID) Value {
+	nd := s.prog.Node(n)
+	st := s.stateOf(n)
+	if nd == nil || st == nil {
+		return bottom()
 	}
-	o, resolved := decideBranch(n, func(v ir.VarID) Value { return s.VarValue(v) })
-	if !resolved {
-		return pred.Unknown
-	}
-	return o
+	return valueOf(st, s.spaceOf(nd.Proc), v)
 }
 
-// MustFailAsserts returns the executable assert nodes whose predicate is
-// statically false under a constant cell, in node order. On a well-formed
-// program this is empty: an assert only becomes executable through edges
-// consistent with the branch that materialized it.
+// BranchOutcome decides a branch's condition from its entry state: pred.True
+// / pred.False when the comparison folds over the operand elements,
+// pred.Unknown otherwise. Branches in unreachable code are never decided —
+// their cells hold no executable fact, and grading them would manufacture
+// spurious disagreements with the path-sensitive backward analysis.
+func (s *SCCP) BranchOutcome(b ir.NodeID) pred.Outcome {
+	n := s.prog.Node(b)
+	st := s.stateOf(b)
+	if n == nil || n.Kind != ir.NBranch || st == nil {
+		return pred.Unknown
+	}
+	sp := s.spaceOf(n.Proc)
+	return decideValues(n.CondOp, valueOf(st, sp, n.CondVar), operandValue(st, sp, n.CondRHS))
+}
+
+// MustFailAsserts returns the executable assert nodes whose predicate can
+// never hold on any modeled path, in node order. On a well-formed program
+// this is empty: an assert only becomes executable through edges consistent
+// with the branch that materialized it.
 func (s *SCCP) MustFailAsserts() []ir.NodeID {
 	return append([]ir.NodeID(nil), s.mustFail...)
 }
@@ -179,72 +284,115 @@ func (s *SCCP) DecidedBranches() []ir.NodeID {
 
 // sccpRun is the in-flight worklist state of one RunSCCP call.
 type sccpRun struct {
-	p     *ir.Program
-	cells []Value
-	exec  []bool
-	// users indexes, per variable, the nodes whose transfer function reads
-	// it — the sparse re-evaluation set when a cell changes.
-	users [][]ir.NodeID
-	queue []ir.NodeID
-	inWL  []bool
+	p        *ir.Program
+	spaces   []*space
+	fallback *space
+	nGlob    int
+	in       [][]cell
+	exec     []bool
+	mustFail []bool
+	ces      []*ceState
+	queue    []ir.NodeID
+	head     int
+	inWL     []bool
+	// steps bounds worklist processing; exceeding the budget (possible only
+	// on adversarial graphs whose interval flows keep descending) flips
+	// saturated, the sound give-up state.
+	steps     int
+	budget    int
+	saturated bool
 }
 
-// seedCells initializes the lattice: globals start at their initial value,
-// and any local that may be read before being assigned (per-procedure
-// definite-assignment dataflow) starts at the interpreter's implicit zero.
-// Everything else starts at ⊤ and is lowered only by executable
-// assignments, so a const cell soundly covers every runtime read.
-func (r *sccpRun) seedCells() {
-	for i, v := range r.p.Vars {
+// ceState accumulates the two halves a call-site exit joins: the caller's
+// state at the call (locals survive the call in the caller's frame) and the
+// callee exit's globals and return value. The node's entry state is
+// recomputed whenever either half changes and both are present — the
+// interprocedural two-predecessor rule.
+type ceState struct {
+	callSt  []cell
+	hasCall bool
+	exitGlb []cell
+	ret     Value
+	hasExit bool
+}
+
+func newSCCPRun(p *ir.Program) *sccpRun {
+	r := &sccpRun{
+		p:        p,
+		in:       make([][]cell, len(p.Nodes)),
+		exec:     make([]bool, len(p.Nodes)),
+		mustFail: make([]bool, len(p.Nodes)),
+		ces:      make([]*ceState, len(p.Nodes)),
+		inWL:     make([]bool, len(p.Nodes)),
+	}
+	var globals []ir.VarID
+	for _, v := range p.Vars {
 		if v != nil && v.IsGlobal() {
-			r.cells[i] = constant(v.Init)
+			globals = append(globals, v.ID)
 		}
 	}
-	for proc := range r.p.Procs {
-		af := analyzeAssignments(r.p, proc)
-		af.forEachMayUndefRead(func(v ir.VarID) {
-			if v >= 0 && int(v) < len(r.cells) {
-				r.cells[v] = meet(r.cells[v], constant(0))
-			}
-		})
-	}
-}
-
-func (r *sccpRun) buildUsers() {
-	addUser := func(v ir.VarID, n ir.NodeID) {
-		if v >= 0 && int(v) < len(r.users) {
-			r.users[v] = append(r.users[v], n)
+	r.nGlob = len(globals)
+	mkSpace := func() *space {
+		sp := &space{slots: make([]int32, len(p.Vars)), vars: append([]ir.VarID(nil), globals...)}
+		for i := range sp.slots {
+			sp.slots[i] = -1
 		}
+		for s, v := range globals {
+			sp.slots[v] = int32(s)
+		}
+		return sp
 	}
-	r.p.LiveNodes(func(n *ir.Node) {
-		forEachRead(n, func(v ir.VarID) { addUser(v, n.ID) })
-		if n.Kind == ir.NCallExit {
-			// The call-site exit's transfer reads the callee's return
-			// variable across the procedure boundary.
-			if rv, ok := r.retVarOf(n.Callee); ok {
-				addUser(rv, n.ID)
+	r.fallback = mkSpace()
+	r.spaces = make([]*space, len(p.Procs))
+	for pi := range p.Procs {
+		sp := mkSpace()
+		for _, v := range p.Vars {
+			if v != nil && !v.IsGlobal() && v.Proc == pi {
+				sp.slots[v.ID] = int32(len(sp.vars))
+				sp.vars = append(sp.vars, v.ID)
 			}
 		}
-	})
+		r.spaces[pi] = sp
+	}
+	total := 0
+	p.LiveNodes(func(n *ir.Node) { total += len(r.spaceOf(n.Proc).vars) + 1 })
+	r.budget = 4096 + 32*total
+	return r
 }
 
-func (r *sccpRun) retVarOf(callee int) (ir.VarID, bool) {
-	if callee < 0 || callee >= len(r.p.Procs) || r.p.Procs[callee] == nil {
-		return ir.NoVar, false
+func (r *sccpRun) spaceOf(proc int) *space {
+	if proc >= 0 && proc < len(r.spaces) {
+		return r.spaces[proc]
 	}
-	rv := r.p.Procs[callee].RetVar
-	if rv < 0 || int(rv) >= len(r.cells) {
-		return ir.NoVar, false
-	}
-	return rv, true
+	return r.fallback
 }
 
-func (r *sccpRun) markNode(id ir.NodeID) {
-	if id < 0 || int(id) >= len(r.exec) || r.exec[id] {
+// seed builds the program's initial state — globals at their declared
+// initial values, main's own variables at the interpreter's implicit zero —
+// and pushes it into main's first entry, matching where execution starts.
+func (r *sccpRun) seed() {
+	p := r.p
+	if p.MainProc < 0 || p.MainProc >= len(p.Procs) || p.Procs[p.MainProc] == nil {
 		return
 	}
-	r.exec[id] = true
-	r.enqueue(id)
+	es := p.Procs[p.MainProc].Entries
+	if len(es) == 0 {
+		return
+	}
+	sp := r.spaceOf(p.MainProc)
+	st := make([]cell, len(sp.vars))
+	for i, v := range sp.vars {
+		val := constant(0)
+		if i < r.nGlob && int(v) < len(p.Vars) && p.Vars[v] != nil {
+			val = constant(p.Vars[v].Init)
+		}
+		st[i] = cell{v: val, alias: ir.NoVar}
+	}
+	en := p.Node(es[0])
+	if en == nil {
+		return
+	}
+	r.pushState(es[0], st, sp)
 }
 
 func (r *sccpRun) enqueue(id ir.NodeID) {
@@ -256,225 +404,672 @@ func (r *sccpRun) enqueue(id ir.NodeID) {
 }
 
 func (r *sccpRun) drain() {
-	for len(r.queue) > 0 {
-		id := r.queue[0]
-		r.queue = r.queue[1:]
+	for r.head < len(r.queue) {
+		if r.steps >= r.budget {
+			r.saturated = true
+			return
+		}
+		r.steps++
+		id := r.queue[r.head]
+		r.head++
 		r.inWL[id] = false
 		r.process(id)
 	}
 }
 
-func (r *sccpRun) cellOf(v ir.VarID) Value {
-	if v < 0 || int(v) >= len(r.cells) {
-		return bottom()
-	}
-	return r.cells[v]
-}
+func cloneCells(st []cell) []cell { return append([]cell(nil), st...) }
 
-// setCell meets val into the variable's cell; a lowered cell re-enqueues
-// every executable user of the variable.
-func (r *sccpRun) setCell(v ir.VarID, val Value) {
-	if v < 0 || int(v) >= len(r.cells) {
-		return
+// meetCells meets src into dst elementwise, reporting whether dst changed.
+// Aliases survive only when both sides agree; length mismatches (possible
+// only across fuzz-mutated cross-procedure edges) bottom out the tail.
+func meetCells(dst, src []cell) bool {
+	changed := false
+	m := len(dst)
+	if len(src) < m {
+		m = len(src)
 	}
-	nv := meet(r.cells[v], val)
-	if nv == r.cells[v] {
-		return
-	}
-	r.cells[v] = nv
-	for _, u := range r.users[v] {
-		if r.exec[u] {
-			r.enqueue(u)
+	for i := 0; i < m; i++ {
+		nv := meet(dst[i].v, src[i].v)
+		na := dst[i].alias
+		if na != src[i].alias {
+			na = ir.NoVar
+		}
+		if nv != dst[i].v || na != dst[i].alias {
+			dst[i] = cell{v: nv, alias: na}
+			changed = true
 		}
 	}
+	for i := m; i < len(dst); i++ {
+		if !dst[i].v.IsBottom() || dst[i].alias != ir.NoVar {
+			dst[i] = cell{v: bottom(), alias: ir.NoVar}
+			changed = true
+		}
+	}
+	return changed
 }
 
-func (r *sccpRun) markAllSuccs(n *ir.Node) {
-	for _, s := range n.Succs {
-		r.markNode(s)
+// meetIn meets a state into the node's entry state, marking the node
+// executable on first arrival and re-enqueueing it on any change.
+func (r *sccpRun) meetIn(id ir.NodeID, st []cell) {
+	if id < 0 || int(id) >= len(r.in) {
+		return
 	}
+	if r.in[id] == nil {
+		r.in[id] = cloneCells(st)
+		r.exec[id] = true
+		r.enqueue(id)
+		return
+	}
+	if meetCells(r.in[id], st) {
+		r.enqueue(id)
+	}
+}
+
+// pushState propagates a state along one plain control edge, converting
+// between procedure spaces when a malformed edge crosses procedures (globals
+// survive the conversion, everything else bottoms out).
+func (r *sccpRun) pushState(to ir.NodeID, st []cell, from *space) {
+	n := r.p.Node(to)
+	if n == nil {
+		return
+	}
+	tsp := r.spaceOf(n.Proc)
+	if tsp != from {
+		st = r.convert(st, tsp)
+	}
+	r.meetIn(to, st)
+}
+
+func (r *sccpRun) isGlobalVar(v ir.VarID) bool {
+	return v >= 0 && int(v) < len(r.p.Vars) && r.p.Vars[v] != nil && r.p.Vars[v].IsGlobal()
+}
+
+// globalCell extracts one global slot for transport into another space,
+// dropping aliases rooted in non-global variables.
+func (r *sccpRun) globalCell(st []cell, g int) cell {
+	if g >= len(st) {
+		return cell{v: bottom(), alias: ir.NoVar}
+	}
+	c := st[g]
+	if c.alias != ir.NoVar && !r.isGlobalVar(c.alias) {
+		c.alias = ir.NoVar
+	}
+	return c
+}
+
+func (r *sccpRun) convert(st []cell, to *space) []cell {
+	out := make([]cell, len(to.vars))
+	for i := range out {
+		if i < r.nGlob {
+			out[i] = r.globalCell(st, i)
+		} else {
+			out[i] = cell{v: bottom(), alias: ir.NoVar}
+		}
+	}
+	return out
+}
+
+func valueOf(st []cell, sp *space, v ir.VarID) Value {
+	s := sp.slot(v)
+	if s < 0 || s >= len(st) {
+		return bottom()
+	}
+	return st[s].v
+}
+
+func operandValue(st []cell, sp *space, o ir.Operand) Value {
+	if o.IsConst {
+		return constant(o.Const)
+	}
+	return valueOf(st, sp, o.Var)
+}
+
+// rootOf resolves a variable's copy-chain root in the state: the alias
+// recorded in its slot, or the variable itself.
+func rootOf(st []cell, sp *space, v ir.VarID) ir.VarID {
+	s := sp.slot(v)
+	if s < 0 || s >= len(st) {
+		return v
+	}
+	if a := st[s].alias; a != ir.NoVar {
+		return a
+	}
+	return v
+}
+
+// assign writes dst := (v, aliased to root) into the state and severs every
+// stale equality recorded against the overwritten variable.
+func assign(st []cell, sp *space, dst ir.VarID, v Value, root ir.VarID) {
+	if root == dst {
+		root = ir.NoVar
+	}
+	ds := sp.slot(dst)
+	for i := range st {
+		if i != ds && st[i].alias == dst {
+			st[i].alias = ir.NoVar
+		}
+	}
+	if ds >= 0 && ds < len(st) {
+		st[ds] = cell{v: v, alias: root}
+	}
+}
+
+// refineGroup narrows the asserted variable's cell — and every cell in its
+// copy-propagation group — by the predicate (v op c). It reports false only
+// when the asserted variable itself cannot satisfy the predicate: the path
+// is infeasible (a branch arm) or the assertion must fail. A contradiction
+// on another group member leaves that member unchanged instead; the group
+// bookkeeping is conservative and must never manufacture a proof.
+func refineGroup(st []cell, sp *space, v ir.VarID, op pred.Op, c int64) bool {
+	okOwn := true
+	root := rootOf(st, sp, v)
+	for i := range st {
+		if i >= len(sp.vars) {
+			break
+		}
+		vi := sp.vars[i]
+		ri := st[i].alias
+		if ri == ir.NoVar {
+			ri = vi
+		}
+		if ri != root && vi != root {
+			continue
+		}
+		nv, ok := refine(st[i].v, op, c)
+		if !ok {
+			if vi == v {
+				okOwn = false
+			}
+			continue
+		}
+		st[i].v = nv
+	}
+	return okOwn
+}
+
+// refine intersects a lattice element with the predicate (· op c),
+// reporting ok=false when the intersection is empty. ⊤ carries no
+// executable value and passes through untouched.
+func refine(v Value, op pred.Op, c int64) (Value, bool) {
+	if v.kind == vTop {
+		return v, true
+	}
+	lo, hi := v.lo, v.hi
+	switch op {
+	case pred.Eq:
+		if c < lo || c > hi {
+			return v, false
+		}
+		return constant(c), true
+	case pred.Ne:
+		switch {
+		case lo == hi:
+			if lo == c {
+				return v, false
+			}
+		case c == lo:
+			return rangeValue(lo+1, hi), true
+		case c == hi:
+			return rangeValue(lo, hi-1), true
+		}
+		return v, true
+	case pred.Lt:
+		if c == math.MinInt64 {
+			return v, false
+		}
+		return clampHi(v, lo, hi, c-1)
+	case pred.Le:
+		return clampHi(v, lo, hi, c)
+	case pred.Gt:
+		if c == math.MaxInt64 {
+			return v, false
+		}
+		return clampLo(v, lo, hi, c+1)
+	case pred.Ge:
+		return clampLo(v, lo, hi, c)
+	}
+	return v, true
+}
+
+func clampHi(v Value, lo, hi, bound int64) (Value, bool) {
+	switch {
+	case bound < lo:
+		return v, false
+	case bound >= hi:
+		return v, true
+	}
+	return rangeValue(lo, bound), true
+}
+
+func clampLo(v Value, lo, hi, bound int64) (Value, bool) {
+	switch {
+	case bound > hi:
+		return v, false
+	case bound <= lo:
+		return v, true
+	}
+	return rangeValue(bound, hi), true
+}
+
+// decideValues folds a comparison over two lattice elements: True/False when
+// the operand bounds decide it, Unknown otherwise (including ⊤ operands and
+// malformed operators).
+func decideValues(op pred.Op, l, r Value) pred.Outcome {
+	if !validOp(op) || l.kind == vTop || r.kind == vTop {
+		return pred.Unknown
+	}
+	llo, lhi := l.lo, l.hi
+	rlo, rhi := r.lo, r.hi
+	switch op {
+	case pred.Eq:
+		if llo == lhi && rlo == rhi && llo == rlo {
+			return pred.True
+		}
+		if lhi < rlo || llo > rhi {
+			return pred.False
+		}
+	case pred.Ne:
+		if lhi < rlo || llo > rhi {
+			return pred.True
+		}
+		if llo == lhi && rlo == rhi && llo == rlo {
+			return pred.False
+		}
+	case pred.Lt:
+		if lhi < rlo {
+			return pred.True
+		}
+		if llo >= rhi {
+			return pred.False
+		}
+	case pred.Le:
+		if lhi <= rlo {
+			return pred.True
+		}
+		if llo > rhi {
+			return pred.False
+		}
+	case pred.Gt:
+		if llo > rhi {
+			return pred.True
+		}
+		if lhi <= rlo {
+			return pred.False
+		}
+	case pred.Ge:
+		if llo >= rhi {
+			return pred.True
+		}
+		if lhi < rlo {
+			return pred.False
+		}
+	}
+	return pred.Unknown
 }
 
 func (r *sccpRun) process(id ir.NodeID) {
 	n := r.p.Node(id)
-	if n == nil {
+	if n == nil || int(id) >= len(r.in) {
 		return
 	}
+	st := r.in[id]
+	if st == nil {
+		return
+	}
+	sp := r.spaceOf(n.Proc)
 	switch n.Kind {
 	case ir.NAssign:
-		r.setCell(n.Dst, r.evalRHS(n))
-		r.markAllSuccs(n)
+		out := cloneCells(st)
+		v, root := r.evalRHS(st, sp, n)
+		assign(out, sp, n.Dst, v, root)
+		r.pushAll(n, out, sp)
 	case ir.NBranch:
-		o, resolved := decideBranch(n, r.cellOf)
-		if !resolved {
-			return // an operand is still ⊤; expandTopBranches resolves leftovers
-		}
-		switch o {
-		case pred.True:
-			if len(n.Succs) > 0 {
-				r.markNode(n.Succs[0])
-			}
-		case pred.False:
-			if len(n.Succs) > 1 {
-				r.markNode(n.Succs[1])
-			}
-		default:
-			r.markAllSuccs(n)
-		}
+		r.processBranch(n, st, sp)
 	case ir.NAssert:
-		if c, ok := r.cellOf(n.AVar).Const(); ok && validOp(n.APred.Op) && !n.APred.Eval(c) {
+		out := cloneCells(st)
+		ok := true
+		if validOp(n.APred.Op) {
+			ok = refineGroup(out, sp, n.AVar, n.APred.Op, n.APred.C)
+		}
+		if int(id) < len(r.mustFail) {
+			r.mustFail[id] = !ok
+		}
+		if !ok {
 			// Statically failing assertion: control cannot continue past it.
 			return
 		}
-		r.markAllSuccs(n)
+		r.pushAll(n, out, sp)
 	case ir.NCall:
-		r.bindFormals(n)
-		for _, s := range n.Succs {
-			sn := r.p.Node(s)
-			switch {
-			case sn == nil:
-			case sn.Kind == ir.NCallExit:
-				r.markCallExit(sn)
-			default:
-				// The callee entry; on malformed graphs any other successor
-				// is treated as plain control flow.
-				r.markNode(s)
-			}
-		}
+		r.processCall(n, st, sp)
 	case ir.NExit:
-		for _, s := range n.Succs {
-			sn := r.p.Node(s)
-			switch {
-			case sn == nil:
-			case sn.Kind == ir.NCallExit:
-				r.markCallExit(sn)
-			default:
-				r.markNode(s)
-			}
-		}
+		r.processExit(n, st, sp)
 	case ir.NCallExit:
+		out := cloneCells(st)
 		if n.Dst != ir.NoVar {
-			if rv, ok := r.retVarOf(n.Callee); ok {
-				r.setCell(n.Dst, r.cellOf(rv))
-			} else {
-				r.setCell(n.Dst, bottom())
+			ret := bottom()
+			if ce := r.ces[id]; ce != nil && ce.hasExit {
+				ret = ce.ret
 			}
+			assign(out, sp, n.Dst, ret, ir.NoVar)
 		}
-		r.markAllSuccs(n)
+		r.pushAll(n, out, sp)
 	default: // NEntry, NStore, NPrint, NNop
-		r.markAllSuccs(n)
+		r.pushAll(n, st, sp)
 	}
 }
 
-// bindFormals meets the executable call's argument values into the callee's
-// formals (context-insensitive entry meet).
-func (r *sccpRun) bindFormals(call *ir.Node) {
-	callee := call.Callee
-	if callee < 0 || callee >= len(r.p.Procs) || r.p.Procs[callee] == nil {
+func (r *sccpRun) pushAll(n *ir.Node, st []cell, sp *space) {
+	for _, s := range n.Succs {
+		r.pushState(s, st, sp)
+	}
+}
+
+// processBranch pushes only the feasible arms, refining the tested
+// variable's group by the implied predicate on each taken edge — the
+// branch-edge assertion that makes the oracle conditional.
+func (r *sccpRun) processBranch(n *ir.Node, st []cell, sp *space) {
+	l := valueOf(st, sp, n.CondVar)
+	rv := operandValue(st, sp, n.CondRHS)
+	o := decideValues(n.CondOp, l, rv)
+	refinable := n.CondRHS.IsConst && validOp(n.CondOp)
+	if o != pred.False && len(n.Succs) > 0 {
+		out := cloneCells(st)
+		ok := true
+		if refinable {
+			ok = refineGroup(out, sp, n.CondVar, n.CondOp, n.CondRHS.Const)
+		}
+		if ok {
+			r.pushState(n.Succs[0], out, sp)
+		}
+	}
+	if o != pred.True && len(n.Succs) > 1 {
+		out := cloneCells(st)
+		ok := true
+		if refinable {
+			np := pred.Pred{Op: n.CondOp, C: n.CondRHS.Const}.Negate()
+			ok = refineGroup(out, sp, n.CondVar, np.Op, np.C)
+		}
+		if ok {
+			r.pushState(n.Succs[1], out, sp)
+		}
+	}
+	// Malformed extra out-edges (fuzz graphs): plain unrefined flow.
+	for i := 2; i < len(n.Succs); i++ {
+		r.pushState(n.Succs[i], st, sp)
+	}
+}
+
+// processCall builds the callee's entry state — formals bound to the
+// argument values, other callee variables at the interpreter's implicit
+// zero, globals carried over — and feeds the caller half of each call-site
+// exit. Entry states meet across call sites (context-insensitive), but
+// split entries keep their own states, so restructured specialized entries
+// stay specialized.
+func (r *sccpRun) processCall(n *ir.Node, st []cell, sp *space) {
+	callee := n.Callee
+	calleeOK := callee >= 0 && callee < len(r.p.Procs) && r.p.Procs[callee] != nil
+	var es []cell
+	var csp *space
+	if calleeOK {
+		csp = r.spaceOf(callee)
+		es = make([]cell, len(csp.vars))
+		for i := range es {
+			if i < r.nGlob {
+				es[i] = r.globalCell(st, i)
+			} else {
+				es[i] = cell{v: constant(0), alias: ir.NoVar}
+			}
+		}
+		for i, formal := range r.p.Procs[callee].Formals {
+			fs := csp.slot(formal)
+			if fs < 0 || fs >= len(es) {
+				continue
+			}
+			v := bottom()
+			if i < len(n.Args) {
+				v = valueOf(st, sp, n.Args[i])
+			}
+			es[fs] = cell{v: v, alias: ir.NoVar}
+		}
+	}
+	for _, s := range n.Succs {
+		sn := r.p.Node(s)
+		switch {
+		case sn == nil:
+		case sn.Kind == ir.NCallExit:
+			r.feedCallHalf(sn, st, sp)
+		case sn.Kind == ir.NEntry && calleeOK && sn.Proc == callee:
+			r.meetIn(s, es)
+		default:
+			r.pushState(s, st, sp)
+		}
+	}
+}
+
+// processExit feeds the callee half — globals and return value — of each
+// call-site-exit successor. Split exits feed only the call-site exits wired
+// to them, so restructured specialized returns stay specialized.
+func (r *sccpRun) processExit(n *ir.Node, st []cell, sp *space) {
+	ret := bottom()
+	if n.Proc >= 0 && n.Proc < len(r.p.Procs) && r.p.Procs[n.Proc] != nil {
+		ret = valueOf(st, sp, r.p.Procs[n.Proc].RetVar)
+	}
+	for _, s := range n.Succs {
+		sn := r.p.Node(s)
+		switch {
+		case sn == nil:
+		case sn.Kind == ir.NCallExit:
+			r.feedExitHalf(sn, st, ret)
+		default:
+			r.pushState(s, st, sp)
+		}
+	}
+}
+
+func (r *sccpRun) ceOf(id ir.NodeID) *ceState {
+	if id < 0 || int(id) >= len(r.ces) {
+		return nil
+	}
+	if r.ces[id] == nil {
+		r.ces[id] = &ceState{}
+	}
+	return r.ces[id]
+}
+
+func (r *sccpRun) feedCallHalf(ce *ir.Node, st []cell, sp *space) {
+	ces := r.ceOf(ce.ID)
+	if ces == nil {
 		return
 	}
-	for i, formal := range r.p.Procs[callee].Formals {
-		if i < len(call.Args) {
-			r.setCell(formal, r.cellOf(call.Args[i]))
-		} else {
-			r.setCell(formal, bottom())
-		}
+	tsp := r.spaceOf(ce.Proc)
+	if tsp != sp {
+		st = r.convert(st, tsp)
+	}
+	changed := !ces.hasCall
+	ces.hasCall = true
+	if ces.callSt == nil {
+		ces.callSt = cloneCells(st)
+		changed = true
+	} else if meetCells(ces.callSt, st) {
+		changed = true
+	}
+	if changed {
+		r.recomputeCE(ce)
 	}
 }
 
-// markCallExit marks a call-site exit executable once both interprocedural
-// conditions hold: its call-site predecessor is executable (the call is
-// reached) and its procedure-exit predecessor is executable (the callee
-// returns). Any executable predecessor of another kind (malformed graphs
-// only) marks it directly.
-func (r *sccpRun) markCallExit(ce *ir.Node) {
-	hasCall, hasExit := false, false
-	for _, m := range ce.Preds {
-		mn := r.p.Node(m)
-		if mn == nil || m < 0 || int(m) >= len(r.exec) || !r.exec[m] {
-			continue
+func (r *sccpRun) feedExitHalf(ce *ir.Node, st []cell, ret Value) {
+	ces := r.ceOf(ce.ID)
+	if ces == nil {
+		return
+	}
+	changed := !ces.hasExit
+	ces.hasExit = true
+	if ces.exitGlb == nil {
+		ces.exitGlb = make([]cell, r.nGlob)
+		for g := range ces.exitGlb {
+			ces.exitGlb[g] = r.globalCell(st, g)
 		}
-		switch mn.Kind {
-		case ir.NCall:
-			hasCall = true
-		case ir.NExit:
-			hasExit = true
-		default:
-			hasCall, hasExit = true, true
+		ces.ret = ret
+		changed = true
+	} else {
+		glb := make([]cell, r.nGlob)
+		for g := range glb {
+			glb[g] = r.globalCell(st, g)
+		}
+		if meetCells(ces.exitGlb, glb) {
+			changed = true
+		}
+		if nr := meet(ces.ret, ret); nr != ces.ret {
+			ces.ret = nr
+			changed = true
 		}
 	}
-	if hasCall && hasExit {
-		r.markNode(ce.ID)
+	if changed {
+		r.recomputeCE(ce)
 	}
 }
 
-// expandTopBranches marks both arms of every quiescent executable branch
-// whose condition is still ⊤, reporting whether anything new became
-// executable.
-func (r *sccpRun) expandTopBranches() bool {
-	changed := false
-	r.p.LiveNodes(func(n *ir.Node) {
-		if n.Kind != ir.NBranch || int(n.ID) >= len(r.exec) || !r.exec[n.ID] {
-			return
+// recomputeCE rebuilds a call-site exit's entry state once both its halves
+// are present: the caller state with the globals overwritten by the callee
+// exit's, caller equalities against globals severed (the callee may have
+// changed them), and the return value applied by process. The node is
+// re-enqueued even when the merged state is unchanged because the return
+// value alone may have lowered.
+func (r *sccpRun) recomputeCE(ce *ir.Node) {
+	ces := r.ces[ce.ID]
+	if ces == nil || !ces.hasCall || !ces.hasExit {
+		return
+	}
+	merged := cloneCells(ces.callSt)
+	for g := 0; g < r.nGlob && g < len(merged) && g < len(ces.exitGlb); g++ {
+		merged[g] = ces.exitGlb[g]
+	}
+	for i := r.nGlob; i < len(merged); i++ {
+		if a := merged[i].alias; a != ir.NoVar && r.isGlobalVar(a) {
+			merged[i].alias = ir.NoVar
 		}
-		if _, resolved := decideBranch(n, r.cellOf); resolved {
-			return
-		}
-		for _, s := range n.Succs {
-			if s >= 0 && int(s) < len(r.exec) && !r.exec[s] {
-				r.markNode(s)
-				changed = true
-			}
-		}
-	})
-	return changed
+	}
+	r.meetIn(ce.ID, merged)
+	if int(ce.ID) < len(r.in) && r.in[ce.ID] != nil {
+		r.enqueue(ce.ID)
+	}
 }
 
-// evalRHS folds an assignment right-hand side over the cells, mirroring the
-// interpreter's semantics exactly: negation and arithmetic wrap natively,
-// byte conversion masks to the low 8 bits, and a right-hand side that can
-// fault (division or modulo by a constant zero) or that the lattice does
-// not model (heap loads, allocations, input) is ⊥.
-func (r *sccpRun) evalRHS(n *ir.Node) Value {
+// evalRHS folds an assignment right-hand side over the entry state,
+// mirroring the interpreter's semantics exactly: negation and arithmetic
+// wrap natively, byte conversion always lands in [0,255], and a right-hand
+// side that can fault (division or modulo by a constant zero) or that the
+// lattice does not model (heap loads, allocations, input) is ⊥. The second
+// result is the copy-chain root for RCopy.
+func (r *sccpRun) evalRHS(st []cell, sp *space, n *ir.Node) (Value, ir.VarID) {
 	rh := n.RHS
 	switch rh.Kind {
 	case ir.RConst:
-		return constant(rh.Const)
+		return constant(rh.Const), ir.NoVar
 	case ir.RCopy:
-		return r.cellOf(rh.Src)
+		return valueOf(st, sp, rh.Src), rootOf(st, sp, rh.Src)
 	case ir.RNeg:
-		if c, ok := r.cellOf(rh.Src).Const(); ok {
-			return constant(-c)
-		}
-		return r.cellOf(rh.Src)
+		return negValue(valueOf(st, sp, rh.Src)), ir.NoVar
 	case ir.RByte:
-		if c, ok := r.cellOf(rh.Src).Const(); ok {
-			return constant(c & 0xFF)
-		}
-		return r.cellOf(rh.Src)
+		return byteValue(valueOf(st, sp, rh.Src)), ir.NoVar
 	case ir.RBinop:
-		a, b := r.operandValue(rh.A), r.operandValue(rh.B)
-		if ac, ok := a.Const(); ok {
-			if bc, ok := b.Const(); ok {
-				if v, ok := foldBinop(rh.Op, ac, bc); ok {
-					return constant(v)
-				}
-				return bottom()
-			}
-		}
-		if a.IsBottom() || b.IsBottom() {
+		a := operandValue(st, sp, rh.A)
+		b := operandValue(st, sp, rh.B)
+		return binopValue(rh.Op, a, b), ir.NoVar
+	}
+	return bottom(), ir.NoVar // RLoad, RAlloc, RInput
+}
+
+func negValue(v Value) Value {
+	switch v.kind {
+	case vTop:
+		return v
+	case vConst:
+		return constant(-v.lo) // wraps at MinInt64, matching the interpreter
+	case vRange:
+		if v.lo == math.MinInt64 {
 			return bottom()
 		}
-		return top()
+		return rangeValue(-v.hi, -v.lo)
 	}
 	return bottom()
 }
 
-func (r *sccpRun) operandValue(o ir.Operand) Value {
-	if o.IsConst {
-		return constant(o.Const)
+// byteValue models byte(): constants mask to their low 8 bits, an interval
+// already inside [0,255] is exact, and any other input — including ⊥ —
+// still lands in [0,255], the fact that decides sentinel comparisons like
+// (c != -1) on byte-fed paths.
+func byteValue(v Value) Value {
+	switch v.kind {
+	case vConst:
+		return constant(v.lo & 0xFF)
+	case vRange:
+		if v.lo >= 0 && v.hi <= 255 {
+			return v
+		}
 	}
-	return r.cellOf(o.Var)
+	return rangeValue(0, 255)
+}
+
+func binopValue(op ir.BinOp, a, b Value) Value {
+	if a.kind == vTop || b.kind == vTop {
+		return top()
+	}
+	ac, aok := a.Const()
+	bc, bok := b.Const()
+	if aok && bok {
+		if v, ok := foldBinop(op, ac, bc); ok {
+			return constant(v)
+		}
+		return bottom()
+	}
+	// Interval arithmetic is deliberately limited to constant shifts:
+	// interval+interval sums grow without bound around loops, and the
+	// containment-only meet would ride them straight into the step budget.
+	switch op {
+	case ir.OpAdd:
+		if aok {
+			return shiftValue(b, ac)
+		}
+		if bok {
+			return shiftValue(a, bc)
+		}
+	case ir.OpSub:
+		if bok {
+			if bc == math.MinInt64 {
+				return bottom()
+			}
+			return shiftValue(a, -bc)
+		}
+		if aok {
+			return shiftValue(negValue(b), ac)
+		}
+	}
+	return bottom()
+}
+
+// shiftValue translates an interval by a constant, falling to ⊥ when a bound
+// would wrap (the interpreter wraps natively, so a wrapped interval would be
+// unsound to keep).
+func shiftValue(v Value, d int64) Value {
+	if v.kind != vRange {
+		return bottom()
+	}
+	nlo, ok1 := addChecked(v.lo, d)
+	nhi, ok2 := addChecked(v.hi, d)
+	if !ok1 || !ok2 {
+		return bottom()
+	}
+	return rangeValue(nlo, nhi)
+}
+
+func addChecked(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
 }
 
 // foldBinop evaluates a binary operation on constants with the
@@ -506,30 +1101,6 @@ func foldBinop(op ir.BinOp, a, b int64) (int64, bool) {
 		return a % b, true
 	}
 	return 0, false
-}
-
-// decideBranch evaluates a branch condition over lattice cells. resolved is
-// false while an operand is still ⊤ (the condition was never computed on a
-// modeled path); with both operands constant the outcome is True/False, and
-// a ⊥ operand or a malformed operator decides Unknown (both arms live).
-func decideBranch(n *ir.Node, cell func(ir.VarID) Value) (o pred.Outcome, resolved bool) {
-	lhs := cell(n.CondVar)
-	rhs := constant(n.CondRHS.Const)
-	if !n.CondRHS.IsConst {
-		rhs = cell(n.CondRHS.Var)
-	}
-	if !validOp(n.CondOp) || lhs.IsBottom() || rhs.IsBottom() {
-		return pred.Unknown, true
-	}
-	lc, lok := lhs.Const()
-	rc, rok := rhs.Const()
-	if !lok || !rok {
-		return pred.Unknown, false
-	}
-	if n.CondOp.Eval(lc, rc) {
-		return pred.True, true
-	}
-	return pred.False, true
 }
 
 // validOp guards pred.Op.Eval, which panics on out-of-range operators

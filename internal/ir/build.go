@@ -2,6 +2,7 @@ package ir
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"icbe/internal/minic"
@@ -127,7 +128,7 @@ func (b *builder) lowerProc(idx int, fn *minic.Proc) {
 	b.loops = nil
 
 	entry := p.NewNode(NEntry, idx)
-	entry.Line = fn.Pos.Line
+	entry.Line = int(fn.Pos.Line)
 	pr.Entries = []NodeID{entry.ID}
 	b.exit = p.NewNode(NExit, idx)
 	pr.Exits = []NodeID{b.exit.ID}
@@ -136,7 +137,7 @@ func (b *builder) lowerProc(idx int, fn *minic.Proc) {
 	b.lowerBlock(fn.Body)
 	if b.cur != nil {
 		// Implicit `return 0` when control falls off the end.
-		n := b.newAssign(pr.RetVar, RHS{Kind: RConst, Const: 0}, fn.Pos.Line)
+		n := b.newAssign(pr.RetVar, RHS{Kind: RConst, Const: 0}, int(fn.Pos.Line))
 		b.emit(n)
 		p.AddEdge(b.cur.ID, b.exit.ID)
 		b.cur = nil
@@ -149,8 +150,8 @@ func (b *builder) lowerProc(idx int, fn *minic.Proc) {
 func (b *builder) pruneProc(idx int) {
 	p := b.prog
 	pr := p.Procs[idx]
-	seen := make(map[NodeID]bool)
-	var stack []NodeID
+	seen := make([]bool, len(p.Nodes))
+	stack := make([]NodeID, 0, len(pr.Entries))
 	for _, e := range pr.Entries {
 		seen[e] = true
 		stack = append(stack, e)
@@ -167,8 +168,8 @@ func (b *builder) pruneProc(idx int) {
 			stack = append(stack, s)
 		}
 	}
-	for _, n := range p.ProcNodes(idx) {
-		if !seen[n.ID] {
+	for _, n := range p.Nodes {
+		if n != nil && n.Proc == idx && !seen[n.ID] {
 			p.DeleteNode(n.ID)
 		}
 	}
@@ -191,7 +192,8 @@ func (b *builder) emit(n *Node) {
 
 func (b *builder) newTemp() VarID {
 	b.ntemp++
-	return b.prog.NewVar(fmt.Sprintf("%s.%%t%d", b.prog.Procs[b.proc].Name, b.ntemp), VarTemp, b.proc)
+	name := b.prog.Procs[b.proc].Name + ".%t" + strconv.Itoa(b.ntemp)
+	return b.prog.NewVar(name, VarTemp, b.proc)
 }
 
 func (b *builder) newAssign(dst VarID, rhs RHS, line int) *Node {
@@ -231,16 +233,16 @@ func (b *builder) lowerStmt(s minic.Stmt) {
 		if s.Init != nil {
 			// Initializer evaluated before the variable exists (it may
 			// reference an outer binding of the same name).
-			b.lowerExprInto(id, s.Init, s.Pos.Line)
+			b.lowerExprInto(id, s.Init, int(s.Pos.Line))
 			b.vars[sym] = id
 		} else {
 			b.vars[sym] = id
-			b.emit(b.newAssign(id, RHS{Kind: RConst, Const: 0}, s.Pos.Line))
+			b.emit(b.newAssign(id, RHS{Kind: RConst, Const: 0}, int(s.Pos.Line)))
 		}
 
 	case *minic.AssignStmt:
 		dst := b.vars[b.info.AssignSyms[s]]
-		b.lowerExprInto(dst, s.Value, s.Pos.Line)
+		b.lowerExprInto(dst, s.Value, int(s.Pos.Line))
 
 	case *minic.StoreStmt:
 		ptr := b.vars[b.info.StoreSyms[s]]
@@ -250,27 +252,27 @@ func (b *builder) lowerStmt(s minic.Stmt) {
 		n.Ptr = ptr
 		n.Idx = idx
 		n.Val = val
-		n.Line = s.Pos.Line
+		n.Line = int(s.Pos.Line)
 		b.emit(n)
 		// The store dereferenced ptr, so ptr != 0 past this point.
-		b.emit(b.newAssert(ptr, pred.Pred{Op: pred.Ne, C: 0}, s.Pos.Line))
+		b.emit(b.newAssert(ptr, pred.Pred{Op: pred.Ne, C: 0}, int(s.Pos.Line)))
 
 	case *minic.CallStmt:
-		b.lowerCall(s.Call, NoVar, s.Pos.Line)
+		b.lowerCall(s.Call, NoVar, int(s.Pos.Line))
 
 	case *minic.PrintStmt:
 		val := b.lowerOperand(s.Value)
 		n := b.prog.NewNode(NPrint, b.proc)
 		n.Val = val
-		n.Line = s.Pos.Line
+		n.Line = int(s.Pos.Line)
 		b.emit(n)
 
 	case *minic.ReturnStmt:
 		retVar := b.prog.Procs[b.proc].RetVar
 		if s.Value != nil {
-			b.lowerExprInto(retVar, s.Value, s.Pos.Line)
+			b.lowerExprInto(retVar, s.Value, int(s.Pos.Line))
 		} else {
-			b.emit(b.newAssign(retVar, RHS{Kind: RConst, Const: 0}, s.Pos.Line))
+			b.emit(b.newAssign(retVar, RHS{Kind: RConst, Const: 0}, int(s.Pos.Line)))
 		}
 		b.prog.AddEdge(b.cur.ID, b.exit.ID)
 		b.cur = nil
@@ -334,7 +336,7 @@ func (b *builder) lowerCond(c *minic.Cond) loweredCond {
 	n.CondVar = lhs.Var
 	n.CondOp = op
 	n.CondRHS = rhs
-	n.Line = c.Pos.Line
+	n.Line = int(c.Pos.Line)
 	return loweredCond{branch: n}
 }
 
@@ -386,7 +388,7 @@ func (b *builder) lowerIf(s *minic.IfStmt) {
 		return
 	}
 	join := b.prog.NewNode(NNop, b.proc)
-	join.Line = s.Pos.Line
+	join.Line = int(s.Pos.Line)
 	if thenEnd != nil {
 		b.prog.AddEdge(thenEnd.ID, join.ID)
 	}
@@ -406,7 +408,7 @@ func (b *builder) lowerElse(s minic.Stmt) {
 
 func (b *builder) lowerWhile(s *minic.WhileStmt) {
 	head := b.prog.NewNode(NNop, b.proc)
-	head.Line = s.Pos.Line
+	head.Line = int(s.Pos.Line)
 	b.emit(head)
 
 	lc := b.lowerCond(s.Cond)
@@ -416,7 +418,7 @@ func (b *builder) lowerWhile(s *minic.WhileStmt) {
 	}
 
 	after := b.prog.NewNode(NNop, b.proc)
-	after.Line = s.Pos.Line
+	after.Line = int(s.Pos.Line)
 	b.loops = append(b.loops, loopCtx{head: head.ID, after: after.ID})
 
 	if lc.folded { // while (true)
@@ -455,7 +457,7 @@ func (b *builder) lowerOperand(e minic.Expr) Operand {
 		return VarOp(b.vars[b.info.Uses[e]])
 	default:
 		t := b.newTemp()
-		b.lowerExprInto(t, e, e.Position().Line)
+		b.lowerExprInto(t, e, int(e.Position().Line))
 		return VarOp(t)
 	}
 }

@@ -10,9 +10,10 @@ func Clone(p *Program) *Program {
 		SourceLines: p.SourceLines,
 	}
 	q.Vars = make([]*Var, len(p.Vars))
+	vblock := make([]Var, len(p.Vars))
 	for i, v := range p.Vars {
-		cv := *v
-		q.Vars[i] = &cv
+		vblock[i] = *v
+		q.Vars[i] = &vblock[i]
 	}
 	q.Procs = make([]*Proc, len(p.Procs))
 	for i, pr := range p.Procs {
@@ -27,15 +28,29 @@ func Clone(p *Program) *Program {
 		q.Procs[i] = cp
 	}
 	q.Nodes = make([]*Node, len(p.Nodes))
+	// One block for the node structs and one for their edge lists: cloning
+	// is the driver's hottest allocation site, and per-node allocations
+	// dominate it otherwise.
+	nblock := make([]Node, len(p.Nodes))
+	edges := 0
+	for _, n := range p.Nodes {
+		if n != nil {
+			edges += len(n.Succs) + len(n.Preds)
+		}
+	}
+	eblock := make([]NodeID, 0, edges)
 	for i, n := range p.Nodes {
 		if n == nil {
 			continue
 		}
-		cn := *n
+		cn := &nblock[i]
+		*cn = *n
 		cn.Args = append([]VarID(nil), n.Args...)
-		cn.Succs = append([]NodeID(nil), n.Succs...)
-		cn.Preds = append([]NodeID(nil), n.Preds...)
-		q.Nodes[i] = &cn
+		eblock = append(eblock, n.Succs...)
+		cn.Succs = eblock[len(eblock)-len(n.Succs) : len(eblock) : len(eblock)]
+		eblock = append(eblock, n.Preds...)
+		cn.Preds = eblock[len(eblock)-len(n.Preds) : len(eblock) : len(eblock)]
+		q.Nodes[i] = cn
 	}
 	return q
 }

@@ -24,19 +24,19 @@ import (
 )
 
 // VarID identifies a variable in the program's variable arena.
-type VarID int
+type VarID int32
 
 // NoVar marks an absent variable (e.g. a discarded call result).
 const NoVar VarID = -1
 
 // NodeID identifies a node in the program's node arena.
-type NodeID int
+type NodeID int32
 
 // NoNode marks an absent node reference.
 const NoNode NodeID = -1
 
 // VarKind classifies variables.
-type VarKind int
+type VarKind uint8
 
 // Variable kinds. Temps are compiler-generated; Ret holds a procedure's
 // return value.
@@ -64,20 +64,21 @@ func (k VarKind) String() string {
 	return fmt.Sprintf("VarKind(%d)", int(k))
 }
 
-// Var is a program variable. Globals have Proc == -1.
+// Var is a program variable. Globals have Proc == -1. Field order is
+// size-descending to minimize padding.
 type Var struct {
-	ID   VarID
 	Name string
-	Kind VarKind
-	Proc int   // owning procedure index, -1 for globals
 	Init int64 // initial value (globals only)
+	Proc int   // owning procedure index, -1 for globals
+	ID   VarID
+	Kind VarKind
 }
 
 // IsGlobal reports whether the variable is a global.
 func (v *Var) IsGlobal() bool { return v.Kind == VarGlobal }
 
 // NodeKind enumerates ICFG node kinds.
-type NodeKind int
+type NodeKind uint8
 
 // Node kinds.
 const (
@@ -120,7 +121,7 @@ func (k NodeKind) String() string {
 }
 
 // RHSKind enumerates right-hand sides of assignments.
-type RHSKind int
+type RHSKind uint8
 
 // Assignment right-hand-side kinds.
 const (
@@ -157,7 +158,7 @@ func (k RHSKind) String() string {
 }
 
 // BinOp enumerates arithmetic operators on the IR level.
-type BinOp int
+type BinOp uint8
 
 // IR arithmetic operators.
 const (
@@ -184,11 +185,13 @@ func (o BinOp) String() string {
 	return "?"
 }
 
-// Operand is a variable or an immediate constant.
+// Operand is a variable or an immediate constant. Field order is
+// size-descending to minimize padding (operands are embedded in every
+// Node).
 type Operand struct {
-	IsConst bool
 	Const   int64
 	Var     VarID
+	IsConst bool
 }
 
 // ConstOp returns a constant operand.
@@ -204,57 +207,65 @@ func (o Operand) String() string {
 	return fmt.Sprintf("v%d", int(o.Var))
 }
 
-// RHS is the right-hand side of an assignment node.
+// RHS is the right-hand side of an assignment node. Field order is
+// size-descending to minimize padding.
 type RHS struct {
-	Kind  RHSKind
 	Const int64   // RConst
-	Src   VarID   // RCopy, RNeg, RByte; pointer for RLoad
-	Op    BinOp   // RBinop
 	A, B  Operand // RBinop operands; RLoad index in A; RAlloc size in A
+	Src   VarID   // RCopy, RNeg, RByte; pointer for RLoad
+	Kind  RHSKind
+	Op    BinOp // RBinop
 }
 
 // Node is a single ICFG node. The payload fields used depend on Kind.
+// Nodes dominate the optimizer's allocation profile (every scratch clone
+// copies the whole arena), so fields are laid out size-descending to
+// minimize padding rather than grouped by kind; the comments keep the
+// per-kind grouping.
 type Node struct {
-	ID   NodeID
-	Kind NodeKind
-	Proc int // owning procedure index
-
-	// NAssign / NCallExit (Dst): destination variable; NoVar when the call
-	// result is discarded.
-	Dst VarID
+	// NAssign / NCallExit: RHS is the assigned value; Dst (below) the
+	// destination variable, NoVar when the call result is discarded.
 	RHS RHS
 
 	// NBranch: condition (CondVar CondOp CondRHS). Analyzable when CondRHS
 	// is a constant. Succs[0] is the true successor, Succs[1] the false
 	// successor.
-	CondVar VarID
-	CondOp  pred.Op
 	CondRHS Operand
 
-	// NAssert: the fact (AVar APred) holds on entry to this node's
-	// successor. Assert nodes are synthetic.
-	AVar  VarID
-	APred pred.Pred
-
-	// NCall: callee procedure index and argument variables (1:1 with the
-	// callee's formals). NCallExit: Callee is the procedure returned from.
-	Callee int
-	Args   []VarID
-
 	// NStore: heap[Ptr+Idx] := Val.
-	Ptr VarID
 	Idx Operand
 	Val Operand // also NPrint value
 
+	// NAssert: the fact (AVar APred) holds on entry to this node's
+	// successor. Assert nodes are synthetic.
+	APred pred.Pred
+
+	// NCall: argument variables (1:1 with the callee's formals).
+	Args []VarID
+
 	Succs []NodeID
 	Preds []NodeID
+
+	// NCall: callee procedure index. NCallExit: the procedure returned
+	// from.
+	Callee int
+
+	Proc int // owning procedure index
+	Line int // source line, for diagnostics
+
+	ID      NodeID
+	Dst     VarID // NAssign / NCallExit destination
+	CondVar VarID // NBranch condition variable
+	AVar    VarID // NAssert variable
+	Ptr     VarID // NStore pointer
+
+	Kind   NodeKind
+	CondOp pred.Op // NBranch relational operator
 
 	// Synthetic nodes (entry, exit, call, asserts, nops) carry no program
 	// operation; they are excluded from operation counts and may be
 	// duplicated freely.
 	Synthetic bool
-
-	Line int // source line, for diagnostics
 }
 
 // IsOperation reports whether the node represents a real program operation
@@ -313,6 +324,25 @@ type Program struct {
 	// SourceLines is the number of source lines the program was built from
 	// (for Table 1 reporting).
 	SourceLines int
+	// nodePool is the spare capacity NewNode hands nodes out of, so building
+	// and restructuring do not pay one heap allocation per node. edgePool
+	// seeds fresh Succs/Preds lists the same way: almost every node has one
+	// or two edges each way, and growing them from nil is otherwise the
+	// hottest allocation in a build.
+	nodePool []Node
+	edgePool []NodeID
+	varPool  []Var
+}
+
+// newEdgeList returns an empty edge list with room for two entries carved
+// from the pool; appending past two falls back to the normal grow path.
+func (p *Program) newEdgeList() []NodeID {
+	if len(p.edgePool) < 2 {
+		p.edgePool = make([]NodeID, 256)
+	}
+	s := p.edgePool[:0:2]
+	p.edgePool = p.edgePool[2:]
+	return s
 }
 
 // Node returns the node with the given id, or nil if deleted/out of range.
@@ -328,14 +358,31 @@ func (p *Program) Var(id VarID) *Var { return p.Vars[id] }
 
 // NewVar appends a variable to the arena.
 func (p *Program) NewVar(name string, kind VarKind, proc int) VarID {
+	if len(p.varPool) == 0 {
+		p.varPool = make([]Var, 64)
+	}
+	v := &p.varPool[0]
+	p.varPool = p.varPool[1:]
 	id := VarID(len(p.Vars))
-	p.Vars = append(p.Vars, &Var{ID: id, Name: name, Kind: kind, Proc: proc})
+	*v = Var{ID: id, Name: name, Kind: kind, Proc: proc}
+	p.Vars = append(p.Vars, v)
 	return id
 }
 
 // NewNode appends a node of the given kind to the arena.
 func (p *Program) NewNode(kind NodeKind, proc int) *Node {
-	n := &Node{ID: NodeID(len(p.Nodes)), Kind: kind, Proc: proc, Dst: NoVar}
+	if len(p.nodePool) == 0 {
+		size := len(p.Nodes)
+		if size < 64 {
+			size = 64
+		} else if size > 1024 {
+			size = 1024
+		}
+		p.nodePool = make([]Node, size)
+	}
+	n := &p.nodePool[0]
+	p.nodePool = p.nodePool[1:]
+	*n = Node{ID: NodeID(len(p.Nodes)), Kind: kind, Proc: proc, Dst: NoVar}
 	switch kind {
 	case NEntry, NExit, NCall, NAssert, NNop:
 		n.Synthetic = true
@@ -355,6 +402,12 @@ func (p *Program) AddEdge(from, to NodeID) {
 				return
 			}
 		}
+	}
+	if f.Succs == nil {
+		f.Succs = p.newEdgeList()
+	}
+	if t.Preds == nil {
+		t.Preds = p.newEdgeList()
 	}
 	f.Succs = append(f.Succs, to)
 	t.Preds = append(t.Preds, from)

@@ -18,7 +18,7 @@ func NewLexer(src string) *Lexer {
 	return &Lexer{src: src, line: 1, col: 1}
 }
 
-func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+func (lx *Lexer) pos() Pos { return Pos{Line: int32(lx.line), Col: int32(lx.col)} }
 
 func (lx *Lexer) peek() byte {
 	if lx.off >= len(lx.src) {
@@ -60,7 +60,18 @@ func (lx *Lexer) skipSpace() error {
 	for lx.off < len(lx.src) {
 		c := lx.peek()
 		switch {
-		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+		case c == ' ' || c == '\t' || c == '\r':
+			// Batch non-newline whitespace runs: bump the column once.
+			end := lx.off
+			for end < len(lx.src) {
+				if b := lx.src[end]; b != ' ' && b != '\t' && b != '\r' {
+					break
+				}
+				end++
+			}
+			lx.col += end - lx.off
+			lx.off = end
+		case c == '\n':
 			lx.advance()
 		case c == '/' && lx.peek2() == '/':
 			for lx.off < len(lx.src) && lx.peek() != '\n' {
@@ -103,11 +114,16 @@ func (lx *Lexer) Next() (Token, error) {
 	c := lx.peek()
 	switch {
 	case isIdentStart(c):
+		// Identifiers contain no newlines, so scan the run directly and
+		// bump the column once instead of per character.
 		start := lx.off
-		for lx.off < len(lx.src) && isIdentCont(lx.peek()) {
-			lx.advance()
+		end := start
+		for end < len(lx.src) && isIdentCont(lx.src[end]) {
+			end++
 		}
-		text := lx.src[start:lx.off]
+		lx.col += end - lx.off
+		lx.off = end
+		text := lx.src[start:end]
 		if kw, ok := keywords[text]; ok {
 			return Token{Kind: kw, Text: text, Pos: pos}, nil
 		}
@@ -115,9 +131,12 @@ func (lx *Lexer) Next() (Token, error) {
 
 	case isDigit(c):
 		start := lx.off
-		for lx.off < len(lx.src) && isDigit(lx.peek()) {
-			lx.advance()
+		end := start
+		for end < len(lx.src) && isDigit(lx.src[end]) {
+			end++
 		}
+		lx.col += end - lx.off
+		lx.off = end
 		if lx.off < len(lx.src) && isIdentStart(lx.peek()) {
 			return Token{}, errf(pos, "malformed number: identifier character %q after digits", lx.peek())
 		}
@@ -218,7 +237,9 @@ func (lx *Lexer) Next() (Token, error) {
 // trailing EOF token.
 func LexAll(src string) ([]Token, error) {
 	lx := NewLexer(src)
-	var toks []Token
+	// Minic averages under four bytes per token; one sized allocation
+	// replaces the append-growth copies on every build.
+	toks := make([]Token, 0, len(src)/3+16)
 	for {
 		t, err := lx.Next()
 		if err != nil {

@@ -126,7 +126,7 @@ func (p *Parser) parseBlock() (*Block, error) {
 	if _, err := p.expect(TokLBrace); err != nil {
 		return nil, err
 	}
-	b := &Block{}
+	b := &Block{Stmts: make([]Stmt, 0, 4)}
 	for !p.at(TokRBrace) {
 		if p.at(TokEOF) {
 			return nil, errf(p.cur().Pos, "unexpected end of input inside block")

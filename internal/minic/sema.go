@@ -54,6 +54,7 @@ type checker struct {
 	scopes    []map[string]*Symbol // innermost last; scopes[0] is globals
 	loopDepth int
 	errs      []*Error
+	symPool   []Symbol // slab declare hands symbols out of
 }
 
 // Check performs semantic analysis on a parsed program. It verifies that a
@@ -140,7 +141,12 @@ func (c *checker) declare(name string, kind SymKind, pos Pos) *Symbol {
 		c.errorf(pos, "duplicate declaration of %q (previous at %s)", name, prev.Pos)
 		return prev
 	}
-	sym := &Symbol{Name: name, Kind: kind, Proc: c.procIdx, Pos: pos}
+	if len(c.symPool) == 0 {
+		c.symPool = make([]Symbol, 64)
+	}
+	sym := &c.symPool[0]
+	c.symPool = c.symPool[1:]
+	*sym = Symbol{Name: name, Kind: kind, Proc: c.procIdx, Pos: pos}
 	top[name] = sym
 	c.info.ProcSyms[c.procIdx] = append(c.info.ProcSyms[c.procIdx], sym)
 	return sym

@@ -9,7 +9,7 @@ package minic
 import "fmt"
 
 // TokKind enumerates lexical token kinds.
-type TokKind int
+type TokKind uint8
 
 // Token kinds.
 const (
@@ -107,19 +107,21 @@ var keywords = map[string]TokKind{
 	"print":    TokPrint,
 }
 
-// Pos is a source position (1-based line and column).
+// Pos is a source position (1-based line and column). int32 keeps Token
+// at 32 bytes (tokens are the front end's largest allocation).
 type Pos struct {
-	Line, Col int
+	Line, Col int32
 }
 
 func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
 
-// Token is a lexical token with its source position.
+// Token is a lexical token with its source position. Field order is
+// size-descending to minimize padding.
 type Token struct {
-	Kind TokKind
 	Text string // identifier text or number literal text
 	Val  int64  // value for TokNumber / TokChar
 	Pos  Pos
+	Kind TokKind
 }
 
 func (t Token) String() string {

@@ -17,7 +17,7 @@ import (
 )
 
 // Op is a relational operator appearing in a predicate (v Op C).
-type Op int
+type Op uint8
 
 // The six relational operators of MiniC conditionals.
 const (
@@ -32,7 +32,7 @@ const (
 var opNames = [...]string{Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">="}
 
 func (o Op) String() string {
-	if o < 0 || int(o) >= len(opNames) {
+	if int(o) >= len(opNames) {
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
 	return opNames[o]

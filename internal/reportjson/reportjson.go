@@ -48,7 +48,10 @@ type DriverStats struct {
 	CheckWallNS       int64          `json:"check_wall_ns"`
 	SCCPAgreements    int            `json:"sccp_agreements"`
 	SCCPDisagreements int            `json:"sccp_disagreements"`
-	SCCPRecall        int            `json:"sccp_recall"`
+	SCCPVacuous       int            `json:"sccp_vacuous"`
+	SCCPDecided       int            `json:"sccp_decided"`
+	SCCPRecall        float64        `json:"sccp_recall"`
+	SCCPResidual      int            `json:"sccp_residual"`
 	CheckFindingsPre  int            `json:"check_findings_pre"`
 	CheckFindingsPost int            `json:"check_findings_post"`
 	AnalysisWallNS    int64          `json:"analysis_wall_ns"`
@@ -124,7 +127,10 @@ func FromDriverStats(s icbe.DriverStats) DriverStats {
 		CheckWallNS:       int64(s.CheckWall),
 		SCCPAgreements:    s.SCCPAgreements,
 		SCCPDisagreements: s.SCCPDisagreements,
+		SCCPVacuous:       s.SCCPVacuous,
+		SCCPDecided:       s.SCCPDecided,
 		SCCPRecall:        s.SCCPRecall,
+		SCCPResidual:      s.SCCPResidual,
 		CheckFindingsPre:  s.CheckFindingsPre,
 		CheckFindingsPost: s.CheckFindingsPost,
 		AnalysisWallNS:    int64(s.AnalysisWall),
@@ -133,8 +139,9 @@ func FromDriverStats(s icbe.DriverStats) DriverStats {
 }
 
 // Add accumulates another run's counters into d (Workers is kept as the
-// maximum, every other field sums). The serving layer's /stats aggregates
-// per-request DriverStats with it.
+// maximum, SCCPRecall is recomputed from the summed grading counts, every
+// other field sums). The serving layer's /stats aggregates per-request
+// DriverStats with it.
 func (d *DriverStats) Add(o DriverStats) {
 	if o.Workers > d.Workers {
 		d.Workers = o.Workers
@@ -161,7 +168,15 @@ func (d *DriverStats) Add(o DriverStats) {
 	d.CheckWallNS += o.CheckWallNS
 	d.SCCPAgreements += o.SCCPAgreements
 	d.SCCPDisagreements += o.SCCPDisagreements
-	d.SCCPRecall += o.SCCPRecall
+	d.SCCPVacuous += o.SCCPVacuous
+	d.SCCPDecided += o.SCCPDecided
+	// The recall ratio is recomputed from the summed counts rather than
+	// summed itself — a ratio does not aggregate by addition.
+	d.SCCPRecall = 0
+	if d.SCCPDecided > 0 {
+		d.SCCPRecall = float64(d.SCCPAgreements+d.SCCPDisagreements) / float64(d.SCCPDecided)
+	}
+	d.SCCPResidual += o.SCCPResidual
 	d.CheckFindingsPre += o.CheckFindingsPre
 	d.CheckFindingsPost += o.CheckFindingsPost
 	d.AnalysisWallNS += o.AnalysisWallNS

@@ -73,10 +73,18 @@ func (g *checkGate) crossCheck(work *ir.Program, cr *condResult) *BranchFailure 
 	}
 	verdict, cf := check.CrossCheck(work, g.sccpFor(work), cr.b, ans)
 	switch verdict {
-	case check.VerdictAgree, check.VerdictVacuous:
+	case check.VerdictAgree:
 		g.stats.SCCPAgreements++
+		g.stats.SCCPDecided++
+	case check.VerdictICBEOnly:
+		// A decided claim the oracle could not grade: part of the recall
+		// denominator but neither an agreement nor a veto.
+		g.stats.SCCPDecided++
+	case check.VerdictVacuous:
+		g.stats.SCCPVacuous++
 	case check.VerdictDisagree:
 		g.stats.SCCPDisagreements++
+		g.stats.SCCPDecided++
 		return &BranchFailure{Kind: FailCheck, Cond: cr.b, Line: cr.rep.Line,
 			Msg: "demand-driven answer contradicts the SCCP oracle", Err: cf}
 	}
@@ -113,12 +121,17 @@ func (g *checkGate) adopt(work *ir.Program) {
 	g.pendingProg, g.pendingSCCP, g.pendingBaseline = nil, nil, nil
 }
 
-// finish computes the end-of-run counters on the final program: the recall
-// metric (analyzable branches the oracle still decides — branches ICBE could
-// have eliminated) and the residual invariant finding count.
+// finish computes the end-of-run counters: the recall ratio (graded fraction
+// of the decided, non-vacuous claims), the residual metric (analyzable
+// branches of the final program the oracle still decides — branches ICBE
+// could have eliminated), and the residual invariant finding count.
 func (g *checkGate) finish(work *ir.Program) {
 	s := g.sccpFor(work)
-	g.stats.SCCPRecall = check.RecallCount(work, s)
+	if g.stats.SCCPDecided > 0 {
+		g.stats.SCCPRecall = float64(g.stats.SCCPAgreements+g.stats.SCCPDisagreements) /
+			float64(g.stats.SCCPDecided)
+	}
+	g.stats.SCCPResidual = check.RecallCount(work, s)
 	total := 0
 	for _, n := range g.baseline {
 		total += n

@@ -35,8 +35,14 @@ func TestCheckCleanRun(t *testing.T) {
 	if st.SCCPAgreements != 3 {
 		t.Errorf("SCCPAgreements = %d, want 3 (three constant conditionals)", st.SCCPAgreements)
 	}
-	if st.SCCPRecall != 0 {
-		t.Errorf("SCCPRecall = %d, want 0 (all constant branches eliminated)", st.SCCPRecall)
+	if st.SCCPDecided != 3 {
+		t.Errorf("SCCPDecided = %d, want 3", st.SCCPDecided)
+	}
+	if st.SCCPRecall != 1.0 {
+		t.Errorf("SCCPRecall = %v, want 1.0 (every decided claim graded)", st.SCCPRecall)
+	}
+	if st.SCCPResidual != 0 {
+		t.Errorf("SCCPResidual = %d, want 0 (all constant branches eliminated)", st.SCCPResidual)
 	}
 	if st.CheckFindingsPre != 0 || st.CheckFindingsPost != 0 {
 		t.Errorf("findings pre/post = %d/%d, want 0/0", st.CheckFindingsPre, st.CheckFindingsPost)
@@ -151,7 +157,7 @@ func TestFailCheckString(t *testing.T) {
 	}
 }
 
-// TestCheckRecallCountsResidualConstantBranch pins the recall metric: a
+// TestCheckRecallCountsResidualConstantBranch pins the residual metric: a
 // constant branch the driver is forbidden to optimize (duplication limit)
 // stays in the final program and is counted.
 func TestCheckRecallCountsResidualConstantBranch(t *testing.T) {
@@ -168,10 +174,10 @@ func TestCheckRecallCountsResidualConstantBranch(t *testing.T) {
 	// constant branch survives to the final program.
 	res := Optimize(p, DriverOptions{Check: true, MaxWork: 1, FullOnly: true,
 		Analysis: analysis.Options{ModSummaries: true, TerminationLimit: 1}})
-	if res.Stats.SCCPRecall == 0 && res.Optimized > 0 {
-		t.Skipf("branch optimized despite limits; recall legitimately 0")
+	if res.Stats.SCCPResidual == 0 && res.Optimized > 0 {
+		t.Skipf("branch optimized despite limits; residual legitimately 0")
 	}
-	if res.Optimized == 0 && res.Stats.SCCPRecall != 1 {
-		t.Errorf("SCCPRecall = %d, want 1 (unoptimized constant branch)", res.Stats.SCCPRecall)
+	if res.Optimized == 0 && res.Stats.SCCPResidual != 1 {
+		t.Errorf("SCCPResidual = %d, want 1 (unoptimized constant branch)", res.Stats.SCCPResidual)
 	}
 }

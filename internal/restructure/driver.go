@@ -170,15 +170,23 @@ type DriverStats struct {
 	// after commits. CheckWall is their summed wall time.
 	CheckRuns int
 	// SCCPAgreements and SCCPDisagreements count cross-checked conditionals
-	// whose demand-driven answer the SCCP oracle confirmed (agree or
-	// vacuous) or contradicted. Disagreements are contained FailCheck
-	// refusals; a healthy run has zero.
+	// whose demand-driven full answer the SCCP oracle independently
+	// confirmed or contradicted. Disagreements are contained FailCheck
+	// refusals; a healthy run has zero. SCCPVacuous counts conditionals the
+	// oracle proved unreachable (neither confirmed nor graded), and
+	// SCCPDecided counts every non-vacuous conditional with a full
+	// demand-driven answer — the recall denominator.
 	SCCPAgreements    int
 	SCCPDisagreements int
-	// SCCPRecall counts analyzable branches of the final program whose
+	SCCPVacuous       int
+	SCCPDecided       int
+	// SCCPRecall is the fraction of decided claims the oracle could grade:
+	// (agreements + disagreements) / decided, 0 when nothing was decided.
+	SCCPRecall float64
+	// SCCPResidual counts analyzable branches of the final program whose
 	// outcome the oracle still decides — constant branches ICBE left in
 	// place (the recall gap of the demand-driven analysis).
-	SCCPRecall int
+	SCCPResidual int
 	// CheckFindingsPre and CheckFindingsPost count invariant lint findings
 	// on the input and final working programs (both 0 for sound inputs).
 	CheckFindingsPre  int
