@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"icbe/internal/progs"
+	"icbe/internal/server"
+	"icbe/internal/store"
+)
+
+// cacheRecord is one workload's warm-vs-cold measurement through the full
+// service stack: a cold request is a cache miss that runs the whole
+// optimization pipeline; a warm request is the same payload again, served
+// from the content-addressed store. Both include HTTP and JSON overhead, so
+// the speedup is what an operator of icbe-serve would actually observe.
+type cacheRecord struct {
+	Name        string  `json:"name"`
+	ColdIters   int     `json:"cold_iters"`
+	ColdNsPerOp int64   `json:"cold_ns_per_op"`
+	WarmIters   int     `json:"warm_iters"`
+	WarmNsPerOp int64   `json:"warm_ns_per_op"`
+	WarmSource  string  `json:"warm_source"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// measureCache stands up an in-process optimization service with both cache
+// layers enabled and measures, per workload, the cost of a cold compute
+// versus a warm store hit. Cold iterations defeat the cache by varying the
+// termination limit (distinct request fingerprints, near-identical work);
+// warm iterations repeat one fixed request. Returns the per-workload records
+// and the service's final store counter snapshot.
+func measureCache(ws []*progs.Workload) ([]cacheRecord, *store.Snapshot, error) {
+	dir, err := os.MkdirTemp("", "icbe-bench-store-")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(dir)
+	svc := server.New(server.Config{
+		CacheEntries:    1024,
+		StoreDir:        dir,
+		Workers:         runtime.NumCPU(),
+		DefaultDeadline: time.Minute,
+		MaxDeadline:     time.Minute,
+	})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	post := func(req server.OptimizeRequest) (time.Duration, string, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return 0, "", err
+		}
+		t0 := time.Now()
+		resp, err := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, "", err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		elapsed := time.Since(t0)
+		if resp.StatusCode != http.StatusOK {
+			return 0, "", fmt.Errorf("/optimize status %d", resp.StatusCode)
+		}
+		return elapsed, resp.Header.Get("X-Icbe-Cache"), nil
+	}
+
+	var recs []cacheRecord
+	for _, w := range ws {
+		req := func(term int) server.OptimizeRequest {
+			return server.OptimizeRequest{
+				Program: w.Source,
+				Input:   w.Train,
+				Options: &server.RequestOptions{Term: term},
+			}
+		}
+		const baseTerm = 1000
+		rec := cacheRecord{Name: w.Name}
+		var coldTotal time.Duration
+		for term := baseTerm; term < baseTerm+5; term++ {
+			elapsed, src, err := post(req(term))
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s cold: %w", w.Name, err)
+			}
+			if src != "miss" {
+				return nil, nil, fmt.Errorf("%s cold request served %q, want miss", w.Name, src)
+			}
+			coldTotal += elapsed
+			rec.ColdIters++
+		}
+		rec.ColdNsPerOp = coldTotal.Nanoseconds() / int64(rec.ColdIters)
+
+		var warmTotal time.Duration
+		for i := 0; i < 50; i++ {
+			elapsed, src, err := post(req(baseTerm))
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s warm: %w", w.Name, err)
+			}
+			if !strings.HasPrefix(src, "hit-") {
+				return nil, nil, fmt.Errorf("%s warm request served %q, want a hit", w.Name, src)
+			}
+			rec.WarmSource = src
+			warmTotal += elapsed
+			rec.WarmIters++
+		}
+		rec.WarmNsPerOp = warmTotal.Nanoseconds() / int64(rec.WarmIters)
+		if rec.WarmNsPerOp > 0 {
+			rec.Speedup = float64(rec.ColdNsPerOp) / float64(rec.WarmNsPerOp)
+		}
+		recs = append(recs, rec)
+	}
+	snap := svc.Stats().Store
+	return recs, snap, nil
+}

@@ -12,6 +12,7 @@ import (
 	"icbe/internal/ir"
 	"icbe/internal/progs"
 	"icbe/internal/restructure"
+	"icbe/internal/store"
 )
 
 // benchRecord is one benchmark's measurement in the BENCH_<n>.json output:
@@ -51,12 +52,14 @@ type checkRecord struct {
 
 // benchFile is the top-level BENCH_<n>.json document.
 type benchFile struct {
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	NumCPU     int           `json:"num_cpu"`
-	Benchmarks []benchRecord `json:"benchmarks"`
-	Check      []checkRecord `json:"check"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	NumCPU     int             `json:"num_cpu"`
+	Benchmarks []benchRecord   `json:"benchmarks"`
+	Cache      []cacheRecord   `json:"cache,omitempty"`
+	Store      *store.Snapshot `json:"store,omitempty"`
+	Check      []checkRecord   `json:"check"`
 }
 
 // measure times fn like a testing.B loop: one untimed warm-up (so pools and
@@ -153,6 +156,15 @@ func writeBenchJSON(path string, ws []*progs.Workload, termLim int, requireBite 
 		}
 		out.Benchmarks = append(out.Benchmarks, rec)
 	}
+
+	// Warm-vs-cold cache measurements through the full service stack, plus
+	// the store's counter block, so cache efficacy diffs across PRs too.
+	cacheRecs, storeSnap, err := measureCache(ws)
+	if err != nil {
+		return err
+	}
+	out.Cache = cacheRecs
+	out.Store = storeSnap
 
 	// The static verification summary rides along so correctness indicators
 	// (zero disagreements, zero findings) diff across PRs like the perf

@@ -50,6 +50,8 @@ func main() {
 		brkTrip     = flag.Int("breaker-trip", 5, "failures within the window that trip a breaker")
 		brkCooldown = flag.Duration("breaker-cooldown", 2*time.Second, "initial breaker cooldown before a half-open probe")
 		brkMaxCool  = flag.Duration("breaker-max-cooldown", 30*time.Second, "breaker cooldown cap under repeated failed probes")
+		cacheSize   = flag.Int("cache-entries", 1024, "in-memory result cache entries; 0 disables the memory layer")
+		storeDir    = flag.String("store-dir", "", "durable result+summary store directory; empty disables the disk layer")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -66,6 +68,8 @@ func main() {
 		DefaultDeadline:  *deadline,
 		MaxDeadline:      *maxDeadline,
 		Workers:          *workers,
+		CacheEntries:     *cacheSize,
+		StoreDir:         *storeDir,
 		Breaker: server.BreakerConfig{
 			Window:        *brkWindow,
 			TripThreshold: *brkTrip,
@@ -73,6 +77,11 @@ func main() {
 			MaxCooldown:   *brkMaxCool,
 		},
 	})
+	if snap := svc.Stats(); *storeDir != "" && (snap.Store == nil || !snap.Store.DiskEnabled) {
+		// A broken store directory degrades the service to compute-only; it
+		// must never stop it from starting.
+		log.Printf("icbe-serve: warning: durable store at %s unavailable, serving compute-only", *storeDir)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),

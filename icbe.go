@@ -188,6 +188,14 @@ type Options struct {
 	BranchTimeout time.Duration
 	// Ctx cancels the optimization run early (nil = context.Background()).
 	Ctx context.Context
+	// SummaryMemo, when non-nil, replaces the run's internal summary memo:
+	// seed it with analysis.SummaryMemo.Inject to replay persisted
+	// procedure summaries, and harvest it with ExportPristine afterwards.
+	// A replayed summary is pair-for-pair identical to a fresh propagation,
+	// so the optimized program and report are unchanged (the memo hit
+	// counters aside). Only the interprocedural analysis has summaries. The
+	// memo must not be shared between concurrent runs.
+	SummaryMemo *analysis.SummaryMemo
 }
 
 // DefaultOptions returns the paper's main configuration: interprocedural
@@ -364,6 +372,7 @@ func (p *Program) OptimizeContext(ctx context.Context, opts Options) (op *Progra
 		Timeout:        opts.Timeout,
 		BranchTimeout:  opts.BranchTimeout,
 		Ctx:            opts.Ctx,
+		Memo:           opts.SummaryMemo,
 	})
 	if opts.Compact {
 		ir.Simplify(dr.Program)

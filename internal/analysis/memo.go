@@ -54,8 +54,15 @@ type SummaryMemo struct {
 	autoCommit bool
 	committed  map[memoKey]*memoRecord
 	pending    []*memoRecord
-	hits       int64
-	bytes      int64
+	// pristine snapshots the records staged before the first Commit: they
+	// were computed against the unmodified input program, so they are the
+	// only records safe to persist and replay into a fresh compile of the
+	// same program (later rounds reference restructure-created nodes). See
+	// ExportPristine in persist.go.
+	pristine []*memoRecord
+	frozen   bool
+	hits     int64
+	bytes    int64
 }
 
 // memoKey identifies a summary node entry across runs: the procedure exit
@@ -89,6 +96,10 @@ type memoRecord struct {
 	arrivals []memoArrival
 	nested   []memoKey   // keys of the summaries this closure waited on
 	touched  []ir.NodeID // sorted invalidation set
+	// injected marks records loaded from a persisted store (Inject) rather
+	// than computed by this process; they are excluded from ExportPristine
+	// so a warm process never re-persists what it read.
+	injected bool
 }
 
 func newSummaryMemo(autoCommit bool) *SummaryMemo {
@@ -142,6 +153,18 @@ func (m *SummaryMemo) record(recs []*memoRecord) {
 func (m *SummaryMemo) Commit(dirty map[ir.NodeID]bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if !m.frozen {
+		// First Commit: everything staged so far was computed against the
+		// pristine input program (the dirty set may invalidate some of it
+		// for THIS run's mutated program, but not for a fresh compile of the
+		// same source). Injected records came from a store, not this run.
+		m.frozen = true
+		for _, rec := range m.pending {
+			if !rec.injected {
+				m.pristine = append(m.pristine, rec)
+			}
+		}
+	}
 	if len(dirty) > 0 {
 		for k, rec := range m.committed {
 			if rec.touchesDirty(dirty) {

@@ -1,0 +1,152 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"icbe"
+	"icbe/internal/analysis"
+	"icbe/internal/ir"
+	"icbe/internal/pred"
+	"icbe/internal/progs"
+)
+
+func optimizeWithMemo(t *testing.T, src string, m *analysis.SummaryMemo) (*icbe.Program, *icbe.Report, *ir.Program) {
+	t.Helper()
+	p, err := icbe.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	opts := icbe.DefaultOptions()
+	opts.SummaryMemo = m
+	opt, rep, err := p.Optimize(opts)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	return opt, rep, p.Graph()
+}
+
+func TestExportInjectReplayEquivalence(t *testing.T) {
+	for _, name := range []string{"stdio", "lisp", "oodispatch"} {
+		w := progs.ByName(name)
+		m1 := analysis.NewSummaryMemo()
+		opt1, rep1, _ := optimizeWithMemo(t, w.Source, m1)
+		recs := m1.ExportPristine()
+		if len(recs) == 0 {
+			t.Fatalf("%s: run produced no pristine summary records", name)
+		}
+
+		// Fresh compile of the same source, seeded with the persisted
+		// records: the optimized program and the analysis cost must be
+		// identical — replay is pair-for-pair exact.
+		m2 := analysis.NewSummaryMemo()
+		p2, err := icbe.Compile(w.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted := m2.Inject(p2.Graph(), recs)
+		if accepted == 0 {
+			t.Fatalf("%s: no records accepted by Inject", name)
+		}
+		if accepted != len(recs) {
+			t.Errorf("%s: Inject accepted %d of %d records computed for the same program", name, accepted, len(recs))
+		}
+		opts := icbe.DefaultOptions()
+		opts.SummaryMemo = m2
+		opt2, rep2, err := p2.Optimize(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt1.Dump() != opt2.Dump() {
+			t.Errorf("%s: seeded run produced a different program than the cold run", name)
+		}
+		if rep1.Optimized != rep2.Optimized || rep1.PairsTotal != rep2.PairsTotal {
+			t.Errorf("%s: seeded run report differs: optimized %d/%d pairs %d/%d",
+				name, rep1.Optimized, rep2.Optimized, rep1.PairsTotal, rep2.PairsTotal)
+		}
+		if rep2.Stats.SNEMemoHits < rep1.Stats.SNEMemoHits {
+			t.Errorf("%s: seeded run replayed fewer summaries (%d) than cold (%d)",
+				name, rep2.Stats.SNEMemoHits, rep1.Stats.SNEMemoHits)
+		}
+
+		// A warm process must not re-persist what it read: the seeded run's
+		// pristine export contains no injected keys.
+		injected := make(map[analysis.PortableKey]bool, len(recs))
+		for _, r := range recs {
+			injected[r.Key] = true
+		}
+		for _, r := range m2.ExportPristine() {
+			if injected[r.Key] {
+				t.Errorf("%s: injected record %+v re-exported", name, r.Key)
+			}
+		}
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	w := progs.ByName("stdio")
+	m1 := analysis.NewSummaryMemo()
+	_, _, _ = optimizeWithMemo(t, w.Source, m1)
+	recs := m1.ExportPristine()
+	if len(recs) == 0 {
+		t.Fatal("no records to corrupt")
+	}
+	g := func() *ir.Program {
+		p, err := icbe.Compile(w.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Graph()
+	}
+
+	corrupt := func(mutate func([]analysis.PortableRecord)) int {
+		cp := make([]analysis.PortableRecord, len(recs))
+		copy(cp, recs)
+		for i := range cp {
+			cp[i].Pairs = append([]analysis.PortablePair(nil), recs[i].Pairs...)
+			cp[i].Touched = append([]ir.NodeID(nil), recs[i].Touched...)
+			cp[i].Nested = append([]analysis.PortableKey(nil), recs[i].Nested...)
+		}
+		mutate(cp)
+		return analysis.NewSummaryMemo().Inject(g(), cp)
+	}
+
+	if n := corrupt(func(r []analysis.PortableRecord) { r[0].Key.Exit = 1 << 20 }); n >= len(recs) {
+		t.Errorf("out-of-range exit accepted (%d records)", n)
+	}
+	if n := corrupt(func(r []analysis.PortableRecord) { r[0].Key.Op = pred.Op(99) }); n >= len(recs) {
+		t.Errorf("malformed predicate op accepted (%d records)", n)
+	}
+	if n := corrupt(func(r []analysis.PortableRecord) {
+		if len(r[0].Pairs) > 0 {
+			r[0].Pairs[0].Var = 1 << 24
+		}
+	}); len(recs) > 0 && len(recs[0].Pairs) > 0 && n >= len(recs) {
+		t.Errorf("out-of-range pair var accepted (%d records)", n)
+	}
+	if n := corrupt(func(r []analysis.PortableRecord) {
+		if len(r[0].Touched) > 1 {
+			r[0].Touched[0], r[0].Touched[1] = r[0].Touched[1], r[0].Touched[0]
+		}
+	}); len(recs[0].Touched) > 1 && n >= len(recs) {
+		t.Errorf("unsorted touched set accepted (%d records)", n)
+	}
+	// A record whose nested summary is missing must be dropped too.
+	if n := corrupt(func(r []analysis.PortableRecord) {
+		for i := range r {
+			if len(r[i].Nested) > 0 {
+				r[i].Nested[0].C = 123456789
+			}
+		}
+	}); n > len(recs) {
+		t.Errorf("dangling nested key accepted (%d records)", n)
+	}
+	// The nested-closure filter keeps the committed-nested invariant.
+	m := analysis.NewSummaryMemo()
+	dangling := []analysis.PortableRecord{{
+		Key:    recs[0].Key,
+		Nested: []analysis.PortableKey{{Exit: recs[0].Key.Exit, Var: 0, Op: pred.Eq, C: 424242}},
+	}}
+	if n := m.Inject(g(), dangling); n != 0 {
+		t.Errorf("record with unresolvable nested key accepted (%d)", n)
+	}
+}

@@ -1,0 +1,279 @@
+package ir
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"icbe/internal/pred"
+)
+
+// The codec's wire format version. Bump whenever the wire structs change
+// incompatibly; DecodeProgram rejects other versions so a store can never
+// misinterpret entries written by a different build.
+const codecVersion = 1
+
+// Decode bounds: a corrupted or hostile payload must not be able to make the
+// decoder allocate unbounded arenas before validation gets a chance to run.
+const (
+	maxDecodeNodes = 1 << 22
+	maxDecodeVars  = 1 << 22
+	maxDecodeProcs = 1 << 16
+	maxDecodeEdges = 1 << 24
+)
+
+type wireOperand struct {
+	Const   int64 `json:"c,omitempty"`
+	Var     VarID `json:"v,omitempty"`
+	IsConst bool  `json:"k,omitempty"`
+}
+
+type wireRHS struct {
+	Kind  RHSKind     `json:"kind"`
+	Const int64       `json:"const,omitempty"`
+	A     wireOperand `json:"a,omitempty"`
+	B     wireOperand `json:"b,omitempty"`
+	Src   VarID       `json:"src,omitempty"`
+	Op    BinOp       `json:"op,omitempty"`
+}
+
+type wireNode struct {
+	ID        NodeID      `json:"id"`
+	Kind      NodeKind    `json:"kind"`
+	Proc      int         `json:"proc"`
+	Line      int         `json:"line,omitempty"`
+	Synthetic bool        `json:"syn,omitempty"`
+	Dst       VarID       `json:"dst,omitempty"`
+	RHS       *wireRHS    `json:"rhs,omitempty"`
+	CondVar   VarID       `json:"cvar,omitempty"`
+	CondOp    pred.Op     `json:"cop,omitempty"`
+	CondRHS   wireOperand `json:"crhs,omitempty"`
+	AVar      VarID       `json:"avar,omitempty"`
+	APredOp   pred.Op     `json:"apop,omitempty"`
+	APredC    int64       `json:"apc,omitempty"`
+	Ptr       VarID       `json:"ptr,omitempty"`
+	Idx       wireOperand `json:"idx,omitempty"`
+	Val       wireOperand `json:"val,omitempty"`
+	Callee    int         `json:"callee,omitempty"`
+	Args      []VarID     `json:"args,omitempty"`
+	Succs     []NodeID    `json:"succs,omitempty"`
+	Preds     []NodeID    `json:"preds,omitempty"`
+}
+
+type wireVar struct {
+	ID   VarID   `json:"id"`
+	Name string  `json:"name"`
+	Kind VarKind `json:"kind"`
+	Proc int     `json:"proc"`
+	Init int64   `json:"init,omitempty"`
+}
+
+type wireProc struct {
+	Name    string   `json:"name"`
+	Index   int      `json:"index"`
+	Formals []VarID  `json:"formals,omitempty"`
+	RetVar  VarID    `json:"retvar"`
+	Entries []NodeID `json:"entries,omitempty"`
+	Exits   []NodeID `json:"exits,omitempty"`
+}
+
+type wireProgram struct {
+	Version     int         `json:"version"`
+	Procs       []*wireProc `json:"procs"`
+	Vars        []*wireVar  `json:"vars"`
+	NumNodes    int         `json:"num_nodes"`
+	Nodes       []*wireNode `json:"nodes"` // live nodes only, ascending ID
+	MainProc    int         `json:"main_proc"`
+	SourceLines int         `json:"source_lines,omitempty"`
+}
+
+// EncodeProgram serializes a program to a deterministic, versioned byte
+// stream: identical programs (including arena numbering, names, and source
+// lines) encode to identical bytes, so the encoding doubles as an exact
+// identity fingerprint for the result cache.
+func EncodeProgram(p *Program) []byte {
+	wp := &wireProgram{
+		Version:     codecVersion,
+		MainProc:    p.MainProc,
+		SourceLines: p.SourceLines,
+		NumNodes:    len(p.Nodes),
+	}
+	for _, pr := range p.Procs {
+		wp.Procs = append(wp.Procs, &wireProc{
+			Name:    pr.Name,
+			Index:   pr.Index,
+			Formals: pr.Formals,
+			RetVar:  pr.RetVar,
+			Entries: pr.Entries,
+			Exits:   pr.Exits,
+		})
+	}
+	for _, v := range p.Vars {
+		wp.Vars = append(wp.Vars, &wireVar{
+			ID:   v.ID,
+			Name: v.Name,
+			Kind: v.Kind,
+			Proc: v.Proc,
+			Init: v.Init,
+		})
+	}
+	for _, n := range p.Nodes {
+		if n == nil {
+			continue
+		}
+		wn := &wireNode{
+			ID:        n.ID,
+			Kind:      n.Kind,
+			Proc:      n.Proc,
+			Line:      n.Line,
+			Synthetic: n.Synthetic,
+			Dst:       n.Dst,
+			CondVar:   n.CondVar,
+			CondOp:    n.CondOp,
+			CondRHS:   wireOp(n.CondRHS),
+			AVar:      n.AVar,
+			APredOp:   n.APred.Op,
+			APredC:    n.APred.C,
+			Ptr:       n.Ptr,
+			Idx:       wireOp(n.Idx),
+			Val:       wireOp(n.Val),
+			Callee:    n.Callee,
+			Args:      n.Args,
+			Succs:     n.Succs,
+			Preds:     n.Preds,
+		}
+		if n.Kind == NAssign || n.Kind == NCallExit {
+			r := wireRHS{
+				Kind:  n.RHS.Kind,
+				Const: n.RHS.Const,
+				A:     wireOp(n.RHS.A),
+				B:     wireOp(n.RHS.B),
+				Src:   n.RHS.Src,
+				Op:    n.RHS.Op,
+			}
+			wn.RHS = &r
+		}
+		wp.Nodes = append(wp.Nodes, wn)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(wp); err != nil {
+		// All wire types are plain data; Marshal cannot fail on them.
+		panic("ir: encode: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func wireOp(o Operand) wireOperand {
+	return wireOperand{Const: o.Const, Var: o.Var, IsConst: o.IsConst}
+}
+
+func irOp(o wireOperand) Operand {
+	return Operand{Const: o.Const, Var: o.Var, IsConst: o.IsConst}
+}
+
+// DecodeProgram parses a program previously written by EncodeProgram. It
+// never panics on malformed input: structural damage surfaces as an error
+// here or, for semantic damage the codec cannot see, in the Validate /
+// invariant pass the store runs on the decoded result (verify-on-read).
+func DecodeProgram(data []byte) (*Program, error) {
+	var wp wireProgram
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wp); err != nil {
+		return nil, fmt.Errorf("ir: decode: %w", err)
+	}
+	if wp.Version != codecVersion {
+		return nil, fmt.Errorf("ir: decode: wire version %d, want %d", wp.Version, codecVersion)
+	}
+	if wp.NumNodes < 0 || wp.NumNodes > maxDecodeNodes ||
+		len(wp.Nodes) > wp.NumNodes ||
+		len(wp.Vars) > maxDecodeVars ||
+		len(wp.Procs) > maxDecodeProcs {
+		return nil, fmt.Errorf("ir: decode: arena bounds out of range")
+	}
+	edges := 0
+	for _, wn := range wp.Nodes {
+		if wn == nil {
+			return nil, fmt.Errorf("ir: decode: null node record")
+		}
+		edges += len(wn.Succs) + len(wn.Preds)
+		if edges > maxDecodeEdges {
+			return nil, fmt.Errorf("ir: decode: edge count out of range")
+		}
+	}
+
+	p := &Program{
+		MainProc:    wp.MainProc,
+		SourceLines: wp.SourceLines,
+	}
+	p.Vars = make([]*Var, len(wp.Vars))
+	vblock := make([]Var, len(wp.Vars))
+	for i, wv := range wp.Vars {
+		if wv == nil {
+			return nil, fmt.Errorf("ir: decode: null var record")
+		}
+		if wv.ID != VarID(i) {
+			return nil, fmt.Errorf("ir: decode: var %d has id %d", i, wv.ID)
+		}
+		vblock[i] = Var{ID: wv.ID, Name: wv.Name, Kind: wv.Kind, Proc: wv.Proc, Init: wv.Init}
+		p.Vars[i] = &vblock[i]
+	}
+	p.Procs = make([]*Proc, len(wp.Procs))
+	for i, wpr := range wp.Procs {
+		if wpr == nil {
+			return nil, fmt.Errorf("ir: decode: null proc record")
+		}
+		p.Procs[i] = &Proc{
+			Name:    wpr.Name,
+			Index:   wpr.Index,
+			Formals: wpr.Formals,
+			RetVar:  wpr.RetVar,
+			Entries: wpr.Entries,
+			Exits:   wpr.Exits,
+		}
+	}
+	p.Nodes = make([]*Node, wp.NumNodes)
+	nblock := make([]Node, len(wp.Nodes))
+	prev := NodeID(-1)
+	for i, wn := range wp.Nodes {
+		if wn.ID <= prev || int(wn.ID) >= wp.NumNodes {
+			return nil, fmt.Errorf("ir: decode: node id %d out of order or range", wn.ID)
+		}
+		prev = wn.ID
+		n := &nblock[i]
+		*n = Node{
+			ID:        wn.ID,
+			Kind:      wn.Kind,
+			Proc:      wn.Proc,
+			Line:      wn.Line,
+			Synthetic: wn.Synthetic,
+			Dst:       wn.Dst,
+			CondVar:   wn.CondVar,
+			CondOp:    wn.CondOp,
+			CondRHS:   irOp(wn.CondRHS),
+			AVar:      wn.AVar,
+			APred:     pred.Pred{Op: wn.APredOp, C: wn.APredC},
+			Ptr:       wn.Ptr,
+			Idx:       irOp(wn.Idx),
+			Val:       irOp(wn.Val),
+			Callee:    wn.Callee,
+			Args:      wn.Args,
+			Succs:     wn.Succs,
+			Preds:     wn.Preds,
+		}
+		if wn.RHS != nil {
+			n.RHS = RHS{
+				Kind:  wn.RHS.Kind,
+				Const: wn.RHS.Const,
+				A:     irOp(wn.RHS.A),
+				B:     irOp(wn.RHS.B),
+				Src:   wn.RHS.Src,
+				Op:    wn.RHS.Op,
+			}
+		}
+		p.Nodes[wn.ID] = n
+	}
+	return p, nil
+}

@@ -1,0 +1,610 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+	"sort"
+)
+
+// Sum is a 32-byte SHA-256 content hash.
+type Sum [32]byte
+
+// Hex returns the lowercase hex encoding of the sum.
+func (s Sum) Hex() string { return hex.EncodeToString(s[:]) }
+
+// ProcHash carries the content identity of one procedure: a Local hash over
+// its own nodes, edges, and operands (independent of names, source lines,
+// arena IDs, and callee identity) and a Closure hash that additionally folds
+// in the closure hashes of every callee, so two procedures share a Closure
+// only when their whole call trees are structurally identical. The canonical
+// node and variable orders used to compute the hash are retained so callers
+// can translate node/var references between any two procedures that share a
+// Closure (the summary store persists records in canonical coordinates).
+type ProcHash struct {
+	Index   int
+	Local   Sum
+	Closure Sum
+
+	nodes   []NodeID // canonical order
+	nodeIdx map[NodeID]int32
+	vars    []VarID // canonical order, proc-owned only
+	varIdx  map[VarID]int32
+	callees []int // callee proc indices in first-appearance (slot) order
+}
+
+// NodeCount returns the number of live nodes in the procedure.
+func (ph *ProcHash) NodeCount() int { return len(ph.nodes) }
+
+// NodeAt returns the NodeID at the given canonical index.
+func (ph *ProcHash) NodeAt(i int32) (NodeID, bool) {
+	if i < 0 || int(i) >= len(ph.nodes) {
+		return NoNode, false
+	}
+	return ph.nodes[i], true
+}
+
+// NodeIndex returns the canonical index of a node of this procedure.
+func (ph *ProcHash) NodeIndex(id NodeID) (int32, bool) {
+	i, ok := ph.nodeIdx[id]
+	return i, ok
+}
+
+// VarCount returns the number of procedure-owned variables.
+func (ph *ProcHash) VarCount() int { return len(ph.vars) }
+
+// VarAt returns the VarID at the given canonical index.
+func (ph *ProcHash) VarAt(i int32) (VarID, bool) {
+	if i < 0 || int(i) >= len(ph.vars) {
+		return NoVar, false
+	}
+	return ph.vars[i], true
+}
+
+// VarIndex returns the canonical index of a procedure-owned variable.
+func (ph *ProcHash) VarIndex(id VarID) (int32, bool) {
+	i, ok := ph.varIdx[id]
+	return i, ok
+}
+
+// ProgramHash is the canonical, order-independent content hash of a whole
+// program plus the per-procedure tables needed to remap references.
+type ProgramHash struct {
+	// Sum identifies the program content: main procedure closure, the
+	// multiset of all procedure closures, and the global variable
+	// signatures. It is independent of procedure/local names, source lines,
+	// arena numbering, and declaration order.
+	Sum Sum
+
+	procs     []*ProcHash
+	globals   []VarID // sorted by name
+	globalIdx map[VarID]int32
+	byClosure map[Sum]*ProcHash
+}
+
+// NumProcs returns the number of procedures.
+func (h *ProgramHash) NumProcs() int { return len(h.procs) }
+
+// Proc returns the hash tables for the procedure with the given index.
+func (h *ProgramHash) Proc(i int) *ProcHash {
+	if i < 0 || i >= len(h.procs) {
+		return nil
+	}
+	return h.procs[i]
+}
+
+// ByClosure returns the first procedure (lowest index) whose Closure matches.
+func (h *ProgramHash) ByClosure(sum Sum) *ProcHash { return h.byClosure[sum] }
+
+// GlobalCount returns the number of global variables.
+func (h *ProgramHash) GlobalCount() int { return len(h.globals) }
+
+// GlobalAt returns the VarID of the global at the given canonical index
+// (globals are ordered by name).
+func (h *ProgramHash) GlobalAt(i int32) (VarID, bool) {
+	if i < 0 || int(i) >= len(h.globals) {
+		return NoVar, false
+	}
+	return h.globals[i], true
+}
+
+// GlobalIndex returns the canonical index of a global variable.
+func (h *ProgramHash) GlobalIndex(id VarID) (int32, bool) {
+	i, ok := h.globalIdx[id]
+	return i, ok
+}
+
+// hasher wraps a SHA-256 stream with primitive writers. Every write is
+// length- or tag-delimited so distinct field sequences cannot collide by
+// concatenation.
+type hasher struct {
+	h   hash.Hash
+	buf [9]byte
+}
+
+func newHasher() *hasher { return &hasher{h: sha256.New()} }
+
+func (w *hasher) u8(b byte) {
+	w.buf[0] = b
+	w.h.Write(w.buf[:1])
+}
+
+func (w *hasher) i32(v int32) {
+	u := uint32(v)
+	w.buf[0], w.buf[1], w.buf[2], w.buf[3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+	w.h.Write(w.buf[:4])
+}
+
+func (w *hasher) i64(v int64) {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		w.buf[i] = byte(u >> (8 * i))
+	}
+	w.h.Write(w.buf[:8])
+}
+
+func (w *hasher) str(s string) {
+	w.i32(int32(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w *hasher) sum() Sum {
+	var s Sum
+	w.h.Sum(s[:0])
+	return s
+}
+
+// HashProgram computes the canonical content hash of a program. The program
+// must be structurally sound (ir.Validate-clean); deleted nodes are skipped.
+//
+// The hash is computed in canonical coordinates: nodes are numbered by a
+// deterministic depth-first traversal from each procedure's entries
+// (successor order preserved — branch arms are significant), variables by
+// formals, return variable, then first reference in canonical node order.
+// Local hashes refer to callees by call-appearance slot, not by name, so
+// renaming a procedure or reordering declarations does not change any hash;
+// Closure hashes are the fixpoint of folding callee closures into the local
+// hash, which distinguishes procedures by their entire call tree while
+// remaining well-defined for recursion.
+func HashProgram(p *Program) *ProgramHash {
+	h := &ProgramHash{
+		globalIdx: make(map[VarID]int32),
+		byClosure: make(map[Sum]*ProcHash),
+	}
+
+	// Global table: sorted by name (ties broken by ID for determinism in the
+	// face of duplicate names, which sema rejects anyway).
+	for _, v := range p.Vars {
+		if v != nil && v.IsGlobal() {
+			h.globals = append(h.globals, v.ID)
+		}
+	}
+	sort.Slice(h.globals, func(i, j int) bool {
+		a, b := p.Var(h.globals[i]), p.Var(h.globals[j])
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.ID < b.ID
+	})
+	for i, id := range h.globals {
+		h.globalIdx[id] = int32(i)
+	}
+
+	// Bucket live nodes by owning procedure once (ProcNodes per proc is
+	// quadratic in arena size).
+	procNodes := make([][]*Node, len(p.Procs))
+	for _, n := range p.Nodes {
+		if n != nil && n.Proc >= 0 && n.Proc < len(procNodes) {
+			procNodes[n.Proc] = append(procNodes[n.Proc], n)
+		}
+	}
+
+	h.procs = make([]*ProcHash, len(p.Procs))
+	for i, pr := range p.Procs {
+		h.procs[i] = hashProc(p, pr, procNodes[i], h)
+	}
+
+	// Closure fixpoint: iterate until the equality partition over closure
+	// sums stabilizes (color refinement converges in ≤ numProcs rounds; the
+	// cap is a safety net).
+	n := len(h.procs)
+	cl := make([]Sum, n)
+	for i, ph := range h.procs {
+		cl[i] = ph.Local
+	}
+	maxIter := n + 2
+	if maxIter > 64 {
+		maxIter = 64
+	}
+	for it := 0; it < maxIter; it++ {
+		next := make([]Sum, n)
+		for i, ph := range h.procs {
+			w := newHasher()
+			w.str("icbe-closure-v1")
+			w.h.Write(ph.Local[:])
+			for _, callee := range ph.callees {
+				if callee >= 0 && callee < n {
+					w.h.Write(cl[callee][:])
+				} else {
+					w.u8('?')
+					w.i32(int32(callee))
+				}
+			}
+			next[i] = w.sum()
+		}
+		if samePartition(cl, next) {
+			cl = next
+			break
+		}
+		cl = next
+	}
+	for i, ph := range h.procs {
+		ph.Closure = cl[i]
+		if _, dup := h.byClosure[ph.Closure]; !dup {
+			h.byClosure[ph.Closure] = ph
+		}
+	}
+
+	// Program sum: main closure, sorted closure multiset, global signatures.
+	w := newHasher()
+	w.str("icbe-program-v1")
+	w.i32(int32(len(h.procs)))
+	if p.MainProc >= 0 && p.MainProc < len(h.procs) {
+		w.h.Write(h.procs[p.MainProc].Closure[:])
+	}
+	sorted := make([]Sum, len(cl))
+	copy(sorted, cl)
+	sort.Slice(sorted, func(i, j int) bool {
+		for k := range sorted[i] {
+			if sorted[i][k] != sorted[j][k] {
+				return sorted[i][k] < sorted[j][k]
+			}
+		}
+		return false
+	})
+	for _, s := range sorted {
+		w.h.Write(s[:])
+	}
+	w.i32(int32(len(h.globals)))
+	for _, id := range h.globals {
+		v := p.Var(id)
+		w.str(v.Name)
+		w.i64(v.Init)
+	}
+	h.Sum = w.sum()
+	return h
+}
+
+// samePartition reports whether two sum slices induce the same equality
+// partition over indices (i ~ j iff a[i]==a[j] iff b[i]==b[j]).
+func samePartition(a, b []Sum) bool {
+	rep := make(map[Sum]Sum, len(a))
+	seen := make(map[Sum]bool, len(b))
+	for i := range a {
+		if r, ok := rep[a[i]]; ok {
+			if r != b[i] {
+				return false
+			}
+		} else {
+			if seen[b[i]] {
+				return false
+			}
+			rep[a[i]] = b[i]
+			seen[b[i]] = true
+		}
+	}
+	return true
+}
+
+func hashProc(p *Program, pr *Proc, nodes []*Node, prog *ProgramHash) *ProcHash {
+	ph := &ProcHash{
+		Index:   pr.Index,
+		nodeIdx: make(map[NodeID]int32, len(nodes)),
+		varIdx:  make(map[VarID]int32),
+	}
+
+	// Canonical node order: DFS from entries in declared order, successor
+	// order preserved, then any remaining proc nodes in ID order so every
+	// live node gets a coordinate.
+	seen := make(map[NodeID]bool, len(nodes))
+	var stack []NodeID
+	for i := len(pr.Entries) - 1; i >= 0; i-- {
+		stack = append(stack, pr.Entries[i])
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		n := p.Node(id)
+		if n == nil || n.Proc != pr.Index {
+			continue
+		}
+		seen[id] = true
+		ph.nodeIdx[id] = int32(len(ph.nodes))
+		ph.nodes = append(ph.nodes, id)
+		for i := len(n.Succs) - 1; i >= 0; i-- {
+			s := n.Succs[i]
+			if sn := p.Node(s); sn != nil && sn.Proc == pr.Index && !seen[s] {
+				stack = append(stack, s)
+			}
+		}
+	}
+	rest := make([]NodeID, 0)
+	for _, n := range nodes {
+		if !seen[n.ID] {
+			rest = append(rest, n.ID)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	for _, id := range rest {
+		ph.nodeIdx[id] = int32(len(ph.nodes))
+		ph.nodes = append(ph.nodes, id)
+	}
+
+	// Canonical var order: formals, return variable, then first reference in
+	// canonical node order, then any remaining proc-owned vars by ID.
+	addVar := func(id VarID) {
+		if id == NoVar {
+			return
+		}
+		v := p.Var(id)
+		if v.IsGlobal() || v.Proc != pr.Index {
+			return
+		}
+		if _, ok := ph.varIdx[id]; ok {
+			return
+		}
+		ph.varIdx[id] = int32(len(ph.vars))
+		ph.vars = append(ph.vars, id)
+	}
+	for _, f := range pr.Formals {
+		addVar(f)
+	}
+	addVar(pr.RetVar)
+	var refs []VarID
+	for _, id := range ph.nodes {
+		refs = appendNodeVarRefs(p.Node(id), refs[:0])
+		for _, v := range refs {
+			addVar(v)
+		}
+	}
+	var ownedRest []VarID
+	for _, v := range p.Vars {
+		if v != nil && !v.IsGlobal() && v.Proc == pr.Index {
+			if _, ok := ph.varIdx[v.ID]; !ok {
+				ownedRest = append(ownedRest, v.ID)
+			}
+		}
+	}
+	sort.Slice(ownedRest, func(i, j int) bool { return ownedRest[i] < ownedRest[j] })
+	for _, id := range ownedRest {
+		ph.varIdx[id] = int32(len(ph.vars))
+		ph.vars = append(ph.vars, id)
+	}
+
+	// Callee slots: first call appearance in canonical node order.
+	slot := make(map[int]int)
+	calleeSlot := func(c int) int {
+		if s, ok := slot[c]; ok {
+			return s
+		}
+		s := len(ph.callees)
+		slot[c] = s
+		ph.callees = append(ph.callees, c)
+		return s
+	}
+	for _, id := range ph.nodes {
+		n := p.Node(id)
+		if n.Kind == NCall || n.Kind == NCallExit {
+			calleeSlot(n.Callee)
+		}
+	}
+
+	// Local hash.
+	w := newHasher()
+	w.str("icbe-proc-v1")
+	w.i32(int32(len(pr.Formals)))
+	writeVarRef(w, p, ph, prog, pr.RetVar)
+	w.i32(int32(len(pr.Entries)))
+	for _, e := range pr.Entries {
+		w.i32(ph.nodeIdx[e])
+	}
+	w.i32(int32(len(pr.Exits)))
+	for _, e := range pr.Exits {
+		w.i32(ph.nodeIdx[e])
+	}
+	w.i32(int32(len(ph.nodes)))
+	for _, id := range ph.nodes {
+		hashNode(w, p, ph, prog, pr, slot, p.Node(id))
+	}
+	ph.Local = w.sum()
+	return ph
+}
+
+// appendNodeVarRefs appends the variables a node references, in a fixed
+// per-kind field order, including NoVar placeholders' absence (NoVar and
+// constant operands contribute nothing).
+func appendNodeVarRefs(n *Node, dst []VarID) []VarID {
+	add := func(v VarID) {
+		if v != NoVar {
+			dst = append(dst, v)
+		}
+	}
+	addOp := func(o Operand) {
+		if !o.IsConst {
+			add(o.Var)
+		}
+	}
+	switch n.Kind {
+	case NAssign:
+		add(n.Dst)
+		switch n.RHS.Kind {
+		case RCopy, RNeg, RByte:
+			add(n.RHS.Src)
+		case RBinop:
+			addOp(n.RHS.A)
+			addOp(n.RHS.B)
+		case RLoad:
+			add(n.RHS.Src)
+			addOp(n.RHS.A)
+		case RAlloc:
+			addOp(n.RHS.A)
+		}
+	case NCallExit:
+		add(n.Dst)
+	case NCall:
+		for _, a := range n.Args {
+			add(a)
+		}
+	case NBranch:
+		add(n.CondVar)
+		addOp(n.CondRHS)
+	case NAssert:
+		add(n.AVar)
+	case NStore:
+		add(n.Ptr)
+		addOp(n.Idx)
+		addOp(n.Val)
+	case NPrint:
+		addOp(n.Val)
+	}
+	return dst
+}
+
+// writeVarRef hashes a variable reference in canonical coordinates: locals
+// by canonical index, globals by (name, init) signature — global identity is
+// part of program meaning, local names are not.
+func writeVarRef(w *hasher, p *Program, ph *ProcHash, prog *ProgramHash, id VarID) {
+	if id == NoVar {
+		w.u8(0xFF)
+		return
+	}
+	v := p.Var(id)
+	if v.IsGlobal() {
+		w.u8('g')
+		w.str(v.Name)
+		w.i64(v.Init)
+		return
+	}
+	if i, ok := ph.varIdx[id]; ok {
+		w.u8('l')
+		w.i32(i)
+		return
+	}
+	// Foreign-proc reference: structurally invalid, but hash it
+	// deterministically rather than panicking on a corrupted graph.
+	w.u8('?')
+	w.i32(int32(id))
+}
+
+func writeOperand(w *hasher, p *Program, ph *ProcHash, prog *ProgramHash, o Operand) {
+	if o.IsConst {
+		w.u8('c')
+		w.i64(o.Const)
+		return
+	}
+	writeVarRef(w, p, ph, prog, o.Var)
+}
+
+func hashNode(w *hasher, p *Program, ph *ProcHash, prog *ProgramHash, pr *Proc, slot map[int]int, n *Node) {
+	w.u8(uint8(n.Kind))
+	if n.Synthetic {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	switch n.Kind {
+	case NAssign:
+		writeVarRef(w, p, ph, prog, n.Dst)
+		w.u8(uint8(n.RHS.Kind))
+		switch n.RHS.Kind {
+		case RConst:
+			w.i64(n.RHS.Const)
+		case RCopy, RNeg, RByte:
+			writeVarRef(w, p, ph, prog, n.RHS.Src)
+		case RBinop:
+			w.u8(uint8(n.RHS.Op))
+			writeOperand(w, p, ph, prog, n.RHS.A)
+			writeOperand(w, p, ph, prog, n.RHS.B)
+		case RLoad:
+			writeVarRef(w, p, ph, prog, n.RHS.Src)
+			writeOperand(w, p, ph, prog, n.RHS.A)
+		case RAlloc:
+			writeOperand(w, p, ph, prog, n.RHS.A)
+		}
+	case NCallExit:
+		writeVarRef(w, p, ph, prog, n.Dst)
+		w.i32(int32(slot[n.Callee]))
+		// Which exits of the callee feed this call-site exit (significant
+		// after exit splitting). Positions are sorted: pred order is not.
+		var exits []int32
+		for _, m := range n.Preds {
+			mn := p.Node(m)
+			if mn == nil || mn.Kind != NExit || mn.Proc == pr.Index {
+				continue
+			}
+			if mn.Proc >= 0 && mn.Proc < len(p.Procs) {
+				for i, e := range p.Procs[mn.Proc].Exits {
+					if e == m {
+						exits = append(exits, int32(i))
+					}
+				}
+			}
+		}
+		sort.Slice(exits, func(i, j int) bool { return exits[i] < exits[j] })
+		w.i32(int32(len(exits)))
+		for _, e := range exits {
+			w.i32(e)
+		}
+	case NCall:
+		w.i32(int32(slot[n.Callee]))
+		w.i32(int32(len(n.Args)))
+		for _, a := range n.Args {
+			writeVarRef(w, p, ph, prog, a)
+		}
+	case NBranch:
+		writeVarRef(w, p, ph, prog, n.CondVar)
+		w.u8(uint8(n.CondOp))
+		writeOperand(w, p, ph, prog, n.CondRHS)
+	case NAssert:
+		writeVarRef(w, p, ph, prog, n.AVar)
+		w.u8(uint8(n.APred.Op))
+		w.i64(n.APred.C)
+	case NStore:
+		writeVarRef(w, p, ph, prog, n.Ptr)
+		writeOperand(w, p, ph, prog, n.Idx)
+		writeOperand(w, p, ph, prog, n.Val)
+	case NPrint:
+		writeOperand(w, p, ph, prog, n.Val)
+	}
+	// Successors: same-proc edges by canonical index in order (branch arm
+	// order is significant); the edge into a callee entry by callee slot and
+	// entry position. Cross-proc exit→call-site-exit successors are the
+	// caller's structure, not this procedure's, and are excluded so a
+	// procedure's hash does not depend on who calls it.
+	w.u8('S')
+	for _, s := range n.Succs {
+		sn := p.Node(s)
+		if sn == nil {
+			continue
+		}
+		if sn.Proc == pr.Index {
+			w.u8('s')
+			w.i32(ph.nodeIdx[s])
+		} else if sn.Kind == NEntry && sn.Proc >= 0 && sn.Proc < len(p.Procs) {
+			w.u8('e')
+			w.i32(int32(slot[sn.Proc]))
+			pos := int32(-1)
+			for i, e := range p.Procs[sn.Proc].Entries {
+				if e == s {
+					pos = int32(i)
+					break
+				}
+			}
+			w.i32(pos)
+		}
+	}
+	w.u8('E')
+}

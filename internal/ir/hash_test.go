@@ -1,0 +1,218 @@
+package ir_test
+
+import (
+	"testing"
+
+	"icbe"
+	"icbe/internal/ir"
+	"icbe/internal/progs"
+)
+
+func compileT(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := icbe.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p.Graph()
+}
+
+func TestHashStableAcrossRecompiles(t *testing.T) {
+	for _, w := range progs.All() {
+		a := ir.HashProgram(compileT(t, w.Source))
+		b := ir.HashProgram(compileT(t, w.Source))
+		if a.Sum != b.Sum {
+			t.Errorf("%s: recompiling the same source changed the program hash", w.Name)
+		}
+		if a.NumProcs() != b.NumProcs() {
+			t.Fatalf("%s: proc count changed", w.Name)
+		}
+		for i := 0; i < a.NumProcs(); i++ {
+			if a.Proc(i).Closure != b.Proc(i).Closure {
+				t.Errorf("%s: proc %d closure changed across recompiles", w.Name, i)
+			}
+		}
+	}
+}
+
+func TestHashIgnoresNamesAndLayout(t *testing.T) {
+	base := `
+var g;
+func f(x) {
+	if (x < 10) { return 1; }
+	return 0;
+}
+func main() {
+	var a = input();
+	var r = f(a);
+	print(r);
+	return 0;
+}
+`
+	// Same program with the procedure and locals renamed and extra blank
+	// lines shifting every source line.
+	renamed := `
+var g;
+
+func check(value) {
+
+	if (value < 10) { return 1; }
+	return 0;
+}
+
+func main() {
+	var tmp = input();
+
+	var res = check(tmp);
+	print(res);
+	return 0;
+}
+`
+	a := ir.HashProgram(compileT(t, base))
+	b := ir.HashProgram(compileT(t, renamed))
+	if a.Sum != b.Sum {
+		t.Errorf("renaming procedures/locals and shifting lines changed the canonical hash")
+	}
+}
+
+func TestHashDistinguishesContent(t *testing.T) {
+	base := `
+func main() {
+	var a = input();
+	if (a < 10) { print(1); }
+	return 0;
+}
+`
+	changedConst := `
+func main() {
+	var a = input();
+	if (a < 11) { print(1); }
+	return 0;
+}
+`
+	flippedArms := `
+func main() {
+	var a = input();
+	if (a < 10) { } else { print(1); }
+	return 0;
+}
+`
+	h := func(src string) ir.Sum { return ir.HashProgram(compileT(t, src)).Sum }
+	if h(base) == h(changedConst) {
+		t.Errorf("changing a branch constant did not change the hash")
+	}
+	if h(base) == h(flippedArms) {
+		t.Errorf("swapping branch arms did not change the hash")
+	}
+}
+
+func TestHashGlobalRenameChangesSum(t *testing.T) {
+	a := compileT(t, `
+var g;
+func main() { g = input(); print(g); return 0; }
+`)
+	b := compileT(t, `
+var h;
+func main() { h = input(); print(h); return 0; }
+`)
+	if ir.HashProgram(a).Sum == ir.HashProgram(b).Sum {
+		t.Errorf("renaming a global did not change the hash (globals are program identity)")
+	}
+}
+
+func TestHashCanonicalTablesCoverProgram(t *testing.T) {
+	for _, w := range progs.All() {
+		g := compileT(t, w.Source)
+		h := ir.HashProgram(g)
+		live := 0
+		g.LiveNodes(func(n *ir.Node) {
+			live++
+			ph := h.Proc(n.Proc)
+			if ph == nil {
+				t.Fatalf("%s: node %d owned by unknown proc %d", w.Name, n.ID, n.Proc)
+			}
+			i, ok := ph.NodeIndex(n.ID)
+			if !ok {
+				t.Fatalf("%s: node %d has no canonical index", w.Name, n.ID)
+			}
+			back, ok := ph.NodeAt(i)
+			if !ok || back != n.ID {
+				t.Fatalf("%s: canonical index %d of proc %d does not round-trip node %d", w.Name, i, n.Proc, n.ID)
+			}
+		})
+		total := 0
+		for i := 0; i < h.NumProcs(); i++ {
+			total += h.Proc(i).NodeCount()
+		}
+		if total != live {
+			t.Errorf("%s: canonical node tables cover %d nodes, program has %d live", w.Name, total, live)
+		}
+		for _, v := range g.Vars {
+			if v.IsGlobal() {
+				if _, ok := h.GlobalIndex(v.ID); !ok {
+					t.Errorf("%s: global %q missing from global table", w.Name, v.Name)
+				}
+				continue
+			}
+			ph := h.Proc(v.Proc)
+			if ph == nil {
+				continue
+			}
+			i, ok := ph.VarIndex(v.ID)
+			if !ok {
+				t.Errorf("%s: var %d (%s) has no canonical index", w.Name, v.ID, v.Name)
+				continue
+			}
+			if back, ok := ph.VarAt(i); !ok || back != v.ID {
+				t.Errorf("%s: canonical var index %d does not round-trip var %d", w.Name, i, v.ID)
+			}
+		}
+		// Procedures must be findable by closure for summary sharing.
+		for i := 0; i < h.NumProcs(); i++ {
+			if h.ByClosure(h.Proc(i).Closure) == nil {
+				t.Errorf("%s: proc %d not reachable via ByClosure", w.Name, i)
+			}
+		}
+	}
+}
+
+func TestHashRecursionTerminates(t *testing.T) {
+	src := `
+func odd(n) {
+	if (n == 0) { return 0; }
+	var r = even(n - 1);
+	return r;
+}
+func even(n) {
+	if (n == 0) { return 1; }
+	var r = odd(n - 1);
+	return r;
+}
+func main() {
+	var x = input();
+	var r = even(x);
+	print(r);
+	return 0;
+}
+`
+	g := compileT(t, src)
+	h := ir.HashProgram(g)
+	h2 := ir.HashProgram(g)
+	if h.Sum != h2.Sum {
+		t.Errorf("recursive program hash not deterministic")
+	}
+	// odd and even have distinct bodies (return 0 vs 1) so their closures
+	// must differ even though their call structure is symmetric.
+	var odd, even ir.Sum
+	for i := 0; i < h.NumProcs(); i++ {
+		switch g.Procs[i].Name {
+		case "odd":
+			odd = h.Proc(i).Closure
+		case "even":
+			even = h.Proc(i).Closure
+		}
+	}
+	if odd == even {
+		t.Errorf("mutually recursive procs with distinct bodies share a closure hash")
+	}
+}

@@ -70,6 +70,14 @@ type DriverOptions struct {
 	// branch whose analysis deadline expires is reported with a timeout
 	// failure and left unoptimized; the driver moves on.
 	BranchTimeout time.Duration
+	// Memo, when non-nil, is used as the run's summary memo instead of a
+	// fresh one, letting a caller seed the run with records replayed from a
+	// persisted store (analysis.SummaryMemo.Inject) and harvest the run's
+	// own pristine records afterwards (ExportPristine). The driver still
+	// owns the commit points. Ignored unless the analysis options enable
+	// summary memoization. The memo must not be shared between concurrent
+	// driver runs.
+	Memo *analysis.SummaryMemo
 	// Verify enables the differential shadow-execution oracle: after each
 	// applied restructuring the pre- and post-apply programs are run over
 	// VerifyInputs plus built-in input vectors, and any output difference
@@ -264,7 +272,11 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 	// analysis.SummaryMemo for the invalidation contract).
 	var memo *analysis.SummaryMemo
 	if aopts.MemoSummaries && aopts.Interprocedural {
-		memo = analysis.NewSummaryMemo()
+		if opts.Memo != nil {
+			memo = opts.Memo
+		} else {
+			memo = analysis.NewSummaryMemo()
+		}
 	}
 	ctx := opts.Ctx
 	if ctx == nil {

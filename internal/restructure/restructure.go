@@ -138,7 +138,57 @@ func (r *rest) origOf(id ir.NodeID) ir.NodeID {
 }
 
 func (r *rest) queriesAt(id ir.NodeID) []*analysis.Query {
-	return r.res.QueriesAt(r.origOf(id))
+	return canonicalQueries(r.res.QueriesAt(r.origOf(id)))
+}
+
+// canonicalQueries reorders a node's queries by content instead of raise
+// order. Raise order is a propagation-schedule artifact: a run replaying
+// memoized summaries interns a summary's pairs consecutively, while a fresh
+// run interleaves them, so the two runs hand mainLoop the same query sets in
+// different orders. mainLoop acts on the first splittable query it sees, and
+// that choice decides the IDs of every node the split creates — iteration
+// must therefore be a function of content for a seeded run to emit the same
+// program as a cold one. The key is unique within a node: the analysis
+// interns one query per (var, pred, owner) and one summary entry per
+// (exit, var, pred), so no two queries at a node compare equal.
+func canonicalQueries(qs []*analysis.Query) []*analysis.Query {
+	if len(qs) < 2 {
+		return qs
+	}
+	out := make([]*analysis.Query, len(qs))
+	copy(out, qs)
+	sort.Slice(out, func(i, j int) bool { return queryLess(out[i], out[j]) })
+	return out
+}
+
+func queryLess(a, b *analysis.Query) bool {
+	if a.Var != b.Var {
+		return a.Var < b.Var
+	}
+	if a.P.Op != b.P.Op {
+		return a.P.Op < b.P.Op
+	}
+	if a.P.C != b.P.C {
+		return a.P.C < b.P.C
+	}
+	ao, bo := a.Owner, b.Owner
+	if (ao == nil) != (bo == nil) {
+		return ao == nil // conditional's own queries before summary queries
+	}
+	if ao == nil {
+		return false
+	}
+	if ao.Exit != bo.Exit {
+		return ao.Exit < bo.Exit
+	}
+	aq, bq := ao.Qsn, bo.Qsn
+	if aq.Var != bq.Var {
+		return aq.Var < bq.Var
+	}
+	if aq.P.Op != bq.P.Op {
+		return aq.P.Op < bq.P.Op
+	}
+	return aq.P.C < bq.P.C
 }
 
 func (r *rest) resolvedAt(id ir.NodeID, q *analysis.Query) (analysis.AnswerSet, bool) {

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -137,6 +139,38 @@ func TestDrainCancelExpiredContext(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("request hung after drain cancellation")
+	}
+}
+
+// TestDrainShedCarriesRetryAfter pins the contract that every retryable
+// shed — the drain path included — tells the client when to come back: a
+// rolling restart must read as "retry in a moment", not a hard failure.
+func TestDrainShedCarriesRetryAfter(t *testing.T) {
+	s, ts := newTestService(t, Config{})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	body, err := json.Marshal(OptimizeRequest{Program: okSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Reason != "draining" {
+		t.Fatalf("shed reason = %q, want draining", e.Reason)
 	}
 }
 

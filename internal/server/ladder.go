@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"icbe"
+	"icbe/internal/analysis"
 )
 
 // Tier is one rung of the degradation ladder, ordered from the full-fidelity
@@ -72,7 +73,10 @@ func (t Tier) configure(o icbe.Options) icbe.Options {
 const minAttemptBudget = 2 * time.Millisecond
 
 // Attempt records one ladder rung's outcome for the response's attempts
-// trace, so a degraded response shows how it got there.
+// trace, so a degraded response shows how it got there. It carries no wall
+// time: response bodies are cacheable content-addressed artifacts, and every
+// field in them must be a pure function of (program, request shape). Timing
+// travels in the X-Icbe-Elapsed-Ms response header instead.
 type Attempt struct {
 	Tier string `json:"tier"`
 	// Outcome is "ok", "error" (the optimizer returned an error, e.g. a
@@ -83,7 +87,6 @@ type Attempt struct {
 	// Failures holds the attempt's contained per-branch failure counts by
 	// kind, even when the attempt succeeded.
 	Failures map[string]int `json:"failures,omitempty"`
-	WallMS   float64        `json:"wall_ms"`
 }
 
 // ladderResult is the terminal outcome of one request's descent.
@@ -92,6 +95,9 @@ type ladderResult struct {
 	prog     *icbe.Program // optimized program (the input program for passthrough)
 	report   *icbe.Report  // nil for passthrough
 	attempts []Attempt
+	// memo is the summary memo the winning attempt ran with (nil without a
+	// memo factory); its pristine records feed the durable summary store.
+	memo *analysis.SummaryMemo
 	// kinds aggregates every failure kind observed across the attempts —
 	// contained driver failures plus the server-level "panic"/"timeout"
 	// classifications — and feeds the per-kind circuit breakers.
@@ -103,7 +109,10 @@ type ladderResult struct {
 // runLadder descends the degradation ladder for one admitted request. The
 // context carries the request deadline; each attempt gets half the remaining
 // budget so the ladder always reaches passthrough with time to respond.
-func (s *Server) runLadder(ctx context.Context, prog *icbe.Program, base icbe.Options, start Tier) *ladderResult {
+// memoFor, when non-nil, supplies each attempt a fresh summary memo (seeded
+// from the store): fresh per attempt, because a failed attempt may have
+// committed partial rounds that must not leak into the next rung's replay.
+func (s *Server) runLadder(ctx context.Context, prog *icbe.Program, base icbe.Options, start Tier, memoFor func() *analysis.SummaryMemo) *ladderResult {
 	lr := &ladderResult{kinds: make(map[string]int)}
 	backoff := s.cfg.BackoffBase
 	for tier := start; ; tier++ {
@@ -119,13 +128,15 @@ func (s *Server) runLadder(ctx context.Context, prog *icbe.Program, base icbe.Op
 			lr.retries++
 			continue
 		}
+		if memoFor != nil {
+			base.SummaryMemo = memoFor()
+		}
 		actx, cancel := context.WithTimeout(ctx, budget)
-		t0 := time.Now()
 		opt, rep, err, panicked := optimizeAttempt(actx, prog, tier.configure(base))
 		expired := actx.Err() != nil
 		cancel()
 
-		a := Attempt{Tier: tier.String(), Outcome: "ok", WallMS: float64(time.Since(t0)) / float64(time.Millisecond)}
+		a := Attempt{Tier: tier.String(), Outcome: "ok"}
 		if rep != nil {
 			a.Failures = rep.Stats.Failures
 			for k, n := range rep.Stats.Failures {
@@ -152,7 +163,7 @@ func (s *Server) runLadder(ctx context.Context, prog *icbe.Program, base icbe.Op
 		}
 		lr.attempts = append(lr.attempts, a)
 		if a.Outcome == "ok" {
-			lr.tier, lr.prog, lr.report = tier, opt, rep
+			lr.tier, lr.prog, lr.report, lr.memo = tier, opt, rep, base.SummaryMemo
 			return lr
 		}
 		lr.retries++

@@ -37,7 +37,9 @@ import (
 	"time"
 
 	"icbe"
+	"icbe/internal/ir"
 	"icbe/internal/reportjson"
+	"icbe/internal/store"
 )
 
 // Config tunes the service. The zero value is usable: every field has a
@@ -65,9 +67,21 @@ type Config struct {
 	// Breaker tunes the per-FailureKind circuit breakers.
 	Breaker BreakerConfig
 
+	// CacheEntries bounds the in-memory result cache; StoreDir roots the
+	// durable store. With both zero (the default) the server computes every
+	// request fresh — caching is strictly opt-in, because a cache entry is
+	// a served response and operators must choose to persist those.
+	CacheEntries int
+	StoreDir     string
+	// StoreFS overrides the store's filesystem (nil = the real one); the
+	// fault-injection seam for chaos tests.
+	StoreFS store.FS
+
 	// now and sleep are test seams (nil = real clock / timer sleep).
 	now   func() time.Time
 	sleep func(ctx context.Context, d time.Duration)
+	// storeCfg fully overrides the derived store configuration (test seam).
+	storeCfg *store.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +130,7 @@ type Server struct {
 	adm       *admission
 	brk       *breakerSet
 	met       *metrics
+	store     *store.Store // nil = caching disabled
 	draining  atomic.Bool
 	wg        sync.WaitGroup
 	baseCtx   context.Context
@@ -126,7 +141,7 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	baseCtx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		adm:       newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.MaxInFlightBytes),
 		brk:       newBreakerSet(cfg.Breaker, cfg.clock()),
@@ -134,6 +149,18 @@ func New(cfg Config) *Server {
 		baseCtx:   baseCtx,
 		cancelAll: cancel,
 	}
+	if cfg.storeCfg != nil {
+		s.store, _ = store.Open(*cfg.storeCfg)
+	} else if cfg.CacheEntries > 0 || cfg.StoreDir != "" {
+		// A store that cannot open its directory still serves memory-only;
+		// the error is not fatal by design (store-degraded, not down).
+		s.store, _ = store.Open(store.Config{
+			CacheEntries: cfg.CacheEntries,
+			Dir:          cfg.StoreDir,
+			FS:           cfg.StoreFS,
+		})
+	}
+	return s
 }
 
 // Handler returns the service's HTTP mux: POST /optimize, GET /healthz,
@@ -178,6 +205,10 @@ func (s *Server) Stats() StatsSnapshot {
 	breakers, ceiling := s.brk.snapshot()
 	snap.Breakers = breakers
 	snap.Ceiling = ceiling.String()
+	if s.store != nil {
+		st := s.store.Stats()
+		snap.Store = &st
+	}
 	return snap
 }
 
@@ -216,15 +247,21 @@ type RequestOptions struct {
 // OptimizeResponse is the /optimize response body. Tier labels the rung that
 // produced the result; Degraded is set whenever that is not the full
 // configuration, and Attempts traces the descent.
+//
+// The body is deterministic: every field is a pure function of the program
+// and the request shape, never of timing, worker scheduling, or cache
+// warmth — which is what lets the store replay a body byte-identically.
+// Elapsed time is reported in the X-Icbe-Elapsed-Ms header, and the cache
+// disposition (hit-memory, hit-disk, coalesced, miss, bypass) in
+// X-Icbe-Cache.
 type OptimizeResponse struct {
-	Tier      string             `json:"tier"`
-	Degraded  bool               `json:"degraded"`
-	Attempts  []Attempt          `json:"attempts"`
-	Report    *reportjson.Report `json:"report,omitempty"`
-	Dump      string             `json:"dump,omitempty"`
-	Output    []int64            `json:"output,omitempty"`
-	RunError  string             `json:"run_error,omitempty"`
-	ElapsedMS float64            `json:"elapsed_ms"`
+	Tier     string             `json:"tier"`
+	Degraded bool               `json:"degraded"`
+	Attempts []Attempt          `json:"attempts"`
+	Report   *reportjson.Report `json:"report,omitempty"`
+	Dump     string             `json:"dump,omitempty"`
+	Output   []int64            `json:"output,omitempty"`
+	RunError string             `json:"run_error,omitempty"`
 }
 
 type errorResponse struct {
@@ -244,6 +281,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		s.met.shedOne("draining")
+		// A draining instance is a retryable condition like any other shed:
+		// the replacement instance (or this one, if the drain is a rolling
+		// restart) will take the request shortly.
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining", Reason: "draining"})
 		return
 	}
@@ -292,10 +333,61 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	s.met.admit()
 
 	t0 := time.Now()
+
+	// L1: an exact repeat (same source text, same request shape) serves
+	// straight from the store — no compile, no hash, no optimizer.
+	var fp store.Fingerprint
+	var l1 store.ResultKey
+	if s.store != nil {
+		fp = s.fingerprintRequest(&req)
+		l1 = store.KeyForSource(req.Program, fp)
+		if l2, ok := s.store.SourceKey(l1); ok {
+			if ent, src := s.store.GetResult(l2); ent != nil {
+				s.met.cacheServe(time.Since(t0))
+				writeRaw(w, http.StatusOK, ent.Body, "hit-"+src, time.Since(t0))
+				return
+			}
+		}
+	}
+
 	prog, err := icbe.Compile(req.Program)
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error(), Reason: "compile"})
 		return
+	}
+
+	// L2: the content-addressed key — canonically equal programs submitted
+	// as different source layouts coalesce here. On a miss, join the
+	// singleflight so a stampede on one key computes once.
+	var l2 store.ResultKey
+	var ph *ir.ProgramHash
+	var flight *store.Flight
+	leader := false
+	if s.store != nil {
+		l2, ph = cacheKeys(prog, fp)
+		s.store.MapSource(l1, l2)
+		if ent, src := s.store.GetResult(l2); ent != nil {
+			s.met.cacheServe(time.Since(t0))
+			writeRaw(w, http.StatusOK, ent.Body, "hit-"+src, time.Since(t0))
+			return
+		}
+		flight, leader = s.store.BeginFlight(l2)
+		if !leader {
+			if ent := s.store.WaitFlight(ctx, flight); ent != nil {
+				s.met.cacheServe(time.Since(t0))
+				writeRaw(w, http.StatusOK, ent.Body, "coalesced", time.Since(t0))
+				return
+			}
+			// The leader published nothing (degraded result) or our own
+			// deadline fired first: compute for ourselves, publish nothing.
+			flight = nil
+		}
+	}
+	var published *store.Entry
+	if leader {
+		// Whatever happens below — including a contained panic — the
+		// flight must resolve, or waiters would idle out their deadlines.
+		defer func() { s.store.FinishFlight(l2, flight, published) }()
 	}
 
 	tier, probes := s.brk.admitTier()
@@ -305,30 +397,20 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			s.brk.abortProbe(probes)
 		}
 	}()
-	lr := s.runLadder(ctx, prog, s.baseOptions(req.Options), tier)
+	base := s.baseOptions(req.Options)
+	lr := s.runLadder(ctx, prog, base, tier, s.memoFactory(prog, ph, base))
 	s.brk.record(lr.kinds, probes)
 	recorded = true
 
-	resp := OptimizeResponse{
-		Tier:     lr.tier.String(),
-		Degraded: lr.tier != TierFull,
-		Attempts: lr.attempts,
-		Report:   reportjson.FromReport(lr.report),
-	}
-	if !req.NoDump {
-		resp.Dump = lr.prog.Dump()
-	}
-	if req.Run || len(req.Input) > 0 {
-		if res, err := lr.prog.Run(req.Input); err != nil {
-			resp.RunError = err.Error()
-		} else {
-			resp.Output = res.Output
-		}
+	body := buildBody(lr, &req)
+	cacheStatus := "bypass"
+	if s.store != nil && cacheable(lr) {
+		published = s.persistResult(prog, ph, l2, base, lr, body)
+		cacheStatus = "miss"
 	}
 	elapsed := time.Since(t0)
-	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 	s.met.complete(lr, elapsed)
-	writeJSON(w, http.StatusOK, resp)
+	writeRaw(w, http.StatusOK, body, cacheStatus, elapsed)
 }
 
 // baseOptions builds the pre-tier option set for one request.

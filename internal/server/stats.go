@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"icbe/internal/reportjson"
+	"icbe/internal/store"
 )
 
 // latencyWindow bounds the sample ring used for the latency percentiles.
@@ -16,19 +17,20 @@ const latencyWindow = 4096
 // /stats endpoint serializes a snapshot; the driver-counter aggregate reuses
 // the reportjson encoding so the service and `icbe -json` can never drift.
 type metrics struct {
-	mu        sync.Mutex
-	start     time.Time
-	requests  int64
-	admitted  int64
-	completed int64
-	degraded  int64
-	retries   int64
-	panics    int64 // handler panics contained by the recovery middleware
-	shed      map[string]int64
-	tiers     map[string]int64
-	failures  map[string]int64
-	driver    reportjson.DriverStats
-	runs      int64
+	mu          sync.Mutex
+	start       time.Time
+	requests    int64
+	admitted    int64
+	completed   int64
+	degraded    int64
+	retries     int64
+	panics      int64 // handler panics contained by the recovery middleware
+	shed        map[string]int64
+	tiers       map[string]int64
+	failures    map[string]int64
+	driver      reportjson.DriverStats
+	runs        int64
+	cacheServed int64 // responses served from the store, no driver run
 
 	lat  []float64 // rolling latency samples, milliseconds
 	next int
@@ -69,6 +71,18 @@ func (m *metrics) panicContained() {
 	m.mu.Unlock()
 }
 
+// cacheServe folds a store-served response into the aggregates. Cached
+// bodies are always full-tier (nothing else enters the store), count toward
+// completion and latency, but add no driver counters — no driver ran.
+func (m *metrics) cacheServe(latency time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed++
+	m.cacheServed++
+	m.tiers[TierFull.String()]++
+	m.observeLatency(latency)
+}
+
 // complete folds one terminal response into the aggregates.
 func (m *metrics) complete(lr *ladderResult, latency time.Duration) {
 	m.mu.Lock()
@@ -86,6 +100,12 @@ func (m *metrics) complete(lr *ladderResult, latency time.Duration) {
 		m.driver.Add(reportjson.FromDriverStats(lr.report.Stats))
 		m.runs++
 	}
+	m.observeLatency(latency)
+}
+
+// observeLatency records one sample into the rolling window; callers hold
+// m.mu.
+func (m *metrics) observeLatency(latency time.Duration) {
 	ms := float64(latency) / float64(time.Millisecond)
 	if len(m.lat) < latencyWindow {
 		m.lat = append(m.lat, ms)
@@ -124,6 +144,8 @@ type StatsSnapshot struct {
 	Failures      map[string]int64         `json:"failures,omitempty"`
 	Driver        reportjson.DriverStats   `json:"driver"`
 	OptimizeRuns  int64                    `json:"optimize_runs"`
+	CacheServed   int64                    `json:"cache_served"`
+	Store         *store.Snapshot          `json:"store,omitempty"`
 	Breakers      map[string]BreakerStatus `json:"breakers"`
 	Ceiling       string                   `json:"ceiling"`
 	LatencyMS     LatencyStats             `json:"latency_ms"`
@@ -146,6 +168,7 @@ func (m *metrics) snapshot(now time.Time) StatsSnapshot {
 		Failures:      copyInt64s(m.failures),
 		Driver:        m.driver,
 		OptimizeRuns:  m.runs,
+		CacheServed:   m.cacheServed,
 		Goroutines:    runtime.NumGoroutine(),
 	}
 	s.Driver.Failures = copyInts(m.driver.Failures)

@@ -1,0 +1,55 @@
+package store
+
+import "context"
+
+// Flight is one in-progress computation for a result key, shared by every
+// request that arrived while it was running (stampede control). The first
+// caller of BeginFlight becomes the leader and must call FinishFlight exactly
+// once; the rest wait on the leader's published entry.
+//
+// The leader publishes only a cacheable full-fidelity result. When it
+// finishes with nothing (the run degraded, truncated, or failed), waiters
+// wake empty-handed and compute for themselves — a degraded body is shaped
+// by the leader's deadline, not the waiter's, so it must never be served to
+// a request that still has budget.
+type Flight struct {
+	done chan struct{}
+	ent  *Entry // nil unless published; written once before done closes
+}
+
+// Wait blocks until the leader finishes or ctx expires. It returns the
+// published entry, or nil when the leader published nothing or the waiter's
+// own deadline ran out first (the waiter then falls through to compute).
+func (f *Flight) Wait(ctx context.Context) *Entry {
+	select {
+	case <-f.done:
+		return f.ent
+	case <-ctx.Done():
+		return nil
+	}
+}
+
+// BeginFlight joins or opens the flight for key. leader reports whether the
+// caller must compute (and then FinishFlight); otherwise it should Wait.
+func (s *Store) BeginFlight(key ResultKey) (f *Flight, leader bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.flights[key]; ok {
+		return f, false
+	}
+	f = &Flight{done: make(chan struct{})}
+	s.flights[key] = f
+	return f, true
+}
+
+// FinishFlight closes the leader's flight, publishing e (nil = nothing) to
+// every waiter. Must be called exactly once by the leader, on every path.
+func (s *Store) FinishFlight(key ResultKey, f *Flight, e *Entry) {
+	s.mu.Lock()
+	if s.flights[key] == f {
+		delete(s.flights, key)
+	}
+	s.mu.Unlock()
+	f.ent = e
+	close(f.done)
+}

@@ -1,0 +1,96 @@
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+)
+
+// Entry is one cached optimization result: the response body exactly as it
+// was (and will again be) served, plus the encoded optimized program so a
+// disk read can re-validate the result's IR before trusting it.
+type Entry struct {
+	// Body is the serialized /optimize response body.
+	Body []byte `json:"body"`
+	// Prog is ir.EncodeProgram of the optimized program; empty for results
+	// that carry no program (disabled dumps still carry it — Prog is the
+	// verification artifact, not the user payload).
+	Prog []byte `json:"prog,omitempty"`
+}
+
+// checksum is the entry's self-verification digest, covering both fields
+// with a length prefix so (Body, Prog) boundaries cannot shift.
+func (e *Entry) checksum() [sha256.Size]byte {
+	h := sha256.New()
+	var n [8]byte
+	putU64(n[:], uint64(len(e.Body)))
+	h.Write(n[:])
+	h.Write(e.Body)
+	h.Write(e.Prog)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// lru is a bounded in-memory result cache. Every entry stores the checksum
+// computed at insertion; get re-verifies it so a corrupted (accidentally
+// mutated) entry is dropped rather than served. Not goroutine-safe — the
+// Store serializes access.
+type lru struct {
+	cap  int
+	ll   *list.List // front = most recent
+	byID map[ResultKey]*list.Element
+}
+
+type lruItem struct {
+	key ResultKey
+	ent *Entry
+	sum [sha256.Size]byte
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), byID: make(map[ResultKey]*list.Element)}
+}
+
+func (c *lru) len() int { return c.ll.Len() }
+
+// get returns the entry and whether its checksum still holds. A checksum
+// mismatch removes the entry and returns ok=false with corrupt=true.
+func (c *lru) get(key ResultKey) (e *Entry, ok, corrupt bool) {
+	el, hit := c.byID[key]
+	if !hit {
+		return nil, false, false
+	}
+	it := el.Value.(*lruItem)
+	if it.ent.checksum() != it.sum {
+		c.ll.Remove(el)
+		delete(c.byID, key)
+		return nil, false, true
+	}
+	c.ll.MoveToFront(el)
+	return it.ent, true, false
+}
+
+func (c *lru) put(key ResultKey, e *Entry) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, hit := c.byID[key]; hit {
+		it := el.Value.(*lruItem)
+		it.ent, it.sum = e, e.checksum()
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&lruItem{key: key, ent: e, sum: e.checksum()})
+	c.byID[key] = el
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byID, last.Value.(*lruItem).key)
+	}
+}

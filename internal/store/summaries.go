@@ -1,0 +1,418 @@
+package store
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+
+	"icbe/internal/analysis"
+	"icbe/internal/ir"
+	"icbe/internal/pred"
+)
+
+// Summary persistence.
+//
+// Procedure summaries (analysis.SummaryMemo records) outlive a process by
+// being rewritten into canonical coordinates: every node reference becomes
+// (owning procedure's closure hash, canonical node index) and every variable
+// reference becomes either (closure hash, canonical var index) or, for
+// globals, (name, initial value) — exactly the coordinate system
+// ir.HashProgram defines. Records are grouped by the procedure that owns the
+// summarized exit and stored one file per (procedure closure, summary
+// options fingerprint), so any later program containing a procedure with the
+// same closure hash — same content, transitively through its callees — can
+// replay them, whatever its node numbering.
+//
+// Loading is verify-on-read twice over: the disk layer checks the entry
+// checksum, the translation drops any reference that does not resolve in the
+// receiving program, and analysis.Inject re-validates every surviving record
+// against the live IR before committing it. A summary that fails anywhere is
+// dropped (and the file quarantined for checksum failures); replay is an
+// optimization, never a requirement.
+
+const summaryCodecVersion = 1
+
+// SummaryFingerprint condenses the analysis options that change summary
+// content. Records computed under different options never mix.
+type SummaryFingerprint [2]bool
+
+// NewSummaryFingerprint builds the fingerprint from the two option bits
+// that shape summary closures.
+func NewSummaryFingerprint(arithSubst, modSummaries bool) SummaryFingerprint {
+	return SummaryFingerprint{arithSubst, modSummaries}
+}
+
+func (f SummaryFingerprint) tag() string {
+	b := func(v bool) byte {
+		if v {
+			return '1'
+		}
+		return '0'
+	}
+	return string([]byte{b(f[0]), b(f[1])})
+}
+
+// canonNode is a node reference in canonical coordinates.
+type canonNode struct {
+	Proc string `json:"proc"` // closure hash, hex
+	Idx  int32  `json:"idx"`  // canonical node index within the proc
+}
+
+// canonVar is a variable reference: global by (name, init), local by
+// (closure hash, canonical var index).
+type canonVar struct {
+	Global bool   `json:"global,omitempty"`
+	Name   string `json:"name,omitempty"` // globals only
+	Init   int64  `json:"init,omitempty"` // globals only
+	Proc   string `json:"proc,omitempty"`
+	Idx    int32  `json:"idx,omitempty"`
+}
+
+type canonKey struct {
+	Exit canonNode `json:"exit"`
+	Var  canonVar  `json:"var"`
+	Op   pred.Op   `json:"op"`
+	C    int64     `json:"c"`
+}
+
+type canonPair struct {
+	Node     canonNode          `json:"node"`
+	Var      canonVar           `json:"var"`
+	Op       pred.Op            `json:"op"`
+	C        int64              `json:"c"`
+	Resolved bool               `json:"resolved,omitempty"`
+	Ans      analysis.AnswerSet `json:"ans,omitempty"`
+}
+
+type canonArrival struct {
+	Entry canonNode `json:"entry"`
+	Var   canonVar  `json:"var"`
+	Op    pred.Op   `json:"op"`
+	C     int64     `json:"c"`
+}
+
+type canonRecord struct {
+	Key      canonKey       `json:"key"`
+	Pairs    []canonPair    `json:"pairs,omitempty"`
+	Arrivals []canonArrival `json:"arrivals,omitempty"`
+	Nested   []canonKey     `json:"nested,omitempty"`
+	Touched  []canonNode    `json:"touched,omitempty"`
+}
+
+type summaryFile struct {
+	Version int           `json:"version"`
+	Options string        `json:"options"`
+	Records []canonRecord `json:"records"`
+}
+
+// coords translates between a program's IDs and canonical coordinates.
+type coords struct {
+	p  *ir.Program
+	ph *ir.ProgramHash
+	// nodeOf maps a NodeID to its (proc closure hex, canonical index).
+	nodeOf map[ir.NodeID]canonNode
+	// globalOf maps (name, init) to the global's VarID.
+	globalOf map[globalSig]ir.VarID
+}
+
+type globalSig struct {
+	name string
+	init int64
+}
+
+func newCoords(p *ir.Program, ph *ir.ProgramHash) *coords {
+	c := &coords{p: p, ph: ph, nodeOf: make(map[ir.NodeID]canonNode), globalOf: make(map[globalSig]ir.VarID)}
+	for i := 0; i < ph.NumProcs(); i++ {
+		proc := ph.Proc(i)
+		hexSum := proc.Closure.Hex()
+		for j := 0; j < proc.NodeCount(); j++ {
+			id, _ := proc.NodeAt(int32(j))
+			c.nodeOf[id] = canonNode{Proc: hexSum, Idx: int32(j)}
+		}
+	}
+	for _, v := range p.Vars {
+		if v != nil && v.IsGlobal() {
+			c.globalOf[globalSig{v.Name, v.Init}] = v.ID
+		}
+	}
+	return c
+}
+
+// encodeNode translates a node reference; ok=false when the node is not in
+// any procedure's canonical table (deleted or out of range).
+func (c *coords) encodeNode(id ir.NodeID) (canonNode, bool) {
+	n, ok := c.nodeOf[id]
+	return n, ok
+}
+
+// encodeVar translates a variable reference.
+func (c *coords) encodeVar(id ir.VarID) (canonVar, bool) {
+	if id < 0 || int(id) >= len(c.p.Vars) || c.p.Vars[id] == nil {
+		return canonVar{}, false
+	}
+	v := c.p.Vars[id]
+	if v.IsGlobal() {
+		return canonVar{Global: true, Name: v.Name, Init: v.Init}, true
+	}
+	if v.Proc < 0 || v.Proc >= c.ph.NumProcs() {
+		return canonVar{}, false
+	}
+	proc := c.ph.Proc(v.Proc)
+	idx, ok := proc.VarIndex(id)
+	if !ok {
+		// The var is proc-owned but unreferenced by any live node; it has no
+		// canonical coordinate and the record is not portable.
+		return canonVar{}, false
+	}
+	return canonVar{Proc: proc.Closure.Hex(), Idx: idx}, true
+}
+
+// decodeNode resolves a canonical node reference in the receiving program.
+func (c *coords) decodeNode(n canonNode) (ir.NodeID, bool) {
+	proc := c.procByHex(n.Proc)
+	if proc == nil {
+		return 0, false
+	}
+	return proc.NodeAt(n.Idx)
+}
+
+// decodeVar resolves a canonical variable reference.
+func (c *coords) decodeVar(v canonVar) (ir.VarID, bool) {
+	if v.Global {
+		id, ok := c.globalOf[globalSig{v.Name, v.Init}]
+		return id, ok
+	}
+	proc := c.procByHex(v.Proc)
+	if proc == nil {
+		return 0, false
+	}
+	return proc.VarAt(v.Idx)
+}
+
+func (c *coords) procByHex(h string) *ir.ProcHash {
+	raw, err := hex.DecodeString(h)
+	if err != nil || len(raw) != len(ir.Sum{}) {
+		return nil
+	}
+	var s ir.Sum
+	copy(s[:], raw)
+	return c.ph.ByClosure(s)
+}
+
+// encodeRecord rewrites one portable record into canonical coordinates;
+// ok=false when any reference has no canonical coordinate.
+func (c *coords) encodeRecord(r *analysis.PortableRecord) (canonRecord, bool) {
+	out := canonRecord{}
+	key, ok := c.encodeKey(analysis.PortableKey{Exit: r.Key.Exit, Var: r.Key.Var, Op: r.Key.Op, C: r.Key.C})
+	if !ok {
+		return out, false
+	}
+	out.Key = key
+	for _, p := range r.Pairs {
+		n, ok1 := c.encodeNode(p.Node)
+		v, ok2 := c.encodeVar(p.Var)
+		if !ok1 || !ok2 {
+			return out, false
+		}
+		out.Pairs = append(out.Pairs, canonPair{Node: n, Var: v, Op: p.Op, C: p.C, Resolved: p.Resolved, Ans: p.Ans})
+	}
+	for _, a := range r.Arrivals {
+		n, ok1 := c.encodeNode(a.Entry)
+		v, ok2 := c.encodeVar(a.Var)
+		if !ok1 || !ok2 {
+			return out, false
+		}
+		out.Arrivals = append(out.Arrivals, canonArrival{Entry: n, Var: v, Op: a.Op, C: a.C})
+	}
+	for _, nk := range r.Nested {
+		k, ok := c.encodeKey(nk)
+		if !ok {
+			return out, false
+		}
+		out.Nested = append(out.Nested, k)
+	}
+	for _, id := range r.Touched {
+		n, ok := c.encodeNode(id)
+		if !ok {
+			return out, false
+		}
+		out.Touched = append(out.Touched, n)
+	}
+	return out, true
+}
+
+func (c *coords) encodeKey(k analysis.PortableKey) (canonKey, bool) {
+	n, ok1 := c.encodeNode(k.Exit)
+	v, ok2 := c.encodeVar(k.Var)
+	if !ok1 || !ok2 {
+		return canonKey{}, false
+	}
+	return canonKey{Exit: n, Var: v, Op: k.Op, C: k.C}, true
+}
+
+// decodeRecord resolves one canonical record against the receiving program;
+// ok=false when any reference does not resolve (the record is dropped —
+// analysis.Inject re-validates whatever passes here).
+func (c *coords) decodeRecord(r *canonRecord) (analysis.PortableRecord, bool) {
+	out := analysis.PortableRecord{}
+	key, ok := c.decodeKey(r.Key)
+	if !ok {
+		return out, false
+	}
+	out.Key = key
+	for _, p := range r.Pairs {
+		n, ok1 := c.decodeNode(p.Node)
+		v, ok2 := c.decodeVar(p.Var)
+		if !ok1 || !ok2 {
+			return out, false
+		}
+		out.Pairs = append(out.Pairs, analysis.PortablePair{Node: n, Var: v, Op: p.Op, C: p.C, Resolved: p.Resolved, Ans: p.Ans})
+	}
+	for _, a := range r.Arrivals {
+		n, ok1 := c.decodeNode(a.Entry)
+		v, ok2 := c.decodeVar(a.Var)
+		if !ok1 || !ok2 {
+			return out, false
+		}
+		out.Arrivals = append(out.Arrivals, analysis.PortableArrival{Entry: n, Var: v, Op: a.Op, C: a.C})
+	}
+	for _, nk := range r.Nested {
+		k, ok := c.decodeKey(nk)
+		if !ok {
+			return out, false
+		}
+		out.Nested = append(out.Nested, k)
+	}
+	for _, n := range r.Touched {
+		id, ok := c.decodeNode(n)
+		if !ok {
+			return out, false
+		}
+		out.Touched = append(out.Touched, id)
+	}
+	// Touched sets are sorted in record coordinates; canonical order is a
+	// permutation of node IDs, so re-sort after translation.
+	sort.Slice(out.Touched, func(i, j int) bool { return out.Touched[i] < out.Touched[j] })
+	return out, true
+}
+
+func (c *coords) decodeKey(k canonKey) (analysis.PortableKey, bool) {
+	n, ok1 := c.decodeNode(k.Exit)
+	v, ok2 := c.decodeVar(k.Var)
+	if !ok1 || !ok2 {
+		return analysis.PortableKey{}, false
+	}
+	return analysis.PortableKey{Exit: n, Var: v, Op: k.Op, C: k.C}, true
+}
+
+func summaryName(closure ir.Sum, fp SummaryFingerprint) string {
+	return "sum-" + closure.Hex() + "-" + fp.tag() + ".json"
+}
+
+// SaveSummaries persists a run's pristine summary records, grouped by the
+// procedure owning each summarized exit. Files that already exist are left
+// alone (summary content for a closure is content-addressed; the first
+// writer's records are as good as anyone's). Unportable records are skipped.
+func (s *Store) SaveSummaries(p *ir.Program, ph *ir.ProgramHash, fp SummaryFingerprint, recs []analysis.PortableRecord) {
+	if s.disk == nil || len(recs) == 0 {
+		return
+	}
+	co := newCoords(p, ph)
+	groups := make(map[ir.Sum][]canonRecord)
+	for i := range recs {
+		cn, ok := co.encodeNode(recs[i].Key.Exit)
+		if !ok {
+			continue
+		}
+		cr, ok := co.encodeRecord(&recs[i])
+		if !ok {
+			continue
+		}
+		var closure ir.Sum
+		raw, _ := hex.DecodeString(cn.Proc)
+		copy(closure[:], raw)
+		groups[closure] = append(groups[closure], cr)
+	}
+	for closure, crs := range groups {
+		name := summaryName(closure, fp)
+		if s.disk.exists(name) {
+			continue
+		}
+		payload, err := json.Marshal(summaryFile{Version: summaryCodecVersion, Options: fp.tag(), Records: crs})
+		if err != nil {
+			continue
+		}
+		if s.diskOp(func() error { return s.disk.write(name, kindSummaries, payload) }) {
+			s.mu.Lock()
+			s.sumSaved += int64(len(crs))
+			s.mu.Unlock()
+		}
+	}
+}
+
+// LoadSummaries seeds a memo with every stored summary whose procedure
+// closure appears in the program. Returns the number of records the memo
+// accepted. Corrupt files are quarantined; records that fail translation or
+// Inject's validation are dropped and counted.
+func (s *Store) LoadSummaries(p *ir.Program, ph *ir.ProgramHash, fp SummaryFingerprint, m *analysis.SummaryMemo) int {
+	if s.disk == nil {
+		return 0
+	}
+	co := newCoords(p, ph)
+	seen := make(map[ir.Sum]bool)
+	var recs []analysis.PortableRecord
+	dropped := 0
+	for i := 0; i < ph.NumProcs(); i++ {
+		closure := ph.Proc(i).Closure
+		if seen[closure] {
+			continue
+		}
+		seen[closure] = true
+		name := summaryName(closure, fp)
+		var payload []byte
+		var ok bool
+		var ioErr error
+		if !s.diskOp(func() error {
+			var err error
+			payload, ok, err = s.disk.read(name, kindSummaries)
+			ioErr = err
+			return err
+		}) {
+			if ioErr == errCorrupt {
+				s.countQuarantined()
+			}
+			continue
+		}
+		if !ok {
+			continue
+		}
+		var sf summaryFile
+		if err := json.Unmarshal(payload, &sf); err != nil || sf.Version != summaryCodecVersion || sf.Options != fp.tag() {
+			s.disk.quarantine(name)
+			s.countQuarantined()
+			continue
+		}
+		for j := range sf.Records {
+			pr, ok := co.decodeRecord(&sf.Records[j])
+			if !ok {
+				dropped++
+				continue
+			}
+			recs = append(recs, pr)
+		}
+	}
+	if len(recs) == 0 {
+		if dropped > 0 {
+			s.mu.Lock()
+			s.sumDropped += int64(dropped)
+			s.mu.Unlock()
+		}
+		return 0
+	}
+	accepted := m.Inject(p, recs)
+	s.mu.Lock()
+	s.sumLoaded += int64(accepted)
+	s.sumDropped += int64(dropped + len(recs) - accepted)
+	s.mu.Unlock()
+	return accepted
+}

@@ -1,0 +1,198 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"icbe"
+	"icbe/internal/analysis"
+	"icbe/internal/ir"
+	"icbe/internal/progs"
+	"icbe/internal/store"
+)
+
+func optimizeMemo(t *testing.T, src string, m *analysis.SummaryMemo) (*icbe.Program, *icbe.Report, *ir.Program) {
+	t.Helper()
+	p, err := icbe.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	opts := icbe.DefaultOptions()
+	opts.SummaryMemo = m
+	opt, rep, err := p.Optimize(opts)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	return opt, rep, p.Graph()
+}
+
+func TestSummariesPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fp := store.NewSummaryFingerprint(true, true)
+	for _, name := range []string{"stdio", "lisp"} {
+		w := progs.ByName(name)
+		m1 := analysis.NewSummaryMemo()
+		opt1, rep1, g1 := optimizeMemo(t, w.Source, m1)
+		recs := m1.ExportPristine()
+		if len(recs) == 0 {
+			t.Fatalf("%s: no pristine records", name)
+		}
+
+		s1, err := store.Open(store.Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1.SaveSummaries(g1, ir.HashProgram(g1), fp, recs)
+		if st := s1.Stats(); st.SummariesSaved == 0 {
+			t.Fatalf("%s: nothing saved: %+v", name, st)
+		}
+
+		// A fresh process: compile again, hash, load, replay. The seeded run
+		// must emit the same program as the cold one.
+		s2, err := store.Open(store.Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := icbe.Compile(w.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2 := analysis.NewSummaryMemo()
+		accepted := s2.LoadSummaries(p2.Graph(), ir.HashProgram(p2.Graph()), fp, m2)
+		if accepted == 0 {
+			t.Fatalf("%s: no summaries loaded", name)
+		}
+		opts := icbe.DefaultOptions()
+		opts.SummaryMemo = m2
+		opt2, rep2, err := p2.Optimize(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt1.Dump() != opt2.Dump() {
+			t.Errorf("%s: store-seeded run diverged from cold run", name)
+		}
+		if rep2.Stats.SNEMemoHits < rep1.Stats.SNEMemoHits {
+			t.Errorf("%s: seeded replayed fewer summaries (%d < %d)",
+				name, rep2.Stats.SNEMemoHits, rep1.Stats.SNEMemoHits)
+		}
+	}
+}
+
+func TestSummariesSurviveRenamedProgram(t *testing.T) {
+	// The canonical coordinates are name- and layout-independent for
+	// procedure-local content: a program whose procedures and locals were
+	// renamed shares closure hashes with the original, so its summaries
+	// replay. (Globals are identified by name and do not move.)
+	src := progs.ByName("stdio").Source
+	renamed := strings.NewReplacer(
+		"func getchar(", "func rd_in(", "getchar(", "rd_in(",
+		"func putchar(", "func wr_out(", "putchar(", "wr_out(",
+	).Replace(src)
+	if renamed == src {
+		t.Skip("rename produced no change; source layout shifted under the test")
+	}
+
+	dir := t.TempDir()
+	fp := store.NewSummaryFingerprint(true, true)
+	m1 := analysis.NewSummaryMemo()
+	_, _, g1 := optimizeMemo(t, src, m1)
+	recs := m1.ExportPristine()
+	s, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SaveSummaries(g1, ir.HashProgram(g1), fp, recs)
+
+	p2, err := icbe.Compile(renamed)
+	if err != nil {
+		t.Fatalf("renamed source does not compile: %v", err)
+	}
+	m2 := analysis.NewSummaryMemo()
+	if accepted := s.LoadSummaries(p2.Graph(), ir.HashProgram(p2.Graph()), fp, m2); accepted == 0 {
+		t.Fatal("summaries did not carry over to the renamed program")
+	}
+	opts := icbe.DefaultOptions()
+	opts.SummaryMemo = m2
+	if _, rep, err := p2.Optimize(opts); err != nil {
+		t.Fatal(err)
+	} else if rep.Stats.SNEMemoHits == 0 {
+		t.Fatal("loaded summaries were never replayed")
+	}
+}
+
+func TestSummariesVerifyOnRead(t *testing.T) {
+	dir := t.TempDir()
+	fp := store.NewSummaryFingerprint(true, true)
+	w := progs.ByName("stdio")
+	m1 := analysis.NewSummaryMemo()
+	_, _, g1 := optimizeMemo(t, w.Source, m1)
+	s, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SaveSummaries(g1, ir.HashProgram(g1), fp, m1.ExportPristine())
+
+	// Flip one byte in every stored summary file.
+	names, err := filepath.Glob(filepath.Join(dir, "sum-*.json"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no summary files: %v", err)
+	}
+	for _, n := range names {
+		data, err := os.ReadFile(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(n, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := icbe.Compile(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := analysis.NewSummaryMemo()
+	if accepted := s2.LoadSummaries(p2.Graph(), ir.HashProgram(p2.Graph()), fp, m2); accepted != 0 {
+		t.Fatalf("corrupt summaries accepted: %d", accepted)
+	}
+	st := s2.Stats()
+	if st.Quarantined != int64(len(names)) {
+		t.Fatalf("quarantined %d of %d corrupted files", st.Quarantined, len(names))
+	}
+	// The cold path still works: the memo is empty but usable.
+	opts := icbe.DefaultOptions()
+	opts.SummaryMemo = m2
+	if _, _, err := p2.Optimize(opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummariesOptionsFingerprintIsolation(t *testing.T) {
+	dir := t.TempDir()
+	w := progs.ByName("stdio")
+	m1 := analysis.NewSummaryMemo()
+	_, _, g1 := optimizeMemo(t, w.Source, m1)
+	s, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpA := store.NewSummaryFingerprint(true, true)
+	fpB := store.NewSummaryFingerprint(false, false)
+	s.SaveSummaries(g1, ir.HashProgram(g1), fpA, m1.ExportPristine())
+
+	p2, err := icbe.Compile(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := analysis.NewSummaryMemo()
+	if n := s.LoadSummaries(p2.Graph(), ir.HashProgram(p2.Graph()), fpB, m2); n != 0 {
+		t.Fatalf("records crossed the options fingerprint: %d", n)
+	}
+}

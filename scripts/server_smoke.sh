@@ -21,7 +21,8 @@ json_get() { # json_get <url> <python-expr over parsed object s>
 
 go build -o "$WORK/icbe-serve" ./cmd/icbe-serve
 
-"$WORK/icbe-serve" -addr "127.0.0.1:$PORT" -max-request-bytes 4096 >"$LOG" 2>&1 &
+"$WORK/icbe-serve" -addr "127.0.0.1:$PORT" -max-request-bytes 4096 \
+	-store-dir "$WORK/store" -cache-entries 256 >"$LOG" 2>&1 &
 PID=$!
 
 for _ in $(seq 1 50); do
@@ -66,6 +67,25 @@ d = json.load(open(f"{work}/deadline.out"))
 assert d["tier"] == "passthrough" and d["degraded"], f"deadline request: {d['tier']}"
 EOF
 
+# Cache soak: a fresh program twice — the repeat must be served from the
+# store with a byte-identical body — then a one-character mutation, which is
+# a different content hash and must miss.
+SOAK='func main() { var b = 1; if (b == 1) { print(7); } print(8); }'
+python3 - "$WORK" "$SOAK" <<'EOF'
+import json, sys
+work, soak = sys.argv[1], sys.argv[2]
+open(work + "/soak.json", "w").write(json.dumps({"program": soak, "run": True}))
+open(work + "/mutant.json", "w").write(json.dumps({"program": soak.replace("print(8)", "print(9)"), "run": True}))
+EOF
+curl -fsS -D "$WORK/soak1.hdr" -d @"$WORK/soak.json" "$BASE/optimize" -o "$WORK/soak1.out" || fail "soak request 1"
+curl -fsS -D "$WORK/soak2.hdr" -d @"$WORK/soak.json" "$BASE/optimize" -o "$WORK/soak2.out" || fail "soak request 2"
+curl -fsS -D "$WORK/mutant.hdr" -d @"$WORK/mutant.json" "$BASE/optimize" -o "$WORK/mutant.out" || fail "mutant request"
+grep -qi '^x-icbe-cache: miss' "$WORK/soak1.hdr" || fail "first soak request not a miss: $(grep -i x-icbe-cache "$WORK/soak1.hdr")"
+grep -qi '^x-icbe-cache: hit-' "$WORK/soak2.hdr" || fail "repeat not served from cache: $(grep -i x-icbe-cache "$WORK/soak2.hdr")"
+grep -qi '^x-icbe-cache: miss' "$WORK/mutant.hdr" || fail "mutated program did not miss: $(grep -i x-icbe-cache "$WORK/mutant.hdr")"
+cmp -s "$WORK/soak1.out" "$WORK/soak2.out" || fail "cached repeat differs from its original compute"
+cmp -s "$WORK/soak1.out" "$WORK/mutant.out" && fail "mutant served the unmutated body"
+
 # /stats must reconcile with what we just did, and the request burst must
 # not have leaked goroutines (small tolerance for the HTTP server's own
 # connection handling).
@@ -73,14 +93,18 @@ sleep 0.3
 python3 - "$BASE_GOROUTINES" <<EOF || fail "stats reconciliation"
 import json, sys, urllib.request
 s = json.load(urllib.request.urlopen("$BASE/stats"))
-assert s["requests"] == 10, s["requests"]
-assert s["completed"] == 9, s["completed"]
+assert s["requests"] == 13, s["requests"]
+assert s["completed"] == 12, s["completed"]
 assert s["shed"].get("oversized") == 1, s.get("shed")
-assert s["tiers"].get("full") == 8 and s["tiers"].get("passthrough") == 1, s["tiers"]
+assert s["tiers"].get("full") == 11 and s["tiers"].get("passthrough") == 1, s["tiers"]
 assert s["queue_depth"] == 0 and s["in_flight"] == 0 and s["in_flight_bytes"] == 0
 assert s["ceiling"] == "full" and not s["draining"]
-assert s["latency_ms"]["count"] == 9 and s["latency_ms"]["p99"] > 0
+assert s["latency_ms"]["count"] == 12 and s["latency_ms"]["p99"] > 0
 assert s["goroutines"] <= int(sys.argv[1]) + 4, (s["goroutines"], sys.argv[1])
+st = s["store"]
+assert st["disk_enabled"], st
+assert s["cache_served"] >= 1 and st["hits_memory"] + st["hits_disk"] + st["coalesced"] >= 1, (s["cache_served"], st)
+assert st["quarantined"] == 0 and st["io_errors"] == 0 and st["state"] == "ok", st
 EOF
 
 # Graceful shutdown: SIGTERM, clean exit 0, and the drain completion line.
