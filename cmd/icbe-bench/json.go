@@ -60,6 +60,7 @@ type benchFile struct {
 	Cache      []cacheRecord   `json:"cache,omitempty"`
 	Store      *store.Snapshot `json:"store,omitempty"`
 	Check      []checkRecord   `json:"check"`
+	Stress     *stressRecord   `json:"stress,omitempty"`
 }
 
 // measure times fn like a testing.B loop: one untimed warm-up (so pools and
@@ -105,7 +106,7 @@ func measure(name string, fn func() (pairs int, err error)) (benchRecord, error)
 // NumCPU workers, matching BenchmarkTable2 and BenchmarkDriverWorkers in
 // bench_test.go except that the driver runs with the summary-node memo the
 // production driver enables by default — and writes the results to path.
-func writeBenchJSON(path string, ws []*progs.Workload, termLim int, requireBite bool) error {
+func writeBenchJSON(path string, ws []*progs.Workload, termLim int, requireBite bool, minSpeedup float64) error {
 	out := benchFile{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -197,6 +198,19 @@ func writeBenchJSON(path string, ws []*progs.Workload, termLim int, requireBite 
 		if total == 0 {
 			return fmt.Errorf("check oracle is vacuous: zero SCCP agreements across %d workloads", len(out.Check))
 		}
+	}
+
+	// The adversarial-scale incremental-vs-scratch comparison rides along in
+	// every BENCH_<n>.json so the incremental engine's efficacy diffs across
+	// PRs like every other number.
+	stress, err := measureStress(1)
+	if err != nil {
+		return err
+	}
+	out.Stress = stress
+	if minSpeedup > 0 && stress.ReanalyzeSpeedup < minSpeedup {
+		return fmt.Errorf("incremental re-analysis speedup %.2fx is below the required %.1fx (scratch %.0f ms vs incremental %.0f ms on %d nodes)",
+			stress.ReanalyzeSpeedup, minSpeedup, stress.ReanalyzeScratchMs, stress.ReanalyzeIncrementalMs, stress.Nodes)
 	}
 
 	data, err := json.MarshalIndent(&out, "", "  ")

@@ -38,12 +38,14 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "per-driver-run deadline, e.g. 30s (0 = none)")
 		jsonOut   = flag.String("json", "", "write machine-readable benchmark measurements (ns/op, allocs/op, pairs/sec) to this file, e.g. BENCH_3.json")
 		bite      = flag.Bool("require-check-bite", false, "with -json: exit nonzero if the check rows report zero total SCCP agreements (a vacuous oracle)")
+		stress    = flag.Bool("stress", false, "adversarial scale: optimize and re-analyze a ~100k-node generated program with the incremental engine on and off")
+		minSpeed  = flag.Float64("require-incremental-speedup", 0, "with -json or -stress: exit nonzero if incremental re-analysis of the 100k-node stress program is not this many times faster than from-scratch (0 = no gate)")
 	)
 	flag.Parse()
 	experiments.Workers = *workers
 	experiments.Verify = *verify
 	experiments.Timeout = *timeout
-	if !*all && !*table1 && !*table2 && !*fig9 && !*fig10 && !*fig11 && !*headline && !*inlining && !*heuristic && !*checkRep && *jsonOut == "" {
+	if !*all && !*table1 && !*table2 && !*fig9 && !*fig10 && !*fig11 && !*headline && !*inlining && !*heuristic && !*checkRep && !*stress && *jsonOut == "" {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -59,7 +61,17 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		check(writeBenchJSON(*jsonOut, ws, *termLim, *bite))
+		check(writeBenchJSON(*jsonOut, ws, *termLim, *bite, *minSpeed))
+	}
+	if *stress {
+		rec, err := measureStress(1)
+		check(err)
+		fmt.Println(formatStress(rec))
+		if *minSpeed > 0 && rec.ReanalyzeSpeedup < *minSpeed {
+			fmt.Fprintf(os.Stderr, "icbe-bench: incremental re-analysis speedup %.2fx is below the required %.1fx\n",
+				rec.ReanalyzeSpeedup, *minSpeed)
+			os.Exit(1)
+		}
 	}
 
 	if *all || *table1 {

@@ -96,6 +96,70 @@ func checkGolden(t *testing.T, name, got string) {
 	}
 }
 
+// TestScratchIncrementalEquivalence asserts the incremental engine is
+// invisible in every observable: a driver run with the cross-round engine
+// disabled (Options.Scratch) renders byte-identically — per-conditional
+// reports, counters, optimized-program hash, executed behavior — to the
+// default incremental run, for every workload, generated program, and worker
+// count. The incremental engine may only change the cost of an answer,
+// never the answer.
+func TestScratchIncrementalEquivalence(t *testing.T) {
+	type workload struct {
+		name   string
+		src    string
+		inputs [][]int64
+	}
+	var cases []workload
+	for _, w := range progs.All() {
+		cases = append(cases, workload{name: w.Name, src: w.Source, inputs: [][]int64{w.Train, w.Ref}})
+	}
+	fuzzInputs := [][]int64{nil, {1, 2, 3}, {-5, 0, 7, 9, 1 << 40}}
+	for _, seed := range equivalenceSeeds {
+		cases = append(cases, workload{
+			name:   fmt.Sprintf("randprog-%d", seed),
+			src:    randprog.Generate(seed, fuzzConfig),
+			inputs: fuzzInputs,
+		})
+	}
+	// A reduced hub-and-leaf scale program, so the shape the stress
+	// benchmark gates on is pinned by the equivalence contract too.
+	scaleCfg := randprog.ScaleConfig{
+		Globals: 3, Leaves: 12, LeafStmts: 30, Hubs: 5, Calls: 5, Conds: 3,
+		ChainLeaves: 2, ChainLen: 2,
+	}
+	for _, seed := range []uint64{1, 7} {
+		cases = append(cases, workload{
+			name:   fmt.Sprintf("scale-%d", seed),
+			src:    randprog.Scale(seed, scaleCfg),
+			inputs: [][]int64{{0}, {5}},
+		})
+	}
+	for _, w := range cases {
+		t.Run(w.name, func(t *testing.T) {
+			t.Parallel()
+			golden := ""
+			for _, workers := range []int{1, 4, -1} {
+				opts := DefaultOptions()
+				opts.Timeout = 2 * time.Minute
+				opts.Workers = workers
+				opts.Scratch = true
+				want := renderEquivalence(t, w.src, w.inputs, opts)
+				opts.Scratch = false
+				got := renderEquivalence(t, w.src, w.inputs, opts)
+				if got != want {
+					t.Errorf("workers=%d: incremental run diverged from scratch:\n--- scratch\n%s--- incremental\n%s",
+						workers, want, got)
+				}
+				if golden == "" {
+					golden = want
+				} else if want != golden {
+					t.Errorf("workers=%d: scratch run diverged from workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
 // TestEquivalenceGolden asserts the analysis + restructuring pipeline
 // produces byte-identical reports and optimized programs to the seed
 // map-based implementation, across every benchmark workload and the fuzz

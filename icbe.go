@@ -196,6 +196,11 @@ type Options struct {
 	// counters aside). Only the interprocedural analysis has summaries. The
 	// memo must not be shared between concurrent runs.
 	SummaryMemo *analysis.SummaryMemo
+	// Scratch disables the cross-round incremental engine (summary memo
+	// and root records): every requeued conditional re-analyzes from
+	// scratch. The optimized program and report are identical either way;
+	// Scratch is the baseline for measuring the incremental speedup.
+	Scratch bool
 }
 
 // DefaultOptions returns the paper's main configuration: interprocedural
@@ -285,6 +290,16 @@ type DriverStats struct {
 	SNEMemoEntries int
 	SNEMemoHits    int64
 	CacheBytes     int64
+	// QueriesReused counts node–query pairs reconstructed from memo records
+	// (summary and root-record replays) instead of re-propagated;
+	// SubtreesInvalidated counts cached subtrees dropped because a
+	// restructuring dirtied their recorded region. Their ratio against
+	// PairsTotal is the incremental engine's reuse rate.
+	QueriesReused       int
+	SubtreesInvalidated int64
+	// PairsTotal mirrors Report.PairsTotal (replayed pairs count in both)
+	// so the reuse rate is computable from the stats alone.
+	PairsTotal int
 	// VerifyRuns counts shadow executions performed by the differential
 	// oracle (Options.Verify); VerifyWall is their summed wall time.
 	VerifyRuns int
@@ -373,6 +388,7 @@ func (p *Program) OptimizeContext(ctx context.Context, opts Options) (op *Progra
 		BranchTimeout:  opts.BranchTimeout,
 		Ctx:            opts.Ctx,
 		Memo:           opts.SummaryMemo,
+		Scratch:        opts.Scratch,
 	})
 	if opts.Compact {
 		ir.Simplify(dr.Program)
@@ -384,29 +400,32 @@ func (p *Program) OptimizeContext(ctx context.Context, opts Options) (op *Progra
 		OperationsAfter:  ir.Collect(dr.Program).Operations,
 		Truncated:        dr.Truncated,
 		Stats: DriverStats{
-			Workers:           dr.Stats.Workers,
-			Rounds:            dr.Stats.Rounds,
-			Analyses:          dr.Stats.Analyses,
-			Reanalyses:        dr.Stats.Reanalyses,
-			Clones:            dr.Stats.Clones,
-			ClonesAvoided:     dr.Stats.ClonesAvoided,
-			SNEMemoEntries:    dr.Stats.SNEMemoEntries,
-			SNEMemoHits:       dr.Stats.SNEMemoHits,
-			CacheBytes:        dr.Stats.CacheBytes,
-			VerifyRuns:        dr.Stats.VerifyRuns,
-			VerifyWall:        dr.Stats.VerifyWall,
-			AnalysisWall:      dr.Stats.AnalysisWall,
-			ApplyWall:         dr.Stats.ApplyWall,
-			CheckRuns:         dr.Stats.CheckRuns,
-			CheckWall:         dr.Stats.CheckWall,
-			SCCPAgreements:    dr.Stats.SCCPAgreements,
-			SCCPDisagreements: dr.Stats.SCCPDisagreements,
-			SCCPVacuous:       dr.Stats.SCCPVacuous,
-			SCCPDecided:       dr.Stats.SCCPDecided,
-			SCCPRecall:        dr.Stats.SCCPRecall,
-			SCCPResidual:      dr.Stats.SCCPResidual,
-			CheckFindingsPre:  dr.Stats.CheckFindingsPre,
-			CheckFindingsPost: dr.Stats.CheckFindingsPost,
+			Workers:             dr.Stats.Workers,
+			Rounds:              dr.Stats.Rounds,
+			Analyses:            dr.Stats.Analyses,
+			Reanalyses:          dr.Stats.Reanalyses,
+			Clones:              dr.Stats.Clones,
+			ClonesAvoided:       dr.Stats.ClonesAvoided,
+			SNEMemoEntries:      dr.Stats.SNEMemoEntries,
+			SNEMemoHits:         dr.Stats.SNEMemoHits,
+			CacheBytes:          dr.Stats.CacheBytes,
+			QueriesReused:       dr.Stats.QueriesReused,
+			SubtreesInvalidated: dr.Stats.SubtreesInvalidated,
+			PairsTotal:          dr.Stats.PairsTotal,
+			VerifyRuns:          dr.Stats.VerifyRuns,
+			VerifyWall:          dr.Stats.VerifyWall,
+			AnalysisWall:        dr.Stats.AnalysisWall,
+			ApplyWall:           dr.Stats.ApplyWall,
+			CheckRuns:           dr.Stats.CheckRuns,
+			CheckWall:           dr.Stats.CheckWall,
+			SCCPAgreements:      dr.Stats.SCCPAgreements,
+			SCCPDisagreements:   dr.Stats.SCCPDisagreements,
+			SCCPVacuous:         dr.Stats.SCCPVacuous,
+			SCCPDecided:         dr.Stats.SCCPDecided,
+			SCCPRecall:          dr.Stats.SCCPRecall,
+			SCCPResidual:        dr.Stats.SCCPResidual,
+			CheckFindingsPre:    dr.Stats.CheckFindingsPre,
+			CheckFindingsPost:   dr.Stats.CheckFindingsPost,
 		},
 	}
 	for kind, n := range dr.Stats.Failures {

@@ -171,6 +171,10 @@ type Result struct {
 	// Options.MemoSummaries).
 	CacheHits int
 	MemoHits  int
+	// QueriesReused counts node–query pairs reconstructed from memo
+	// records (summary replays and root-record replays) instead of being
+	// re-propagated — the incremental engine's reuse counter.
+	QueriesReused int
 
 	st *state
 }
@@ -206,6 +210,12 @@ func (r *Result) Visited(n ir.NodeID) bool {
 
 // VisitedNodes lists the visited nodes in first-raise order.
 func (r *Result) VisitedNodes() []ir.NodeID { return r.st.visited }
+
+// VisitedBits returns the visited-node bitset (bit n set when node n hosts
+// at least one pair). The slice aliases pooled storage: it is valid until
+// Release and must not be mutated. The driver intersects it word-wise with
+// its dirty bitset instead of scanning node lists.
+func (r *Result) VisitedBits() []uint64 { return r.st.visitedBits }
 
 // NumVisited counts the visited nodes.
 func (r *Result) NumVisited() int { return len(r.st.visited) }
@@ -304,6 +314,15 @@ type run struct {
 	st        *state
 	res       *Result
 	interrupt func() bool // nil = never; polled during propagation
+
+	// Top-level closure dependencies, collected (only when a memo is
+	// present) while owner-less queries propagate: the summaries the top
+	// level waited on, the call-site linkage nodes it consulted, and every
+	// MOD traverse/skip decision it took. recordRoot packages them into the
+	// conditional's root record; see memo.go.
+	topDeps      []*SNE
+	topLinks     []ir.NodeID
+	topModChecks []modCheck
 }
 
 // AnalyzeBranch runs the demand-driven analysis for one conditional. It
@@ -327,16 +346,38 @@ func (a *Analyzer) AnalyzeBranchInterruptible(b ir.NodeID, interrupt func() bool
 	st := acquireState(len(a.Prog.Nodes), len(a.Prog.Vars))
 	res := &Result{Cond: b, st: st}
 	r := &run{a: a, p: a.Prog, idx: a.idx, st: st, res: res, interrupt: interrupt}
+	cp := node.CondPred()
+	if a.memo != nil && !a.Opts.CacheAnswers {
+		// Incremental path: a surviving root record reconstructs this
+		// conditional's whole analysis; on any validation failure the
+		// partial state is discarded and the run falls through to the
+		// fresh path below (a stale record is never served).
+		if rr := a.memo.lookupRoot(rootKey{cond: b, v: node.CondVar, op: cp.Op, c: cp.C}); rr != nil {
+			if r.replayRoot(rr) {
+				r.rollback()
+				if !res.Truncated {
+					r.recordSNEs()
+				}
+				return res
+			}
+			st.reset()
+			*res = Result{Cond: b, st: st}
+			r.topDeps, r.topLinks, r.topModChecks = nil, nil, nil
+		}
+	}
 	// Raise the initial query at the conditional itself; the branch node is
 	// transparent, so the first processing step propagates it to all
 	// predecessors, and the pair (b, root) collects the union of all
 	// incoming answers, which restructuring uses to split b.
-	res.Root = r.internQuery(node.CondVar, node.CondPred(), nil)
+	res.Root = r.internQuery(node.CondVar, cp, nil)
 	r.raise(b, res.Root)
 	r.propagate()
 	r.rollback()
 	if a.memo != nil && !res.Truncated {
 		r.recordSNEs()
+		if !a.Opts.CacheAnswers {
+			r.recordRoot(b, node.CondVar, cp)
+		}
 	}
 	if a.cache != nil && !res.Truncated {
 		a.mu.Lock()
@@ -576,7 +617,15 @@ func (r *run) processCallExit(pid int32, n *ir.Node, q *Query) {
 		st.resolvePair(pid, AnsUndef)
 		return
 	}
-	if !r.mustTraverse(n.Callee, cv) {
+	must := r.mustTraverse(n.Callee, cv)
+	if q.Owner == nil && r.a.memo != nil {
+		// Root records must revalidate every top-level MOD consultation:
+		// MOD sets can shrink when restructuring deletes nodes, flipping a
+		// traverse into a skip without dirtying any node the top-level
+		// closure touched.
+		r.topModChecks = append(r.topModChecks, modCheck{callee: int32(n.Callee), v: cv, must: must})
+	}
+	if !must {
 		r.raise(call, r.internQuery(cv, cp, q.Owner))
 		return
 	}
@@ -593,6 +642,19 @@ func (r *run) processCallExit(pid int32, n *ir.Node, q *Query) {
 		// replay validity on the call-site linkage consulted here.
 		owner.addDep(s)
 		owner.linkNodes = append(owner.linkNodes, call, exit, en)
+	} else if r.a.memo != nil {
+		// Top-level dependency: mirrored into the run for recordRoot.
+		found := false
+		for _, d := range r.topDeps {
+			if d == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			r.topDeps = append(r.topDeps, s)
+		}
+		r.topLinks = append(r.topLinks, call, exit, en)
 	}
 	w := waiter{node: n.ID, q: q, call: call, entry: en}
 	s.Waiters = append(s.Waiters, w)

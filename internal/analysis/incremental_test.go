@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"testing"
+
+	"icbe/internal/ir"
+	"icbe/internal/pred"
+)
+
+// faultSrc: the conditional on g in main depends on two summaries of callee
+// (which modifies g), so its root record carries dependency records —
+// summary keys, arrival sets, exit answers, and MOD decisions — that replay
+// must validate before trusting the cached subtree.
+const faultSrc = `
+var g = 0;
+func callee(a0) {
+	if (a0 > 0) { g = g + 1; }
+	var x = a0 + 1;
+	x = x + 2;
+	x = x - a0;
+	return x;
+}
+func main() {
+	var h = callee(3);
+	h = callee(h);
+	if (g == 0) { print(1); }
+	print(h);
+	return 0;
+}
+`
+
+// TestRootReplayFaultInjection corrupts a committed root record's dependency
+// bookkeeping in every dimension replay validates — summary keys, arrival
+// sets, exit answers, MOD decisions — and asserts the analyzer never serves
+// a stale answer: every corrupted replay must fail closed into a fresh
+// analysis that reproduces the memo-less baseline exactly (same answers,
+// same pair counters).
+func TestRootReplayFaultInjection(t *testing.T) {
+	p := build(t, faultSrc)
+	b := findBranch(t, p, "g", pred.Eq, 0)
+	opts := Options{Interprocedural: true, ModSummaries: true, MemoSummaries: true}
+
+	fresh := New(p, opts).AnalyzeBranch(b.ID)
+	wantAns := fresh.RootAnswers()
+	wantProcessed := fresh.PairsProcessed
+	wantRaised := fresh.PairsRaised
+
+	cp := b.CondPred()
+	key := rootKey{cond: b.ID, v: b.CondVar, op: cp.Op, c: cp.C}
+
+	// record produces a memo holding one committed root record for the
+	// conditional (plus the summary records its closure waited on).
+	record := func(t *testing.T) *SummaryMemo {
+		t.Helper()
+		m := NewSummaryMemo()
+		r := NewWithMemo(p, opts, m).AnalyzeBranch(b.ID)
+		if r.RootAnswers() != wantAns {
+			t.Fatalf("recording run answers %v, want %v", r.RootAnswers(), wantAns)
+		}
+		m.Commit(nil)
+		if m.roots[key] == nil {
+			t.Fatal("no committed root record for the conditional")
+		}
+		return m
+	}
+
+	// Sanity: an intact record replays, with every pair reused and counters
+	// identical to the baseline — otherwise the corruption cases below would
+	// be vacuously green.
+	m := record(t)
+	rep := NewWithMemo(p, opts, m).AnalyzeBranch(b.ID)
+	if rep.RootAnswers() != wantAns || rep.PairsProcessed != wantProcessed || rep.PairsRaised != wantRaised {
+		t.Fatalf("intact replay diverged: ans=%v pairs=%d/%d, want ans=%v pairs=%d/%d",
+			rep.RootAnswers(), rep.PairsProcessed, rep.PairsRaised, wantAns, wantProcessed, wantRaised)
+	}
+	if rep.QueriesReused == 0 {
+		t.Fatal("intact replay reused nothing; the fault-injection cases would not exercise replay")
+	}
+
+	corrupt := func(name string, mutate func(t *testing.T, rr *rootRecord)) {
+		t.Run(name, func(t *testing.T) {
+			m := record(t)
+			rr := m.roots[key]
+			mutate(t, rr)
+			res := NewWithMemo(p, opts, m).AnalyzeBranch(b.ID)
+			if res.RootAnswers() != wantAns {
+				t.Errorf("stale answers served: got %v, want %v", res.RootAnswers(), wantAns)
+			}
+			if res.PairsProcessed != wantProcessed || res.PairsRaised != wantRaised {
+				t.Errorf("counters diverged from the fresh baseline: pairs=%d/%d, want %d/%d",
+					res.PairsProcessed, res.PairsRaised, wantProcessed, wantRaised)
+			}
+		})
+	}
+
+	corrupt("dep-key", func(t *testing.T, rr *rootRecord) {
+		if len(rr.deps) == 0 {
+			t.Fatal("root record has no dependency records")
+		}
+		rr.deps[0].key.c = 123456789
+	})
+	corrupt("dep-arrivals-dropped", func(t *testing.T, rr *rootRecord) {
+		rr.deps[0].arrivals = nil
+	})
+	corrupt("dep-arrival-var", func(t *testing.T, rr *rootRecord) {
+		if len(rr.deps[0].arrivals) == 0 {
+			t.Fatal("dependency has no arrivals to corrupt")
+		}
+		rr.deps[0].arrivals[0].v++
+	})
+	corrupt("dep-arrival-pred", func(t *testing.T, rr *rootRecord) {
+		if len(rr.deps[0].arrivals) == 0 {
+			t.Fatal("dependency has no arrivals to corrupt")
+		}
+		rr.deps[0].arrivals[0].p.C += 7
+	})
+	corrupt("mod-decision-flipped", func(t *testing.T, rr *rootRecord) {
+		if len(rr.modChecks) == 0 {
+			t.Fatal("root record recorded no MOD decisions")
+		}
+		rr.modChecks[0].must = !rr.modChecks[0].must
+	})
+	corrupt("extra-phantom-dep", func(t *testing.T, rr *rootRecord) {
+		phantom := rr.deps[0]
+		phantom.key.c = 987654321
+		rr.deps = append(rr.deps, phantom)
+	})
+
+	// The region contract: committing a dirty set that intersects the
+	// record's touched nodes must drop it — the next analysis is fresh, not
+	// a replay of a record recorded against a program that no longer exists.
+	t.Run("touched-invalidation", func(t *testing.T) {
+		m := record(t)
+		rr := m.roots[key]
+		if len(rr.touched) == 0 {
+			t.Fatal("root record has an empty region")
+		}
+		m.Commit(map[ir.NodeID]bool{rr.touched[0]: true})
+		if m.roots[key] != nil {
+			t.Fatal("root record survived a commit that dirtied its region")
+		}
+		res := NewWithMemo(p, opts, m).AnalyzeBranch(b.ID)
+		if res.RootAnswers() != wantAns {
+			t.Errorf("post-invalidation answers %v, want %v", res.RootAnswers(), wantAns)
+		}
+	})
+}

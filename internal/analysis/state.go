@@ -69,10 +69,19 @@ type state struct {
 	// Per-node side tables, indexed by NodeID; nodeQ holds the queries
 	// raised at each node in raise order (the paper's Q[n]) and nodePair
 	// the parallel pair IDs. visited lists the nodes with at least one
-	// pair, in first-raise order — it is also the reset list.
-	nodeQ    [][]*Query
-	nodePair [][]int32
-	visited  []ir.NodeID
+	// pair, in first-raise order — it is also the reset list. visitedBits
+	// mirrors visited as a bitset (bit n set when node n hosts a pair) so
+	// the driver's dirty-set intersection is a word-wise AND instead of a
+	// per-node scan.
+	nodeQ       [][]*Query
+	nodePair    [][]int32
+	visited     []ir.NodeID
+	visitedBits []uint64
+
+	// pairFinal marks pairs whose rolled-back answers and suppliers were
+	// restored from a memo record (see memo.go): rollback seeds them as
+	// settled fixpoint sources and never recomputes them.
+	pairFinal []bool
 
 	// Query interning: queries by ID, backed by a chunked arena so the
 	// Query values are reused across runs; per-variable chains via
@@ -107,6 +116,11 @@ func acquireState(numNodes, numVars int) *state {
 	}
 	st.nodeQ = st.nodeQ[:numNodes]
 	st.nodePair = st.nodePair[:numNodes]
+	words := (numNodes + 63) / 64
+	if cap(st.visitedBits) < words {
+		st.visitedBits = make([]uint64, words)
+	}
+	st.visitedBits = st.visitedBits[:words]
 	if cap(st.varHead) < numVars {
 		grown := make([]int32, numVars)
 		copy(grown, st.varHead[:cap(st.varHead)])
@@ -129,6 +143,7 @@ func (st *state) reset() {
 	for _, n := range st.visited {
 		st.nodeQ[n] = st.nodeQ[n][:0]
 		st.nodePair[n] = st.nodePair[n][:0]
+		st.visitedBits[n>>6] &^= 1 << (uint(n) & 63)
 	}
 	for _, q := range st.queries {
 		st.varHead[q.Var] = -1
@@ -142,6 +157,7 @@ func (st *state) reset() {
 	st.pairSupOff = st.pairSupOff[:0]
 	st.pairSupLen = st.pairSupLen[:0]
 	st.pairSupDeleted = st.pairSupDeleted[:0]
+	st.pairFinal = st.pairFinal[:0]
 	st.supStore = st.supStore[:0]
 	st.supSrc = st.supSrc[:0]
 	st.consOff = st.consOff[:0]
@@ -258,8 +274,10 @@ func (st *state) addPair(n ir.NodeID, q *Query) int32 {
 	st.pairSupOff = append(st.pairSupOff, 0)
 	st.pairSupLen = append(st.pairSupLen, 0)
 	st.pairSupDeleted = append(st.pairSupDeleted, false)
+	st.pairFinal = append(st.pairFinal, false)
 	if len(st.nodeQ[n]) == 0 {
 		st.visited = append(st.visited, n)
+		st.visitedBits[n>>6] |= 1 << (uint(n) & 63)
 	}
 	st.nodeQ[n] = append(st.nodeQ[n], q)
 	st.nodePair[n] = append(st.nodePair[n], pid)

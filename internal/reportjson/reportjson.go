@@ -42,6 +42,10 @@ type DriverStats struct {
 	SNEMemoEntries    int            `json:"sne_memo_entries"`
 	SNEMemoHits       int64          `json:"sne_memo_hits"`
 	CacheBytes        int64          `json:"cache_bytes"`
+	QueriesReused     int            `json:"queries_reused"`
+	SubtreesInvalid   int64          `json:"subtrees_invalidated"`
+	PairsTotal        int            `json:"pairs_total"`
+	ReuseRate         float64        `json:"reuse_rate"`
 	VerifyRuns        int            `json:"verify_runs"`
 	VerifyWallNS      int64          `json:"verify_wall_ns"`
 	CheckRuns         int            `json:"check_runs"`
@@ -121,6 +125,10 @@ func FromDriverStats(s icbe.DriverStats) DriverStats {
 		SNEMemoEntries:    s.SNEMemoEntries,
 		SNEMemoHits:       s.SNEMemoHits,
 		CacheBytes:        s.CacheBytes,
+		QueriesReused:     s.QueriesReused,
+		SubtreesInvalid:   s.SubtreesInvalidated,
+		PairsTotal:        s.PairsTotal,
+		ReuseRate:         reuseRate(s.QueriesReused, s.PairsTotal),
 		VerifyRuns:        s.VerifyRuns,
 		VerifyWallNS:      int64(s.VerifyWall),
 		CheckRuns:         s.CheckRuns,
@@ -162,6 +170,12 @@ func (d *DriverStats) Add(o DriverStats) {
 	d.SNEMemoEntries += o.SNEMemoEntries
 	d.SNEMemoHits += o.SNEMemoHits
 	d.CacheBytes += o.CacheBytes
+	d.QueriesReused += o.QueriesReused
+	d.SubtreesInvalid += o.SubtreesInvalid
+	d.PairsTotal += o.PairsTotal
+	// Like SCCPRecall, the reuse rate is recomputed from the summed counts
+	// rather than summed itself.
+	d.ReuseRate = reuseRate(d.QueriesReused, d.PairsTotal)
 	d.VerifyRuns += o.VerifyRuns
 	d.VerifyWallNS += o.VerifyWallNS
 	d.CheckRuns += o.CheckRuns
@@ -181,6 +195,16 @@ func (d *DriverStats) Add(o DriverStats) {
 	d.CheckFindingsPost += o.CheckFindingsPost
 	d.AnalysisWallNS += o.AnalysisWallNS
 	d.ApplyWallNS += o.ApplyWallNS
+}
+
+// reuseRate is the incremental engine's hit rate: the fraction of all
+// settled node–query pairs that were reconstructed from memo records
+// instead of re-propagated.
+func reuseRate(reused, total int) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(reused) / float64(total)
 }
 
 func copyCounts(m map[string]int) map[string]int {

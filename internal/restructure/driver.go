@@ -78,6 +78,12 @@ type DriverOptions struct {
 	// summary memoization. The memo must not be shared between concurrent
 	// driver runs.
 	Memo *analysis.SummaryMemo
+	// Scratch disables the cross-round incremental engine entirely (no
+	// summary memo, no root records): every requeued conditional is
+	// re-analyzed from scratch each round. The optimized program and
+	// reports are identical either way — Scratch exists as the honest
+	// baseline for measuring the incremental speedup (icbe-bench -stress).
+	Scratch bool
 	// Verify enables the differential shadow-execution oracle: after each
 	// applied restructuring the pre- and post-apply programs are run over
 	// VerifyInputs plus built-in input vectors, and any output difference
@@ -170,6 +176,19 @@ type DriverStats struct {
 	SNEMemoEntries int
 	SNEMemoHits    int64
 	CacheBytes     int64
+	// QueriesReused counts node–query pairs reconstructed from memo
+	// records (summary and root-record replays) instead of re-propagated;
+	// SubtreesInvalidated counts cached subtrees the per-round Commits
+	// dropped because their recorded region intersected a dirty set. Their
+	// ratio against PairsTotal is the incremental engine's hit rate. Both
+	// are deterministic across worker counts (replays come from the
+	// round-frozen memo view).
+	QueriesReused       int
+	SubtreesInvalidated int64
+	// PairsTotal mirrors DriverResult.PairsTotal (replayed pairs count in
+	// both) so reuse-rate aggregation from stats alone is self-contained:
+	// reuse rate = QueriesReused / PairsTotal.
+	PairsTotal int
 	// VerifyRuns counts shadow executions performed by the differential
 	// oracle (DriverOptions.Verify); VerifyWall is their summed wall time.
 	VerifyRuns int
@@ -271,7 +290,7 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 	// commit points so workers replay only round-frozen records (see
 	// analysis.SummaryMemo for the invalidation contract).
 	var memo *analysis.SummaryMemo
-	if aopts.MemoSummaries && aopts.Interprocedural {
+	if aopts.MemoSummaries && aopts.Interprocedural && !opts.Scratch {
 		if opts.Memo != nil {
 			memo = opts.Memo
 		} else {
@@ -315,6 +334,10 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 	if budget <= 0 {
 		budget = 8*len(queue) + 64
 	}
+	// dirtyBits mirrors each round's dirty map as a bitset so the
+	// visited-dirty intersection is a word-wise AND against the analysis'
+	// visited bitset; the backing array is reused across rounds.
+	var dirtyBits []uint64
 
 	for len(queue) > 0 && budget > 0 && ctx.Err() == nil {
 		batch := queue
@@ -336,6 +359,7 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 		// against the next snapshot instead of being applied stale.
 		t0 := time.Now()
 		dirty := make(map[ir.NodeID]bool)
+		dirtyBits = dirtyBits[:0]
 		var next []ir.NodeID
 		for i := range results {
 			cr := &results[i]
@@ -356,6 +380,7 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 				out.Stats.countFailure(cr.rep.Failure.Kind)
 				if cr.res != nil {
 					out.PairsTotal += cr.res.PairsProcessed
+					out.Stats.QueriesReused += cr.res.QueriesReused
 				}
 				release(cr)
 				out.Reports = append(out.Reports, cr.rep)
@@ -366,13 +391,14 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 				out.Reports = append(out.Reports, cr.rep)
 				continue
 			}
-			if visitedDirty(cr.res, dirty) {
+			if visitedDirty(cr.res, dirty, dirtyBits) {
 				out.Stats.Reanalyses++
 				release(cr)
 				next = append(next, cr.b)
 				continue
 			}
 			out.PairsTotal += cr.res.PairsProcessed
+			out.Stats.QueriesReused += cr.res.QueriesReused
 			if gate != nil {
 				// Static cross-check: a demand-driven answer contradicting
 				// the SCCP oracle refuses this conditional outright, before
@@ -411,7 +437,7 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 				cr.rep.Applied = true
 				cr.rep.Removed = oc.BranchCopiesRemoved
 				out.Optimized++
-				markChanged(dirty, work, scratch)
+				dirtyBits = markChanged(dirty, dirtyBits, work, scratch)
 				work = scratch
 				if gate != nil {
 					gate.adopt(work)
@@ -463,10 +489,12 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 		out.Reports = append(out.Reports, rep)
 		out.Truncated = true
 	}
+	out.Stats.PairsTotal = out.PairsTotal
 	if memo != nil {
 		out.Stats.SNEMemoEntries = memo.Entries()
 		out.Stats.SNEMemoHits = memo.Hits()
 		out.Stats.CacheBytes = memo.Bytes()
+		out.Stats.SubtreesInvalidated = memo.Invalidated()
 	}
 	if gate != nil {
 		gate.finish(work)
@@ -649,21 +677,24 @@ func analyzeBatch(ctx context.Context, snapshot *ir.Program, batch []ir.NodeID,
 // visitedDirty reports whether the analysis visited any node changed by a
 // restructuring applied earlier in the round (the visited set is the
 // paper's Q[n] domain: exactly the nodes the demand-driven analysis
-// reached).
-func visitedDirty(res *analysis.Result, dirty map[ir.NodeID]bool) bool {
+// reached). The intersection is a word-wise AND of the analysis' visited
+// bitset with the round's dirty bitset — O(nodes/64) regardless of how
+// large the dirty set or the visited set grows, where the old
+// min(|dirty|, |visited|) scan degenerated on restructurings that dirtied
+// thousands of nodes. Nodes created after the snapshot lie beyond the
+// visited bitset and can never have been visited, so truncating the AND to
+// the shorter slice is exact.
+func visitedDirty(res *analysis.Result, dirty map[ir.NodeID]bool, dirtyBits []uint64) bool {
 	if len(dirty) == 0 {
 		return false
 	}
-	if len(dirty) < res.NumVisited() {
-		for n := range dirty {
-			if res.Visited(n) {
-				return true
-			}
-		}
-		return false
+	vis := res.VisitedBits()
+	n := len(vis)
+	if len(dirtyBits) < n {
+		n = len(dirtyBits)
 	}
-	for _, n := range res.VisitedNodes() {
-		if dirty[n] {
+	for i := 0; i < n; i++ {
+		if vis[i]&dirtyBits[i] != 0 {
 			return true
 		}
 	}
@@ -674,8 +705,15 @@ func visitedDirty(res *analysis.Result, dirty map[ir.NodeID]bool) bool {
 // post-restructuring programs: created, deleted, retyped, or re-wired nodes
 // all count, so a snapshot analysis that visited none of them would compute
 // the same result on the new program (its demand-driven traversal can only
-// reach changed program parts through a changed node).
-func markChanged(dirty map[ir.NodeID]bool, before, after *ir.Program) {
+// reach changed program parts through a changed node). Changed nodes are
+// recorded twice — in the dirty map (consumed by the memo Commit) and in
+// the dirty bitset (consumed by visitedDirty) — and the grown bitset is
+// returned.
+func markChanged(dirty map[ir.NodeID]bool, dirtyBits []uint64, before, after *ir.Program) []uint64 {
+	words := (len(after.Nodes) + 63) / 64
+	for len(dirtyBits) < words {
+		dirtyBits = append(dirtyBits, 0)
+	}
 	for i, bn := range after.Nodes {
 		var an *ir.Node
 		if i < len(before.Nodes) {
@@ -683,8 +721,10 @@ func markChanged(dirty map[ir.NodeID]bool, before, after *ir.Program) {
 		}
 		if nodeChanged(an, bn) {
 			dirty[ir.NodeID(i)] = true
+			dirtyBits[i>>6] |= 1 << (uint(i) & 63)
 		}
 	}
+	return dirtyBits
 }
 
 func nodeChanged(a, b *ir.Node) bool {

@@ -148,7 +148,16 @@ func (rc *reachCache) reaches(entry, target ir.NodeID) bool {
 // successors are dead ends; and a branch with exactly one surviving arm
 // always takes it and becomes unconditional.
 func (r *rest) prune() {
+	// Generation-marked reachability scratch, shared across fixpoint
+	// iterations: one O(nodes + edges) sweep over all procedures per
+	// iteration, instead of a per-procedure scan of the whole node arena
+	// (which made each iteration O(procs × nodes) — quadratic at the 100k-node
+	// scale the stress benchmark runs).
+	seen := make([]uint32, len(r.p.Nodes))
+	gen := uint32(0)
+	var stack []ir.NodeID
 	for {
+		gen++
 		changed := false
 		// Drop dead entries (never for main, which is invoked externally,
 		// and never for procedures that were already uncalled on input).
@@ -164,33 +173,41 @@ func (r *rest) prune() {
 				}
 			}
 		}
-		// Remove nodes unreachable from the remaining entries.
+		// Remove nodes unreachable from the remaining entries. Procedures
+		// partition the node arena and the walk never crosses a procedure
+		// boundary, so all entries seed one flood fill.
+		stack = stack[:0]
 		for _, pr := range r.p.Procs {
-			seen := make(map[ir.NodeID]bool)
-			var stack []ir.NodeID
 			for _, e := range pr.Entries {
-				if r.p.Node(e) != nil {
-					seen[e] = true
+				if r.p.Node(e) != nil && seen[e] != gen {
+					seen[e] = gen
 					stack = append(stack, e)
 				}
 			}
-			for len(stack) > 0 {
-				id := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				for _, s := range r.p.Node(id).Succs {
-					sn := r.p.Node(s)
-					if sn == nil || sn.Proc != pr.Index || seen[s] {
-						continue
-					}
-					seen[s] = true
-					stack = append(stack, s)
+		}
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			n := r.p.Node(id)
+			for _, s := range n.Succs {
+				sn := r.p.Node(s)
+				if sn == nil || sn.Proc != n.Proc || seen[s] == gen {
+					continue
 				}
+				seen[s] = gen
+				stack = append(stack, s)
 			}
-			for _, n := range r.p.ProcNodes(pr.Index) {
-				if !seen[n.ID] {
-					r.removeNode(n.ID)
-					changed = true
-				}
+		}
+		var unreachable []ir.NodeID
+		r.p.LiveNodes(func(n *ir.Node) {
+			if seen[n.ID] != gen {
+				unreachable = append(unreachable, n.ID)
+			}
+		})
+		for _, id := range unreachable {
+			if r.p.Node(id) != nil {
+				r.removeNode(id)
+				changed = true
 			}
 		}
 		// Structural cascades.

@@ -74,6 +74,12 @@ func scrubStats(d *reportjson.DriverStats) {
 	d.SNEMemoEntries = 0
 	d.SNEMemoHits = 0
 	d.CacheBytes = 0
+	// The reuse counters depend on what the summary store happened to have
+	// warm when the run started (a seeded run replays more than a cold
+	// one), so they are telemetry, not result.
+	d.QueriesReused = 0
+	d.SubtreesInvalid = 0
+	d.ReuseRate = 0
 	d.VerifyWallNS = 0
 	d.CheckWallNS = 0
 	d.AnalysisWallNS = 0
