@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+
+	"icbe"
+	"icbe/internal/progs"
+)
+
+// foldRecord is one workload's residual-fold summary in the BENCH_<n>.json
+// output: how many conditionals the CCP oracle still proves constant after
+// the correlation rounds (before), how many survive the fold pass (after),
+// and what the pass did to get there. GrowthOps is the optimized program's
+// operation-count delta versus the same run without the fold pass — the
+// duplication cost, which the degenerate edge-redirection strategy keeps at
+// zero or below.
+type foldRecord struct {
+	Name           string  `json:"name"`
+	ResidualBefore int     `json:"sccp_residual_before"`
+	ResidualAfter  int     `json:"sccp_residual_after"`
+	FoldAttempted  int     `json:"fold_attempted"`
+	FoldApplied    int     `json:"fold_applied"`
+	FoldDuplicated int     `json:"fold_duplicated"`
+	FoldReduction  float64 `json:"fold_reduction"`
+	FoldFailures   int     `json:"fold_failures"`
+	GrowthOps      int     `json:"growth_ops"`
+}
+
+// measureFold runs every workload through the optimizer twice — fold pass
+// off and on, otherwise the paper's default configuration — and reports the
+// residual constant-branch counts and the fold pass's work.
+func measureFold(ws []*progs.Workload, termLim int) ([]foldRecord, error) {
+	var out []foldRecord
+	for _, w := range ws {
+		base := icbe.DefaultOptions()
+		base.TerminationLimit = termLim
+		p, err := icbe.Compile(w.Source)
+		if err != nil {
+			return nil, fmt.Errorf("fold: %s does not compile: %w", w.Name, err)
+		}
+		_, ctrl, err := p.Optimize(base)
+		if err != nil {
+			return nil, fmt.Errorf("fold: %s control run: %w", w.Name, err)
+		}
+		folded := base
+		folded.Fold = true
+		folded.VerifyInputs = [][]int64{w.Train, w.Ref}
+		_, rep, err := p.Optimize(folded)
+		if err != nil {
+			return nil, fmt.Errorf("fold: %s fold run: %w", w.Name, err)
+		}
+		out = append(out, foldRecord{
+			Name:           w.Name,
+			ResidualBefore: rep.Stats.SCCPResidualBefore,
+			ResidualAfter:  rep.Stats.SCCPResidualAfter,
+			FoldAttempted:  rep.Stats.FoldAttempted,
+			FoldApplied:    rep.Stats.FoldApplied,
+			FoldDuplicated: rep.Stats.FoldDuplicated,
+			FoldReduction:  rep.Stats.FoldReduction,
+			FoldFailures:   rep.Stats.Failures["fold"],
+			GrowthOps:      rep.OperationsAfter - ctrl.OperationsAfter,
+		})
+	}
+	return out, nil
+}
+
+// requireFoldBite gates the emitter on the fold pass doing real work: at
+// least one workload's residual constant-branch count must drop. A pass
+// that attempts nothing — or attempts and has everything vetoed — is a
+// regression dressed as a feature.
+func requireFoldBite(recs []foldRecord) error {
+	for _, r := range recs {
+		if r.ResidualBefore > r.ResidualAfter {
+			return nil
+		}
+	}
+	return fmt.Errorf("fold pass is vacuous: no workload's residual constant-branch count dropped across %d workloads", len(recs))
+}

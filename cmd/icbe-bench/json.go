@@ -60,7 +60,12 @@ type benchFile struct {
 	Cache      []cacheRecord   `json:"cache,omitempty"`
 	Store      *store.Snapshot `json:"store,omitempty"`
 	Check      []checkRecord   `json:"check"`
+	Fold       []foldRecord    `json:"fold"`
 	Stress     *stressRecord   `json:"stress,omitempty"`
+	// StressRecursion is the same incremental-vs-scratch comparison on the
+	// deep-recursion generator, whose cyclic call graph stresses entry/exit
+	// splitting instead of the hub-and-leaf fan-out.
+	StressRecursion *stressRecord `json:"stress_recursion,omitempty"`
 }
 
 // measure times fn like a testing.B loop: one untimed warm-up (so pools and
@@ -106,7 +111,7 @@ func measure(name string, fn func() (pairs int, err error)) (benchRecord, error)
 // NumCPU workers, matching BenchmarkTable2 and BenchmarkDriverWorkers in
 // bench_test.go except that the driver runs with the summary-node memo the
 // production driver enables by default — and writes the results to path.
-func writeBenchJSON(path string, ws []*progs.Workload, termLim int, requireBite bool, minSpeedup float64) error {
+func writeBenchJSON(path string, ws []*progs.Workload, termLim int, requireBite, requireFold bool, minSpeedup float64) error {
 	out := benchFile{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -200,6 +205,19 @@ func writeBenchJSON(path string, ws []*progs.Workload, termLim int, requireBite 
 		}
 	}
 
+	// The residual-fold summary rides along so the fold pass's bite (and its
+	// zero-growth contract) diffs across PRs.
+	foldRecs, err := measureFold(ws, termLim)
+	if err != nil {
+		return err
+	}
+	out.Fold = foldRecs
+	if requireFold {
+		if err := requireFoldBite(foldRecs); err != nil {
+			return err
+		}
+	}
+
 	// The adversarial-scale incremental-vs-scratch comparison rides along in
 	// every BENCH_<n>.json so the incremental engine's efficacy diffs across
 	// PRs like every other number.
@@ -212,6 +230,11 @@ func writeBenchJSON(path string, ws []*progs.Workload, termLim int, requireBite 
 		return fmt.Errorf("incremental re-analysis speedup %.2fx is below the required %.1fx (scratch %.0f ms vs incremental %.0f ms on %d nodes)",
 			stress.ReanalyzeSpeedup, minSpeedup, stress.ReanalyzeScratchMs, stress.ReanalyzeIncrementalMs, stress.Nodes)
 	}
+	recStress, err := measureRecursionStress(1)
+	if err != nil {
+		return err
+	}
+	out.StressRecursion = recStress
 
 	data, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {

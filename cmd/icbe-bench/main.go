@@ -38,7 +38,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "per-driver-run deadline, e.g. 30s (0 = none)")
 		jsonOut   = flag.String("json", "", "write machine-readable benchmark measurements (ns/op, allocs/op, pairs/sec) to this file, e.g. BENCH_3.json")
 		bite      = flag.Bool("require-check-bite", false, "with -json: exit nonzero if the check rows report zero total SCCP agreements (a vacuous oracle)")
-		stress    = flag.Bool("stress", false, "adversarial scale: optimize and re-analyze a ~100k-node generated program with the incremental engine on and off")
+		foldBite  = flag.Bool("require-fold-bite", false, "with -json: exit nonzero if no workload's residual constant-branch count drops under the fold pass")
+		stress    = flag.Bool("stress", false, "adversarial scale: optimize and re-analyze a ~100k-node generated program (plus a deep-recursion program) with the incremental engine on and off")
 		minSpeed  = flag.Float64("require-incremental-speedup", 0, "with -json or -stress: exit nonzero if incremental re-analysis of the 100k-node stress program is not this many times faster than from-scratch (0 = no gate)")
 	)
 	flag.Parse()
@@ -61,7 +62,7 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		check(writeBenchJSON(*jsonOut, ws, *termLim, *bite, *minSpeed))
+		check(writeBenchJSON(*jsonOut, ws, *termLim, *bite, *foldBite, *minSpeed))
 	}
 	if *stress {
 		rec, err := measureStress(1)
@@ -72,6 +73,9 @@ func main() {
 				rec.ReanalyzeSpeedup, *minSpeed)
 			os.Exit(1)
 		}
+		recRec, err := measureRecursionStress(1)
+		check(err)
+		fmt.Println(formatStress(recRec))
 	}
 
 	if *all || *table1 {

@@ -142,6 +142,65 @@ func measureStress(seed uint64) (*stressRecord, error) {
 	return rec, nil
 }
 
+// measureRecursionStress runs the same incremental-vs-scratch comparison on
+// the deep-recursion generator: a cyclic call graph (self-recursive chains
+// and mutual-recursion rings) whose summaries settle by fixed point through
+// the cycle — the entry/exit-splitting stress the hub-and-leaf scale shape
+// cannot produce.
+func measureRecursionStress(seed uint64) (*stressRecord, error) {
+	src := randprog.Recursion(seed, randprog.RecConfig{
+		Chains: 8, ChainLen: 5, Depth: 40, BodyStmts: 120, Globals: 3,
+	})
+	p, err := ir.Build(src)
+	if err != nil {
+		return nil, fmt.Errorf("stress: recursion program does not compile: %w", err)
+	}
+	rec := &stressRecord{
+		Name:  fmt.Sprintf("randprog.Recursion(seed=%d)", seed),
+		Nodes: len(p.Nodes),
+		Procs: len(p.Procs),
+	}
+	p.LiveNodes(func(n *ir.Node) {
+		if n.Kind == ir.NBranch && !n.Synthetic {
+			rec.Conditionals++
+		}
+	})
+
+	scratch := stressOptions()
+	scratch.Scratch = true
+	warm := stressOptions()
+	warm.Memo = analysis.NewSummaryMemo()
+
+	sres, st := timedRun(p, scratch)
+	ires, it := timedRun(p, warm)
+	if err := sameOutcome("recursion optimize", sres, ires); err != nil {
+		return nil, err
+	}
+	rec.OptimizeScratchMs = ms(st)
+	rec.OptimizeIncrementalMs = ms(it)
+	rec.OptimizeSpeedup = ratio(st, it)
+	rec.QueriesReused = ires.Stats.QueriesReused
+	rec.PairsTotal = ires.PairsTotal
+	if ires.PairsTotal > 0 {
+		rec.ReuseRate = float64(ires.Stats.QueriesReused) / float64(ires.PairsTotal)
+	}
+	rec.SubtreesInvalidated = ires.Stats.SubtreesInvalidated
+
+	final := ires.Program
+	rsres, rst := timedRun(final, scratch)
+	rires, rit := timedRun(final, warm)
+	if err := sameOutcome("recursion reanalyze", rsres, rires); err != nil {
+		return nil, err
+	}
+	rec.ReanalyzeScratchMs = ms(rst)
+	rec.ReanalyzeIncrementalMs = ms(rit)
+	rec.ReanalyzeSpeedup = ratio(rst, rit)
+	if rires.PairsTotal > 0 {
+		rec.ReanalyzeReuseRate = float64(rires.Stats.QueriesReused) / float64(rires.PairsTotal)
+	}
+	return rec, nil
+}
+
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 func ratio(num, den time.Duration) float64 {

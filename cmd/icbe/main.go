@@ -47,6 +47,7 @@ func main() {
 		verify   = flag.Bool("verify", false, "differentially shadow-execute after each applied restructuring; violations roll back")
 		chk      = flag.Bool("check", false, "cross-check answers against a forward SCCP oracle and lint each applied restructuring; violations roll back")
 		chkFatal = flag.Bool("check-fatal", false, "like -check, but exit nonzero when the check layer refused any conditional")
+		doFold   = flag.Bool("fold", false, "after the correlation rounds, fold residual branches the SCCP oracle proves constant; every fold is gated and vetoes roll back")
 		timeout  = flag.Duration("timeout", 0, "overall -optimize deadline, e.g. 500ms (0 = none)")
 		branchTO = flag.Duration("branch-timeout", 0, "per-conditional analysis deadline (0 = none)")
 		jsonOut  = flag.Bool("json", false, "emit the optimization report as JSON on stdout (with -optimize; replaces the text report)")
@@ -80,6 +81,7 @@ func main() {
 	opts.Verify = *verify
 	opts.Check = *chk
 	opts.CheckFatal = *chkFatal
+	opts.Fold = *doFold
 	opts.Timeout = *timeout
 	opts.BranchTimeout = *branchTO
 
@@ -87,9 +89,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *verify && len(input) > 0 {
+	if (*verify || *doFold) && len(input) > 0 {
 		// The -input stream doubles as a workload vector for the shadow
-		// oracle, alongside the built-in ones.
+		// oracle (which also gates every fold), alongside the built-in ones.
 		opts.VerifyInputs = [][]int64{input}
 	}
 
@@ -199,6 +201,11 @@ func main() {
 					s.CheckRuns, s.SCCPAgreements+s.SCCPDisagreements, s.SCCPDecided, s.SCCPRecall,
 					s.SCCPDisagreements, s.SCCPVacuous, s.SCCPResidual,
 					s.CheckFindingsPre, s.CheckFindingsPost, s.CheckWall)
+			}
+			if *doFold {
+				fmt.Printf("fold: %d/%d folds adopted (%d edges redirected), residual %d -> %d (reduction %.2f), %v\n",
+					s.FoldApplied, s.FoldAttempted, s.FoldDuplicated,
+					s.SCCPResidualBefore, s.SCCPResidualAfter, s.FoldReduction, s.FoldWall)
 			}
 		}
 		if optErr != nil {

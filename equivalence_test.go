@@ -51,6 +51,13 @@ func renderEquivalence(t *testing.T, src string, inputs [][]int64, opts Options)
 	fmt.Fprintf(&b, "analyses=%d reanalyses=%d clones=%d clonesAvoided=%d failures=%q\n",
 		rep.Stats.Analyses, rep.Stats.Reanalyses, rep.Stats.Clones, rep.Stats.ClonesAvoided,
 		rep.FailureSummary())
+	if opts.Fold {
+		// Only rendered when the fold pass ran, so the pre-fold goldens stay
+		// byte-identical.
+		fmt.Fprintf(&b, "fold attempted=%d applied=%d duplicated=%d residual=%d->%d\n",
+			rep.Stats.FoldAttempted, rep.Stats.FoldApplied, rep.Stats.FoldDuplicated,
+			rep.Stats.SCCPResidualBefore, rep.Stats.SCCPResidualAfter)
+	}
 	fmt.Fprintf(&b, "programSHA=%x\n", sha256.Sum256([]byte(opt.Dump())))
 	for _, in := range inputs {
 		res, err := opt.Run(in)
@@ -121,6 +128,15 @@ func TestScratchIncrementalEquivalence(t *testing.T) {
 			inputs: fuzzInputs,
 		})
 	}
+	// Reduced deep-recursion instances: cyclic call graphs whose summaries
+	// settle by fixed point, the entry/exit-splitting stress shape.
+	for _, seed := range recursionSeeds {
+		cases = append(cases, workload{
+			name:   fmt.Sprintf("recursion-%d", seed),
+			src:    randprog.Recursion(seed, randprog.RecConfig{}),
+			inputs: [][]int64{{0}, {5}, {-3}},
+		})
+	}
 	// A reduced hub-and-leaf scale program, so the shape the stress
 	// benchmark gates on is pinned by the equivalence contract too.
 	scaleCfg := randprog.ScaleConfig{
@@ -180,6 +196,13 @@ func TestEquivalenceGolden(t *testing.T) {
 			name:   fmt.Sprintf("randprog-%d", seed),
 			src:    randprog.Generate(seed, fuzzConfig),
 			inputs: fuzzInputs,
+		})
+	}
+	for _, seed := range recursionSeeds {
+		cases = append(cases, workload{
+			name:   fmt.Sprintf("recursion-%d", seed),
+			src:    randprog.Recursion(seed, randprog.RecConfig{}),
+			inputs: [][]int64{{0}, {5}, {-3}},
 		})
 	}
 	configs := equivalenceConfigs()

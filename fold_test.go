@@ -1,0 +1,206 @@
+package icbe
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"icbe/internal/interp"
+	"icbe/internal/ir"
+	"icbe/internal/progs"
+	"icbe/internal/randprog"
+)
+
+// foldFuzzSource picks the generator for one fuzz seed: every third seed is
+// a deep-recursion program (cyclic call graph), the rest are the acyclic
+// generator the other fuzzers use — so the fold pass is fuzzed over both
+// call-graph shapes.
+func foldFuzzSource(seed uint64) string {
+	if seed%3 == 0 {
+		return randprog.Recursion(seed, randprog.RecConfig{})
+	}
+	return randprog.Generate(seed, fuzzConfig)
+}
+
+// FuzzFold drives generated programs through the optimizer with the
+// residual fold pass enabled and asserts the pass's whole contract:
+// panic-freedom, a valid optimized program, a residual count that never
+// rises, byte-determinism across repeated runs and worker counts, and —
+// independently of the driver's own gates — unchanged output and no
+// executed-operation growth on every input vector.
+func FuzzFold(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 2, 3, 7, 11, 42, 99, 1234, 0xdeadbeef} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		src := foldFuzzSource(seed)
+		p, err := Compile(src)
+		if err != nil {
+			t.Fatalf("generated program rejected: %v\n%s", err, src)
+		}
+		opts := DefaultOptions()
+		opts.Fold = true
+		opts.Verify = true
+		opts.Timeout = 30 * time.Second
+		opt, rep, err := p.Optimize(opts)
+		if err != nil {
+			t.Fatalf("Optimize error: %v\n%s", err, src)
+		}
+		// "fold" failures are the transactional gates vetoing a fold — the
+		// containment working as designed, not a bug. "timeout" is slowness.
+		// Anything else means a gate caught a bad program.
+		for kind, n := range rep.Stats.Failures {
+			if kind != "timeout" && kind != "fold" {
+				t.Fatalf("%d contained %s failure(s) on seed %d:\n%s", n, kind, seed, src)
+			}
+		}
+		if err := ir.Validate(opt.g); err != nil {
+			t.Fatalf("folded program fails validation on seed %d: %v\n%s", seed, err, src)
+		}
+		if rep.Stats.SCCPResidualAfter > rep.Stats.SCCPResidualBefore {
+			t.Fatalf("fold pass raised the residual %d -> %d on seed %d:\n%s",
+				rep.Stats.SCCPResidualBefore, rep.Stats.SCCPResidualAfter, seed, src)
+		}
+
+		// Byte-determinism: a repeat run and a parallel run must produce the
+		// identical optimized program and fold counters.
+		for _, workers := range []int{opts.Workers, 4} {
+			o2 := opts
+			o2.Workers = workers
+			opt2, rep2, err := p.Optimize(o2)
+			if err != nil {
+				t.Fatalf("repeat Optimize (workers=%d) error: %v\n%s", workers, err, src)
+			}
+			if !bytes.Equal(ir.EncodeProgram(opt.g), ir.EncodeProgram(opt2.g)) {
+				t.Fatalf("folded program is nondeterministic (workers=%d) on seed %d\n%s", workers, seed, src)
+			}
+			if rep.Stats.FoldApplied != rep2.Stats.FoldApplied ||
+				rep.Stats.FoldDuplicated != rep2.Stats.FoldDuplicated ||
+				rep.Stats.SCCPResidualAfter != rep2.Stats.SCCPResidualAfter {
+				t.Fatalf("fold counters are nondeterministic (workers=%d) on seed %d: %d/%d/%d vs %d/%d/%d\n%s",
+					workers, seed,
+					rep.Stats.FoldApplied, rep.Stats.FoldDuplicated, rep.Stats.SCCPResidualAfter,
+					rep2.Stats.FoldApplied, rep2.Stats.FoldDuplicated, rep2.Stats.SCCPResidualAfter, src)
+			}
+		}
+
+		// Independent differential check, not trusting the driver's gates.
+		inputs := [][]int64{nil, {1, 2, 3}, {-5, 0, 7, 9, 1 << 40}}
+		for _, in := range inputs {
+			pre, preErr := interp.Run(p.g, interp.Options{Input: in, MaxSteps: fuzzStepBudget})
+			if errors.Is(preErr, interp.ErrStepLimit) {
+				continue
+			}
+			post, postErr := interp.Run(opt.g, interp.Options{Input: in, MaxSteps: fuzzStepBudget})
+			if (preErr != nil) != (postErr != nil) {
+				t.Fatalf("fault behavior changed on input %v: pre=%v post=%v\n%s", in, preErr, postErr, src)
+			}
+			if preErr != nil {
+				continue
+			}
+			if fmt.Sprint(pre.Output) != fmt.Sprint(post.Output) {
+				t.Fatalf("output changed on input %v: %v vs %v\n%s", in, pre.Output, post.Output, src)
+			}
+			if post.Operations > pre.Operations {
+				t.Fatalf("executed operations grew on input %v: %d -> %d\n%s", in, pre.Operations, post.Operations, src)
+			}
+		}
+	})
+}
+
+// TestFoldEquivalence extends the golden equivalence suite to the fold
+// pass: for every workload, generated program, and deep-recursion shape,
+// the fold-enabled run (shadow-verified) must be byte-identical across
+// worker counts and pinned by a golden, and its executed output must match
+// the fold-disabled run on every input.
+func TestFoldEquivalence(t *testing.T) {
+	type workload struct {
+		name   string
+		src    string
+		inputs [][]int64
+	}
+	var cases []workload
+	for _, w := range progs.All() {
+		cases = append(cases, workload{name: w.Name, src: w.Source, inputs: [][]int64{w.Train, w.Ref}})
+	}
+	fuzzInputs := [][]int64{nil, {1, 2, 3}, {-5, 0, 7, 9, 1 << 40}}
+	for _, seed := range equivalenceSeeds {
+		cases = append(cases, workload{
+			name:   fmt.Sprintf("randprog-%d", seed),
+			src:    randprog.Generate(seed, fuzzConfig),
+			inputs: fuzzInputs,
+		})
+	}
+	for _, seed := range recursionSeeds {
+		cases = append(cases, workload{
+			name:   fmt.Sprintf("recursion-%d", seed),
+			src:    randprog.Recursion(seed, randprog.RecConfig{}),
+			inputs: [][]int64{{0}, {5}, {-3}},
+		})
+	}
+	for _, w := range cases {
+		t.Run(w.name, func(t *testing.T) {
+			t.Parallel()
+			offGolden, onGolden := "", ""
+			for _, workers := range []int{1, 4, -1} {
+				opts := DefaultOptions()
+				opts.Timeout = 2 * time.Minute
+				opts.Workers = workers
+				opts.Verify = true
+				off := renderEquivalence(t, w.src, w.inputs, opts)
+				opts.Fold = true
+				on := renderEquivalence(t, w.src, w.inputs, opts)
+				if offGolden == "" {
+					offGolden, onGolden = off, on
+					checkGolden(t, "fold-"+w.name, on)
+					continue
+				}
+				if off != offGolden {
+					t.Errorf("workers=%d: fold-off run diverged from workers=1", workers)
+				}
+				if on != onGolden {
+					t.Errorf("workers=%d: fold-on run diverged from workers=1:\n--- workers=1\n%s--- workers=%d\n%s",
+						workers, onGolden, workers, on)
+				}
+			}
+			if diff := runOutputDiff(offGolden, onGolden); diff != "" {
+				t.Errorf("fold pass changed executed output: %s", diff)
+			}
+		})
+	}
+}
+
+// recursionSeeds are the deep-recursion instances pinned by the golden
+// suites.
+var recursionSeeds = []uint64{3, 9}
+
+// runOutputDiff compares the executed-output lines of two renderEquivalence
+// results, ignoring operation and conditional counts (the fold pass changes
+// those by design; it may never change output).
+func runOutputDiff(a, b string) string {
+	outputs := func(s string) []string {
+		var out []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "run input=") {
+				if i := strings.Index(line, " ops="); i >= 0 {
+					line = line[:i]
+				}
+				out = append(out, line)
+			}
+		}
+		return out
+	}
+	av, bv := outputs(a), outputs(b)
+	if len(av) != len(bv) {
+		return fmt.Sprintf("run-line count %d vs %d", len(av), len(bv))
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			return fmt.Sprintf("%q vs %q", av[i], bv[i])
+		}
+	}
+	return ""
+}

@@ -180,6 +180,15 @@ type Options struct {
 	// veto into an Optimize error after the (fully rolled-back) run
 	// completes. It implies Check.
 	CheckFatal bool
+	// Fold enables the residual constant-branch fold pass: after the
+	// correlation rounds settle, the forward CCP oracle classifies every
+	// remaining conditional and branches it proves constant — on all
+	// executable in-edges, or per-edge for edge-split residuals — are
+	// folded inside the same transactional harness, each attempt gated by
+	// validation, the invariant passes, shadow execution, and a post-fold
+	// oracle re-check. Vetoes roll back with a "fold" failure. See
+	// Report.Stats' fold counters.
+	Fold bool
 	// Timeout bounds the whole optimization run (0 = none). On expiry the
 	// program optimized so far is returned and still-queued conditionals
 	// are reported Skipped with a "timeout" failure.
@@ -253,8 +262,8 @@ type CondReport struct {
 	Skipped bool
 	// FailureKind categorizes a contained failure that rolled this
 	// branch's optimization back: "panic", "validate", "diff-mismatch",
-	// "op-growth", "timeout" or "check"; empty when none. The program returned by
-	// Optimize never includes a restructuring that failed a gate.
+	// "op-growth", "timeout", "check" or "fold"; empty when none. The program
+	// returned by Optimize never includes a restructuring that failed a gate.
 	FailureKind string
 	// Err holds the restructuring failure, if any (the detailed
 	// BranchFailure when FailureKind is set).
@@ -326,6 +335,19 @@ type DriverStats struct {
 	SCCPResidual      int
 	CheckFindingsPre  int
 	CheckFindingsPost int
+	// Fold-pass counters (Options.Fold). FoldAttempted counts gated fold
+	// attempts, FoldApplied the adopted subset, and FoldDuplicated the
+	// in-edges redirected by edge-split folds. SCCPResidualBefore/After
+	// bracket the pass's residual constant-branch count and FoldReduction
+	// is (before−after)/before; FoldWall is the pass's wall time. All zero
+	// when the pass is disabled.
+	FoldAttempted      int
+	FoldApplied        int
+	FoldDuplicated     int
+	SCCPResidualBefore int
+	SCCPResidualAfter  int
+	FoldReduction      float64
+	FoldWall           time.Duration
 	// AnalysisWall and ApplyWall are the summed wall-clock times of the
 	// concurrent analysis phases and the serial apply phases.
 	AnalysisWall time.Duration
@@ -384,6 +406,7 @@ func (p *Program) OptimizeContext(ctx context.Context, opts Options) (op *Progra
 		Verify:         opts.Verify,
 		VerifyInputs:   opts.VerifyInputs,
 		Check:          opts.Check || opts.CheckFatal,
+		Fold:           opts.Fold,
 		Timeout:        opts.Timeout,
 		BranchTimeout:  opts.BranchTimeout,
 		Ctx:            opts.Ctx,
@@ -426,6 +449,13 @@ func (p *Program) OptimizeContext(ctx context.Context, opts Options) (op *Progra
 			SCCPResidual:        dr.Stats.SCCPResidual,
 			CheckFindingsPre:    dr.Stats.CheckFindingsPre,
 			CheckFindingsPost:   dr.Stats.CheckFindingsPost,
+			FoldAttempted:       dr.Stats.FoldAttempted,
+			FoldApplied:         dr.Stats.FoldApplied,
+			FoldDuplicated:      dr.Stats.FoldDuplicated,
+			SCCPResidualBefore:  dr.Stats.SCCPResidualBefore,
+			SCCPResidualAfter:   dr.Stats.SCCPResidualAfter,
+			FoldReduction:       dr.Stats.FoldReduction,
+			FoldWall:            dr.Stats.FoldWall,
 		},
 	}
 	for kind, n := range dr.Stats.Failures {

@@ -577,27 +577,33 @@ func (r *run) substEntry(q *Query, call *ir.Node, owner *SNE) *Query {
 
 // callExitContent rewrites the query through the call-site exit's return
 // value copy: a query on the destination becomes a query on the callee's
-// return variable.
-func (r *run) callExitContent(n *ir.Node, q *Query) (ir.VarID, pred.Pred) {
+// return variable. viaRet reports whether the rewrite fired — the only way
+// a non-global query content can legitimately refer to the callee's frame.
+func (r *run) callExitContent(n *ir.Node, q *Query) (ir.VarID, pred.Pred, bool) {
 	if n.Dst != ir.NoVar && q.Var == n.Dst {
-		return r.p.Procs[n.Callee].RetVar, q.P
+		return r.p.Procs[n.Callee].RetVar, q.P, true
 	}
-	return q.Var, q.P
+	return q.Var, q.P, false
 }
 
 // mustTraverse reports whether the query (with content variable v) must be
 // propagated through the callee at a call-site exit, or may skip straight
-// to the call node.
-func (r *run) mustTraverse(callee int, v ir.VarID) bool {
-	vv := r.p.Vars[v]
-	if vv.Proc == callee {
-		// The callee's return variable (or, defensively, any callee
-		// variable) must be chased inside the callee.
+// to the call node. viaRet marks content produced by callExitContent's
+// destination-to-return-variable rewrite at this exit.
+//
+// Only two contents cross into the callee: the return variable reached via
+// that rewrite, and globals the callee may modify. Every other content is a
+// caller-frame local the callee cannot touch (MiniC has no reference
+// parameters), and that holds even when the callee is the caller's own
+// procedure: a recursive callee runs in a separate frame, so its facts about
+// a shared VarID say nothing about the caller's instance. Deciding traversal
+// by vv.Proc == callee here would conflate those frames and misapply the
+// callee's base-case facts to the caller's live locals.
+func (r *run) mustTraverse(callee int, v ir.VarID, viaRet bool) bool {
+	if viaRet {
 		return true
 	}
-	if !vv.IsGlobal() {
-		// Caller locals cannot be modified by the callee (no reference
-		// parameters in MiniC).
+	if !r.p.Vars[v].IsGlobal() {
 		return false
 	}
 	if r.a.mod != nil && !r.a.mod[callee][v] {
@@ -609,7 +615,7 @@ func (r *run) mustTraverse(callee int, v ir.VarID) bool {
 // processCallExit handles call-site exit nodes (Figure 4 lines 14–26).
 func (r *run) processCallExit(pid int32, n *ir.Node, q *Query) {
 	st := r.st
-	cv, cp := r.callExitContent(n, q)
+	cv, cp, viaRet := r.callExitContent(n, q)
 	call := r.idx.CallPred(n.ID)
 	exit := r.idx.ExitPred(n.ID)
 	if call == ir.NoNode || exit == ir.NoNode {
@@ -617,13 +623,13 @@ func (r *run) processCallExit(pid int32, n *ir.Node, q *Query) {
 		st.resolvePair(pid, AnsUndef)
 		return
 	}
-	must := r.mustTraverse(n.Callee, cv)
+	must := r.mustTraverse(n.Callee, cv, viaRet)
 	if q.Owner == nil && r.a.memo != nil {
 		// Root records must revalidate every top-level MOD consultation:
 		// MOD sets can shrink when restructuring deletes nodes, flipping a
 		// traverse into a skip without dirtying any node the top-level
 		// closure touched.
-		r.topModChecks = append(r.topModChecks, modCheck{callee: int32(n.Callee), v: cv, must: must})
+		r.topModChecks = append(r.topModChecks, modCheck{callee: int32(n.Callee), v: cv, viaRet: viaRet, must: must})
 	}
 	if !must {
 		r.raise(call, r.internQuery(cv, cp, q.Owner))

@@ -201,6 +201,7 @@ type rootDep struct {
 type modCheck struct {
 	callee int32
 	v      ir.VarID
+	viaRet bool
 	must   bool
 }
 
@@ -814,7 +815,7 @@ func arrivalsMatch(s *SNE, want []memoArrival) bool {
 func (r *run) replayRoot(rr *rootRecord) bool {
 	st := r.st
 	for _, mc := range rr.modChecks {
-		if r.mustTraverse(int(mc.callee), mc.v) != mc.must {
+		if r.mustTraverse(int(mc.callee), mc.v, mc.viaRet) != mc.must {
 			return false
 		}
 	}

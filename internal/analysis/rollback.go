@@ -177,13 +177,13 @@ func (r *run) appendSuppliersOf(pid int32) {
 		}
 
 	case ir.NCallExit:
-		cv, cp := r.callExitContent(n, q)
+		cv, cp, viaRet := r.callExitContent(n, q)
 		call := r.idx.CallPred(n.ID)
 		exit := r.idx.ExitPred(n.ID)
 		if call == ir.NoNode || exit == ir.NoNode {
 			return
 		}
-		if !r.mustTraverse(n.Callee, cv) {
+		if !r.mustTraverse(n.Callee, cv, viaRet) {
 			if sq := r.lookupQuery(cv, cp, q.Owner); sq != nil {
 				st.supStore = append(st.supStore, EdgeSupplier{Pred: call, Query: sq, Mask: maskAll})
 			}

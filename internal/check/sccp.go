@@ -141,6 +141,10 @@ type SCCP struct {
 	exec     []bool
 	mustFail []ir.NodeID
 	summary  []Value
+	// ceRet holds, per call-site-exit node, the settled return value its
+	// callee exit delivered (⊥ when no exit fed it). EdgeFacts needs it to
+	// replay the call-site-exit transfer function after the run is over.
+	ceRet []Value
 	// saturated is the sound give-up state for pathological graphs whose
 	// propagation exceeds the step budget: everything is reported reachable
 	// and nothing decided.
@@ -165,6 +169,14 @@ func RunSCCP(p *ir.Program) *SCCP {
 		return s
 	}
 	s.in, s.exec = r.in, r.exec
+	s.ceRet = make([]Value, len(r.ces))
+	for i, ce := range r.ces {
+		if ce != nil && ce.hasExit {
+			s.ceRet[i] = ce.ret
+		} else {
+			s.ceRet[i] = bottom()
+		}
+	}
 	// Executable assertions whose own variable cannot satisfy the predicate
 	// are the sccp-consistency findings (a correct restructuring only keeps
 	// an assert on edges consistent with the branch it materializes).
@@ -720,7 +732,7 @@ func (r *sccpRun) process(id ir.NodeID) {
 	switch n.Kind {
 	case ir.NAssign:
 		out := cloneCells(st)
-		v, root := r.evalRHS(st, sp, n)
+		v, root := evalRHS(st, sp, n)
 		assign(out, sp, n.Dst, v, root)
 		r.pushAll(n, out, sp)
 	case ir.NBranch:
@@ -962,7 +974,7 @@ func (r *sccpRun) recomputeCE(ce *ir.Node) {
 // side that can fault (division or modulo by a constant zero) or that the
 // lattice does not model (heap loads, allocations, input) is ⊥. The second
 // result is the copy-chain root for RCopy.
-func (r *sccpRun) evalRHS(st []cell, sp *space, n *ir.Node) (Value, ir.VarID) {
+func evalRHS(st []cell, sp *space, n *ir.Node) (Value, ir.VarID) {
 	rh := n.RHS
 	switch rh.Kind {
 	case ir.RConst:

@@ -1,0 +1,256 @@
+// Package lint holds repository-level consistency checks that run as tests
+// (and as an explicit CI step). The first is the stat-parity lint: every
+// exported DriverStats counter must flow through the whole reporting chain —
+// mirrored into the public API, encoded by reportjson, aggregated by
+// DriverStats.Add (which is what the serving layer's /stats uses), and
+// either scrubbed or explicitly whitelisted in the server's byte-determinism
+// scrub. PRs 6–8 each hand-patched a missed link in that chain; this lint
+// turns the drift into a test failure.
+//
+// The lint is built on go/parser and go/ast only — the repository is
+// stdlib-only by policy, so the go/analysis framework is not available.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"sort"
+)
+
+// deterministicStats is the whitelist for the scrub check: reportjson
+// DriverStats fields that are pure functions of (program, request shape) and
+// therefore deliberately survive scrubStats into cached response bodies.
+// Adding a DriverStats field means either scrubbing it in the server's
+// scrubStats or — after convincing yourself it is deterministic — listing it
+// here.
+var deterministicStats = map[string]bool{
+	"Rounds":            true,
+	"Analyses":          true,
+	"Reanalyses":        true,
+	"Clones":            true,
+	"ClonesAvoided":     true,
+	"Failures":          true,
+	"PairsTotal":        true,
+	"VerifyRuns":        true,
+	"CheckRuns":         true,
+	"SCCPAgreements":    true,
+	"SCCPDisagreements": true,
+	"SCCPVacuous":       true,
+	"SCCPDecided":       true,
+	"SCCPRecall":        true,
+	"SCCPResidual":      true,
+	"CheckFindingsPre":  true,
+	"CheckFindingsPost": true,
+	"FoldAttempted":     true,
+	"FoldApplied":       true,
+	"FoldDuplicated":    true,
+	"ResidualBefore":    true,
+	"ResidualAfter":     true,
+	"FoldReduction":     true,
+}
+
+// StatParity runs the stat-parity lint against a repository root and returns
+// one message per violation (empty means the chain is intact).
+func StatParity(root string) ([]string, error) {
+	fset := token.NewFileSet()
+	parse := func(rel string) (*ast.File, error) {
+		f, err := parser.ParseFile(fset, filepath.Join(root, rel), nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", rel, err)
+		}
+		return f, nil
+	}
+
+	driverFile, err := parse("internal/restructure/driver.go")
+	if err != nil {
+		return nil, err
+	}
+	icbeFile, err := parse("icbe.go")
+	if err != nil {
+		return nil, err
+	}
+	wireFile, err := parse("internal/reportjson/reportjson.go")
+	if err != nil {
+		return nil, err
+	}
+	scrubFile, err := parse("internal/server/cache.go")
+	if err != nil {
+		return nil, err
+	}
+
+	var violations []string
+	report := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	// Link 1: every exported counter on the internal driver's stats struct
+	// must be mirrored onto the public icbe.DriverStats (icbe.go reads it
+	// somewhere — the Stats conversion in OptimizeContext).
+	driverFields := structFields(driverFile, "DriverStats")
+	if len(driverFields) == 0 {
+		return nil, fmt.Errorf("lint: restructure.DriverStats not found")
+	}
+	icbeReads := selectorNames(icbeFile)
+	for _, f := range driverFields {
+		if !icbeReads[f] {
+			report("restructure.DriverStats.%s is never read in icbe.go — the public icbe.DriverStats mirror is missing it", f)
+		}
+	}
+
+	// Link 2: every exported field of the public icbe.DriverStats must be
+	// read by reportjson.FromDriverStats (the wire encoding).
+	publicFields := structFields(icbeFile, "DriverStats")
+	if len(publicFields) == 0 {
+		return nil, fmt.Errorf("lint: icbe.DriverStats not found")
+	}
+	fromReads := selectorNamesOn(funcBody(wireFile, "FromDriverStats"), "s")
+	for _, f := range publicFields {
+		if !fromReads[f] {
+			report("icbe.DriverStats.%s is not read by reportjson.FromDriverStats — the wire encoding drops it", f)
+		}
+	}
+
+	// Link 3: every wire field must be aggregated by DriverStats.Add, which
+	// is what the serving layer's /stats metrics use. Ratios count as
+	// aggregated when Add assigns them (they must be recomputed, and a
+	// recompute is an assignment).
+	wireFields := structFields(wireFile, "DriverStats")
+	if len(wireFields) == 0 {
+		return nil, fmt.Errorf("lint: reportjson.DriverStats not found")
+	}
+	addWrites := assignTargets(funcBody(wireFile, "Add"), "d")
+	for _, f := range wireFields {
+		if !addWrites[f] {
+			report("reportjson.DriverStats.%s is not aggregated by Add — /stats drops it", f)
+		}
+	}
+
+	// Link 4: every wire field must be either zeroed by the server's
+	// scrubStats (nondeterministic telemetry) or whitelisted as
+	// deterministic above — and never both.
+	scrubWrites := assignTargets(funcBody(scrubFile, "scrubStats"), "d")
+	for _, f := range wireFields {
+		scrubbed, whitelisted := scrubWrites[f], deterministicStats[f]
+		switch {
+		case scrubbed && whitelisted:
+			report("reportjson.DriverStats.%s is both scrubbed in scrubStats and whitelisted as deterministic — pick one", f)
+		case !scrubbed && !whitelisted:
+			report("reportjson.DriverStats.%s is neither scrubbed in the server's scrubStats nor whitelisted in internal/lint — cached bodies may be nondeterministic", f)
+		}
+	}
+	for f := range deterministicStats {
+		if !contains(wireFields, f) {
+			report("lint whitelist names %s, which is not a reportjson.DriverStats field — stale entry", f)
+		}
+	}
+
+	sort.Strings(violations)
+	return violations, nil
+}
+
+// structFields returns the exported field names of the named struct type in
+// the file, in declaration order.
+func structFields(f *ast.File, typeName string) []string {
+	var out []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok || ts.Name.Name != typeName {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, fld := range st.Fields.List {
+			for _, name := range fld.Names {
+				if name.IsExported() {
+					out = append(out, name.Name)
+				}
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// funcBody returns the body of the named function or method in the file
+// (nil when absent).
+func funcBody(f *ast.File, name string) *ast.BlockStmt {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// selectorNames collects every selector field name (x.Sel for any x) used
+// anywhere in the file.
+func selectorNames(f *ast.File) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			out[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// selectorNamesOn collects selector field names rooted at the named
+// identifier (recv.Sel) within a function body.
+func selectorNamesOn(body *ast.BlockStmt, recv string) map[string]bool {
+	out := make(map[string]bool)
+	if body == nil {
+		return out
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+			out[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// assignTargets collects the field names assigned (plain or op-assign)
+// through the named receiver identifier within a function body.
+func assignTargets(body *ast.BlockStmt, recv string) map[string]bool {
+	out := make(map[string]bool)
+	if body == nil {
+		return out
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+				out[sel.Sel.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

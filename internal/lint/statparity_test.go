@@ -1,0 +1,18 @@
+package lint
+
+import "testing"
+
+// TestStatParity runs the stat-parity lint against the repository itself:
+// the chain driver stats → public API → wire encoding → /stats aggregation →
+// determinism scrub must be unbroken. CI also runs this test as an explicit
+// named step so a parity break is visible as a lint failure, not a generic
+// test failure.
+func TestStatParity(t *testing.T) {
+	violations, err := StatParity("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Error(v)
+	}
+}

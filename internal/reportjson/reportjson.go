@@ -58,8 +58,15 @@ type DriverStats struct {
 	SCCPResidual      int            `json:"sccp_residual"`
 	CheckFindingsPre  int            `json:"check_findings_pre"`
 	CheckFindingsPost int            `json:"check_findings_post"`
+	FoldAttempted     int            `json:"fold_attempted"`
+	FoldApplied       int            `json:"fold_applied"`
+	FoldDuplicated    int            `json:"fold_duplicated"`
+	ResidualBefore    int            `json:"sccp_residual_before"`
+	ResidualAfter     int            `json:"sccp_residual_after"`
+	FoldReduction     float64        `json:"fold_reduction"`
 	AnalysisWallNS    int64          `json:"analysis_wall_ns"`
 	ApplyWallNS       int64          `json:"apply_wall_ns"`
+	FoldWallNS        int64          `json:"fold_wall_ns"`
 }
 
 // CondReport mirrors icbe.CondReport.
@@ -141,8 +148,15 @@ func FromDriverStats(s icbe.DriverStats) DriverStats {
 		SCCPResidual:      s.SCCPResidual,
 		CheckFindingsPre:  s.CheckFindingsPre,
 		CheckFindingsPost: s.CheckFindingsPost,
+		FoldAttempted:     s.FoldAttempted,
+		FoldApplied:       s.FoldApplied,
+		FoldDuplicated:    s.FoldDuplicated,
+		ResidualBefore:    s.SCCPResidualBefore,
+		ResidualAfter:     s.SCCPResidualAfter,
+		FoldReduction:     s.FoldReduction,
 		AnalysisWallNS:    int64(s.AnalysisWall),
 		ApplyWallNS:       int64(s.ApplyWall),
+		FoldWallNS:        int64(s.FoldWall),
 	}
 }
 
@@ -193,8 +207,20 @@ func (d *DriverStats) Add(o DriverStats) {
 	d.SCCPResidual += o.SCCPResidual
 	d.CheckFindingsPre += o.CheckFindingsPre
 	d.CheckFindingsPost += o.CheckFindingsPost
+	d.FoldAttempted += o.FoldAttempted
+	d.FoldApplied += o.FoldApplied
+	d.FoldDuplicated += o.FoldDuplicated
+	d.ResidualBefore += o.ResidualBefore
+	d.ResidualAfter += o.ResidualAfter
+	// The residual-reduction ratio is recomputed from the summed before and
+	// after counts rather than summed itself, mirroring SCCPRecall above.
+	d.FoldReduction = 0
+	if d.ResidualBefore > 0 {
+		d.FoldReduction = float64(d.ResidualBefore-d.ResidualAfter) / float64(d.ResidualBefore)
+	}
 	d.AnalysisWallNS += o.AnalysisWallNS
 	d.ApplyWallNS += o.ApplyWallNS
+	d.FoldWallNS += o.FoldWallNS
 }
 
 // reuseRate is the incremental engine's hit rate: the fraction of all

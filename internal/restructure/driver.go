@@ -103,6 +103,16 @@ type DriverOptions struct {
 	// Unlike Verify it runs no inputs, so it covers all paths statically;
 	// the two oracles compose.
 	Check bool
+	// Fold enables the CCP-fact-driven residual fold pass (internal/fold):
+	// after the correlation rounds settle, the forward oracle's fact table
+	// classifies every remaining conditional, branches constant on all
+	// executable in-edges are folded whole, and edge-split residuals have
+	// their deciding in-edges redirected to the implied arm. Every fold is
+	// a transactional scratch-clone attempt gated by ir.Validate, the
+	// invariant passes, shadow execution, and a post-fold oracle re-check;
+	// vetoes roll back with FailFold. Independent of Check (the fold pass
+	// runs its own oracle), though the two compose naturally.
+	Fold bool
 }
 
 // CondReport records the per-conditional outcome of a driver run.
@@ -214,6 +224,24 @@ type DriverStats struct {
 	// outcome the oracle still decides — constant branches ICBE left in
 	// place (the recall gap of the demand-driven analysis).
 	SCCPResidual int
+	// FoldAttempted counts fold-pass rewrite attempts (DriverOptions.Fold):
+	// scratch clones the fold rewriter actually changed, gates and all.
+	// FoldApplied is the subset that survived every gate and was adopted;
+	// FoldDuplicated counts the in-edges edge-split folds redirected across
+	// adopted attempts (the duplication-based eliminations, degenerated to
+	// redirections).
+	FoldAttempted  int
+	FoldApplied    int
+	FoldDuplicated int
+	// SCCPResidualBefore and SCCPResidualAfter bracket the fold pass: the
+	// oracle's residual constant-branch count entering the pass and after
+	// its last adopted fold. Both stay zero when the pass is disabled.
+	SCCPResidualBefore int
+	SCCPResidualAfter  int
+	// FoldReduction is the fold pass's bite:
+	// (SCCPResidualBefore − SCCPResidualAfter) / SCCPResidualBefore,
+	// 0 when nothing was residual to begin with.
+	FoldReduction float64
 	// CheckFindingsPre and CheckFindingsPost count invariant lint findings
 	// on the input and final working programs (both 0 for sound inputs).
 	CheckFindingsPre  int
@@ -225,6 +253,7 @@ type DriverStats struct {
 	ApplyWall    time.Duration
 	VerifyWall   time.Duration
 	CheckWall    time.Duration
+	FoldWall     time.Duration
 }
 
 // DriverResult is the outcome of optimizing a whole program.
@@ -495,6 +524,13 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 		out.Stats.SNEMemoHits = memo.Hits()
 		out.Stats.CacheBytes = memo.Bytes()
 		out.Stats.SubtreesInvalidated = memo.Invalidated()
+	}
+	if opts.Fold {
+		// The second optimizer: fold the residual conditionals the oracle
+		// decides but the correlation rounds left behind. Runs before
+		// gate.finish so the Check layer's end-of-run residual metric
+		// reflects the folded program.
+		work = runFoldPass(ctx, work, opts, out)
 	}
 	if gate != nil {
 		gate.finish(work)

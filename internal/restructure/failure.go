@@ -40,6 +40,11 @@ const (
 	// finding (unreachable node, use-before-def, must-fail assertion) the
 	// working program did not have.
 	FailCheck
+	// FailFold: the residual fold pass (DriverOptions.Fold) vetoed a fold
+	// attempt — the folded clone failed validation, regressed an invariant
+	// pass, diverged under shadow execution, or presented a residual
+	// constant branch the pre-fold program did not have.
+	FailFold
 )
 
 func (k FailureKind) String() string {
@@ -56,6 +61,8 @@ func (k FailureKind) String() string {
 		return "timeout"
 	case FailCheck:
 		return "check"
+	case FailFold:
+		return "fold"
 	}
 	return fmt.Sprintf("FailureKind(%d)", int(k))
 }

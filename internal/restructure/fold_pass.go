@@ -1,0 +1,203 @@
+package restructure
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"icbe/internal/check"
+	"icbe/internal/fold"
+	"icbe/internal/ir"
+	"icbe/internal/pred"
+)
+
+// runFoldPass is the driver's second optimizer (DriverOptions.Fold): after
+// the correlation rounds settle, the CCP oracle's fact table (internal/fold)
+// names the residual conditionals it can decide, and each one is folded —
+// whole when constant on every executable in-edge, per-edge by redirection
+// for edge-split residuals — inside the same transactional harness the
+// correlation applies use. Every attempt runs on a scratch clone and must
+// survive pruning + ir.Validate, the invariant lint passes against the
+// working program's baseline, differential shadow execution (always, even
+// when DriverOptions.Verify is off — folds trust a different oracle than the
+// correlation analysis, so they buy their own dynamic evidence), and a
+// post-fold oracle re-check that vetoes any fold creating a residual that
+// was not there before. A veto discards the clone and counts a FailFold;
+// the working program is never replaced by a program that failed a gate.
+func runFoldPass(ctx context.Context, work *ir.Program, opts DriverOptions, out *DriverResult) *ir.Program {
+	t0 := time.Now()
+	stats := &out.Stats
+	defer func() { stats.FoldWall += time.Since(t0) }()
+
+	base := check.AnalyzeInvariants(work)
+	facts := fold.Compute(work, base.SCCP)
+	stats.SCCPResidualBefore = facts.Residual
+	inputs := verifyInputs(opts)
+
+	// Entries that already have no predecessors when the pass starts were
+	// uncalled on input (or intentionally left by the correlation rounds);
+	// the fold pass's prune must not delete them, mirroring the
+	// restructurer's initiallyDead contract.
+	initiallyDead := make(map[ir.NodeID]bool)
+	for _, pr := range work.Procs {
+		if pr == nil {
+			continue
+		}
+		for _, e := range pr.Entries {
+			if n := work.Node(e); n != nil && len(n.Preds) == 0 {
+				initiallyDead[e] = true
+			}
+		}
+	}
+
+	// Adopted folds are budgeted like the driver's work queue: redirections
+	// move edges forward through the graph and on adversarial loop shapes
+	// two branches can trade the same in-edge back and forth indefinitely,
+	// each exchange a semantically sound adopt.
+	budget := 8*len(facts.Branches) + 64
+
+	for ctx.Err() == nil && budget > 0 {
+		applied := false
+		for i := range facts.Branches {
+			bf := &facts.Branches[i]
+			if !bf.Foldable() || ctx.Err() != nil {
+				continue
+			}
+			if bf.Class == fold.ClassEdgeSplit && opts.MaxDuplication > 0 &&
+				outcomeClasses(bf) > opts.MaxDuplication {
+				// A Breitner-style duplication scheme would materialize one
+				// copy of the conditional per deciding outcome class; the
+				// degenerate redirection adds zero operations, but the
+				// driver's duplication budget still gates the estimate.
+				continue
+			}
+			scratch := ir.Clone(work)
+			stats.Clones++
+			redirected, changed, fail := foldOne(work, scratch, bf, base, initiallyDead, inputs, stats)
+			if !changed {
+				continue
+			}
+			stats.FoldAttempted++
+			if fail != nil {
+				stats.countFailure(fail.Kind)
+				continue
+			}
+			work = scratch
+			stats.FoldApplied++
+			stats.FoldDuplicated += redirected
+			applied = true
+			budget--
+			base = check.AnalyzeInvariants(work)
+			facts = fold.Compute(work, base.SCCP)
+			break
+		}
+		if !applied {
+			break
+		}
+	}
+	stats.SCCPResidualAfter = facts.Residual
+	if stats.SCCPResidualBefore > 0 {
+		stats.FoldReduction = float64(stats.SCCPResidualBefore-stats.SCCPResidualAfter) /
+			float64(stats.SCCPResidualBefore)
+	}
+	return work
+}
+
+// foldOne performs one transactional fold attempt on the scratch clone,
+// running the full gate sequence. Every non-nil failure means the caller
+// discards the clone — that is the rollback. changed is false when the
+// rewriter had nothing safe to do for this row (no attempt happened).
+func foldOne(work, scratch *ir.Program, bf *fold.BranchFact, base *check.Report,
+	initiallyDead map[ir.NodeID]bool, inputs [][]int64,
+	stats *DriverStats) (redirected int, changed bool, fail *BranchFailure) {
+	defer func() {
+		if r := recover(); r != nil {
+			// The scratch may be arbitrarily damaged; report the attempt and
+			// let the caller discard it.
+			redirected, changed = 0, true
+			fail = panicFailure(bf.Branch, bf.Line, r)
+		}
+	}()
+	redirected, changed = fold.Apply(scratch, bf)
+	if !changed {
+		return 0, false, nil
+	}
+	pruneProgram(scratch, initiallyDead, nil)
+	if err := ir.Validate(scratch); err != nil {
+		return redirected, true, &BranchFailure{Kind: FailFold, Cond: bf.Branch, Line: bf.Line,
+			Msg: "folded program failed structural validation", Err: err}
+	}
+	rep := check.AnalyzeInvariants(scratch)
+	// Registry order, not map order, so the reported pass is deterministic
+	// when several regress at once.
+	for _, p := range check.Passes() {
+		pass := p.Name()
+		n, ok := rep.PerPass[pass]
+		if !ok || n <= base.PerPass[pass] {
+			continue
+		}
+		f, _ := rep.FirstFinding(pass)
+		return redirected, true, &BranchFailure{Kind: FailFold, Cond: bf.Branch, Line: bf.Line,
+			Msg: "folded program raised " + pass + " finding: " + f.Msg}
+	}
+	if f := verifyShadow(work, scratch, inputs, stats); f != nil {
+		return redirected, true, &BranchFailure{Kind: FailFold, Cond: bf.Branch, Line: bf.Line,
+			Msg: "fold failed shadow verification (" + f.Kind.String() + "): " + f.Msg, Err: f.Err}
+	}
+	if id, bad := newResidual(work, scratch, base.SCCP, rep.SCCP); bad {
+		return redirected, true, &BranchFailure{Kind: FailFold, Cond: bf.Branch, Line: bf.Line,
+			Msg: fmt.Sprintf("fold created a new residual constant branch at node %d", id)}
+	}
+	return redirected, true, nil
+}
+
+// newResidual reports an analyzable branch the oracle decides on the folded
+// program but did not decide before the fold — the post-fold re-check's
+// veto condition. Edge redirections remove meet operands from the folded
+// branch's successors and can legitimately increase the oracle's precision
+// elsewhere, so the veto is conservative: it may reject a beneficial fold,
+// never adopt one that moves the residual count the wrong way.
+func newResidual(before, after *ir.Program, sBefore, sAfter *check.SCCP) (ir.NodeID, bool) {
+	found := ir.NoNode
+	after.LiveNodes(func(n *ir.Node) {
+		if found != ir.NoNode || n.Kind != ir.NBranch || !n.Analyzable() {
+			return
+		}
+		if sAfter.BranchOutcome(n.ID) == pred.Unknown {
+			return
+		}
+		bn := before.Node(n.ID)
+		if bn != nil && bn.Kind == ir.NBranch && bn.Analyzable() &&
+			sBefore.BranchOutcome(n.ID) != pred.Unknown {
+			return // was already residual before the fold
+		}
+		found = n.ID
+	})
+	return found, found != ir.NoNode
+}
+
+// outcomeClasses counts the distinct outcomes the live deciding in-edges of
+// an edge-split row imply — the number of conditional copies a
+// duplication-based scheme would create.
+func outcomeClasses(bf *fold.BranchFact) int {
+	var t, f bool
+	for _, e := range bf.Edges {
+		if !e.Live {
+			continue
+		}
+		switch e.Outcome {
+		case pred.True:
+			t = true
+		case pred.False:
+			f = true
+		}
+	}
+	n := 0
+	if t {
+		n++
+	}
+	if f {
+		n++
+	}
+	return n
+}

@@ -11,7 +11,7 @@ import (
 // taxonomy, so a kind added here is automatically covered there.
 func AllFailureKinds() []FailureKind {
 	return []FailureKind{
-		FailPanic, FailValidate, FailDiffMismatch, FailOpGrowth, FailTimeout, FailCheck,
+		FailPanic, FailValidate, FailDiffMismatch, FailOpGrowth, FailTimeout, FailCheck, FailFold,
 	}
 }
 

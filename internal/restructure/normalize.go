@@ -148,12 +148,40 @@ func (rc *reachCache) reaches(entry, target ir.NodeID) bool {
 // successors are dead ends; and a branch with exactly one surviving arm
 // always takes it and becomes unconditional.
 func (r *rest) prune() {
+	pruneProgram(r.p, r.initiallyDead, func(id ir.NodeID) { delete(r.ans, id) })
+}
+
+// pruneProgram is the standalone form of the sweep, shared with the fold
+// pass (which prunes scratch clones with no restructuring state around).
+// initiallyDead protects entries that were already uncalled before the
+// caller's transformation; onRemove, when non-nil, observes every deleted
+// node so callers can drop their own per-node bookkeeping.
+func pruneProgram(p *ir.Program, initiallyDead map[ir.NodeID]bool, onRemove func(ir.NodeID)) {
+	remove := func(id ir.NodeID) {
+		n := p.Node(id)
+		if n == nil {
+			return
+		}
+		if n.Proc >= 0 && n.Proc < len(p.Procs) && p.Procs[n.Proc] != nil {
+			pr := p.Procs[n.Proc]
+			switch n.Kind {
+			case ir.NEntry:
+				pr.Entries = removeID(pr.Entries, id)
+			case ir.NExit:
+				pr.Exits = removeID(pr.Exits, id)
+			}
+		}
+		p.DeleteNode(id)
+		if onRemove != nil {
+			onRemove(id)
+		}
+	}
 	// Generation-marked reachability scratch, shared across fixpoint
 	// iterations: one O(nodes + edges) sweep over all procedures per
 	// iteration, instead of a per-procedure scan of the whole node arena
 	// (which made each iteration O(procs × nodes) — quadratic at the 100k-node
 	// scale the stress benchmark runs).
-	seen := make([]uint32, len(r.p.Nodes))
+	seen := make([]uint32, len(p.Nodes))
 	gen := uint32(0)
 	var stack []ir.NodeID
 	for {
@@ -161,14 +189,14 @@ func (r *rest) prune() {
 		changed := false
 		// Drop dead entries (never for main, which is invoked externally,
 		// and never for procedures that were already uncalled on input).
-		for _, pr := range r.p.Procs {
-			if pr.Index == r.p.MainProc {
+		for _, pr := range p.Procs {
+			if pr == nil || pr.Index == p.MainProc {
 				continue
 			}
 			for _, e := range append([]ir.NodeID(nil), pr.Entries...) {
-				n := r.p.Node(e)
-				if n != nil && len(n.Preds) == 0 && !r.initiallyDead[e] {
-					r.removeNode(e)
+				n := p.Node(e)
+				if n != nil && len(n.Preds) == 0 && !initiallyDead[e] {
+					remove(e)
 					changed = true
 				}
 			}
@@ -177,9 +205,12 @@ func (r *rest) prune() {
 		// partition the node arena and the walk never crosses a procedure
 		// boundary, so all entries seed one flood fill.
 		stack = stack[:0]
-		for _, pr := range r.p.Procs {
+		for _, pr := range p.Procs {
+			if pr == nil {
+				continue
+			}
 			for _, e := range pr.Entries {
-				if r.p.Node(e) != nil && seen[e] != gen {
+				if p.Node(e) != nil && seen[e] != gen {
 					seen[e] = gen
 					stack = append(stack, e)
 				}
@@ -188,9 +219,9 @@ func (r *rest) prune() {
 		for len(stack) > 0 {
 			id := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			n := r.p.Node(id)
+			n := p.Node(id)
 			for _, s := range n.Succs {
-				sn := r.p.Node(s)
+				sn := p.Node(s)
 				if sn == nil || sn.Proc != n.Proc || seen[s] == gen {
 					continue
 				}
@@ -199,29 +230,29 @@ func (r *rest) prune() {
 			}
 		}
 		var unreachable []ir.NodeID
-		r.p.LiveNodes(func(n *ir.Node) {
+		p.LiveNodes(func(n *ir.Node) {
 			if seen[n.ID] != gen {
 				unreachable = append(unreachable, n.ID)
 			}
 		})
 		for _, id := range unreachable {
-			if r.p.Node(id) != nil {
-				r.removeNode(id)
+			if p.Node(id) != nil {
+				remove(id)
 				changed = true
 			}
 		}
 		// Structural cascades.
 		var victims []ir.NodeID
 		var unbranch []ir.NodeID
-		r.p.LiveNodes(func(n *ir.Node) {
+		p.LiveNodes(func(n *ir.Node) {
 			switch n.Kind {
 			case ir.NCallExit:
-				calls, exits := r.callExitPreds(n)
+				calls, exits := callExitPredsOf(p, n)
 				if len(calls) == 0 || len(exits) == 0 {
 					victims = append(victims, n.ID)
 				}
 			case ir.NCall:
-				if len(r.p.CallExitSuccs(n)) == 0 {
+				if len(p.CallExitSuccs(n)) == 0 {
 					victims = append(victims, n.ID)
 				}
 			case ir.NBranch:
@@ -239,15 +270,15 @@ func (r *rest) prune() {
 			}
 		})
 		for _, id := range victims {
-			if r.p.Node(id) != nil {
-				r.removeNode(id)
+			if p.Node(id) != nil {
+				remove(id)
 				changed = true
 			}
 		}
 		// A branch whose other arm was proven unreachable always takes the
 		// surviving arm.
 		for _, id := range unbranch {
-			n := r.p.Node(id)
+			n := p.Node(id)
 			if n == nil || len(n.Succs) != 1 {
 				continue
 			}

@@ -465,8 +465,12 @@ func hasExitSupplier(sups []analysis.EdgeSupplier) bool {
 }
 
 func (r *rest) callExitPreds(node *ir.Node) (calls, exits []ir.NodeID) {
+	return callExitPredsOf(r.p, node)
+}
+
+func callExitPredsOf(p *ir.Program, node *ir.Node) (calls, exits []ir.NodeID) {
 	for _, m := range node.Preds {
-		mn := r.p.Node(m)
+		mn := p.Node(m)
 		if mn == nil {
 			continue
 		}

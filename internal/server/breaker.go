@@ -57,12 +57,13 @@ func (s breakerState) String() string {
 
 // pinFor maps a failure kind to the tier that no longer exhibits it: the
 // ceiling an open breaker imposes on new requests. Verify-only kinds pin
-// just below the shadow oracle, check refusals below the static layer,
-// timeouts at the cheap intraprocedural analysis, and restructuring faults
-// (panic, validate) at the only rung that does not restructure at all.
+// just below the shadow oracle, fold vetoes just below the full tier (the
+// only rung that folds), check refusals below the static layer, timeouts at
+// the cheap intraprocedural analysis, and restructuring faults (panic,
+// validate) at the only rung that does not restructure at all.
 func pinFor(kind string) Tier {
 	switch kind {
-	case restructure.FailDiffMismatch.String(), restructure.FailOpGrowth.String():
+	case restructure.FailDiffMismatch.String(), restructure.FailOpGrowth.String(), restructure.FailFold.String():
 		return TierCheckOnly
 	case restructure.FailCheck.String():
 		return TierNoOracles

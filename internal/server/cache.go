@@ -41,6 +41,7 @@ type requestShape struct {
 	Workers  int     `json:"workers"` // effective, post-clamp
 	FullOnly bool    `json:"full_only"`
 	Compact  bool    `json:"compact"`
+	Fold     bool    `json:"fold"`
 	Run      bool    `json:"run"`
 	Input    []int64 `json:"input"`
 	NoDump   bool    `json:"no_dump"`
@@ -56,6 +57,7 @@ func (s *Server) fingerprintRequest(req *OptimizeRequest) store.Fingerprint {
 		Workers:  o.Workers,
 		FullOnly: o.FullOnly,
 		Compact:  o.Compact,
+		Fold:     o.Fold,
 		Run:      req.Run || len(req.Input) > 0,
 		Input:    req.Input,
 		NoDump:   req.NoDump,
@@ -84,6 +86,11 @@ func scrubStats(d *reportjson.DriverStats) {
 	d.CheckWallNS = 0
 	d.AnalysisWallNS = 0
 	d.ApplyWallNS = 0
+	d.FoldWallNS = 0
+	// The fold counters (FoldAttempted/Applied/Duplicated, the residual
+	// before/after pair, and the recomputed reduction ratio) are deliberately
+	// kept: the fold pass adopts folds in deterministic fact-table order, so
+	// they are pure functions of (program, request shape).
 }
 
 // buildBody renders the deterministic response body for a terminal ladder

@@ -51,12 +51,16 @@ func (t Tier) String() string {
 	return fmt.Sprintf("Tier(%d)", int(t))
 }
 
-// configure maps the tier onto the optimizer's option set.
+// configure maps the tier onto the optimizer's option set. The fold pass is
+// a full-tier feature: it gates every fold on the shadow oracle and a CCP
+// re-check, so any rung that drops an oracle drops the fold too.
 func (t Tier) configure(o icbe.Options) icbe.Options {
-	o.Verify, o.Check, o.CheckFatal = false, false, false
+	fold := o.Fold
+	o.Verify, o.Check, o.CheckFatal, o.Fold = false, false, false, false
 	switch t {
 	case TierFull:
 		o.Verify, o.Check, o.CheckFatal = true, true, true
+		o.Fold = fold
 	case TierCheckOnly:
 		o.Check, o.CheckFatal = true, true
 	case TierNoOracles:

@@ -242,6 +242,11 @@ type RequestOptions struct {
 	FullOnly bool `json:"full_only,omitempty"`
 	// Compact contracts synthetic no-op nodes after optimization.
 	Compact bool `json:"compact,omitempty"`
+	// Fold enables the residual constant-branch fold pass after the
+	// correlation rounds. It only runs at the full tier: the fold pass
+	// insists on its own shadow and re-check gates, so the degradation
+	// ladder drops it together with the other oracles.
+	Fold bool `json:"fold,omitempty"`
 }
 
 // OptimizeResponse is the /optimize response body. Tier labels the rung that
@@ -431,6 +436,7 @@ func (s *Server) baseOptions(ro *RequestOptions) icbe.Options {
 	}
 	o.FullOnly = ro.FullOnly
 	o.Compact = ro.Compact
+	o.Fold = ro.Fold
 	return o
 }
 

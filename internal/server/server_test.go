@@ -114,7 +114,7 @@ func TestHealthzReadyzStats(t *testing.T) {
 	if snap.Ceiling != "full" {
 		t.Fatalf("ceiling = %q, want full", snap.Ceiling)
 	}
-	if len(snap.Breakers) != 6 {
+	if len(snap.Breakers) != 7 {
 		t.Fatalf("breakers = %d entries, want one per failure kind", len(snap.Breakers))
 	}
 	if snap.QueueDepth != 0 || snap.InFlight != 0 || snap.InFlightBytes != 0 {
