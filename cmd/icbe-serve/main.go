@@ -9,10 +9,16 @@
 //
 // Endpoints:
 //
-//	POST /optimize  {"program": "...", "deadline_ms": 2000, "input": [1,2]}
-//	GET  /healthz   liveness
-//	GET  /readyz    readiness (503 while draining)
-//	GET  /stats     aggregate service statistics
+//	POST /optimize        {"program": "...", "deadline_ms": 2000, "input": [1,2]}
+//	POST /optimize-batch  {"items": [{...}, {...}]} — per-item isolation
+//	GET  /healthz         liveness
+//	GET  /readyz          readiness (503 while draining)
+//	GET  /stats           aggregate service statistics
+//
+// With -pool-workers > 0 the server keeps a pool of disposable worker
+// processes (re-execs of this binary unless -worker-bin overrides) that
+// pre-analyze large programs per-procedure; worker crashes only cost warmth,
+// never change response bytes.
 //
 // SIGTERM or SIGINT starts a graceful drain: admission stops, in-flight
 // requests finish by their deadlines (cancelled cooperatively after
@@ -32,10 +38,14 @@ import (
 	"syscall"
 	"time"
 
+	"icbe/internal/pool"
 	"icbe/internal/server"
 )
 
 func main() {
+	// A re-exec'd worker never reaches flag parsing: it speaks the pool
+	// protocol on stdin/stdout and exits when the supervisor closes the pipe.
+	pool.MaybeWorkerMain()
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		maxInFlight = flag.Int("max-inflight", 4, "concurrent optimizations")
@@ -52,6 +62,10 @@ func main() {
 		brkMaxCool  = flag.Duration("breaker-max-cooldown", 30*time.Second, "breaker cooldown cap under repeated failed probes")
 		cacheSize   = flag.Int("cache-entries", 1024, "in-memory result cache entries; 0 disables the memory layer")
 		storeDir    = flag.String("store-dir", "", "durable result+summary store directory; empty disables the disk layer")
+		poolWorkers = flag.Int("pool-workers", 0, "analysis worker processes; 0 keeps analysis in-process")
+		workerBin   = flag.String("worker-bin", "", "worker executable (empty re-execs this binary)")
+		poolMin     = flag.Int("pool-min-conds", 8, "minimum analyzable conditionals before a program is pool-sharded")
+		batchItems  = flag.Int("max-batch-items", 16, "item cap per /optimize-batch request")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -70,6 +84,10 @@ func main() {
 		Workers:          *workers,
 		CacheEntries:     *cacheSize,
 		StoreDir:         *storeDir,
+		PoolWorkers:      *poolWorkers,
+		WorkerBin:        *workerBin,
+		PoolMinConds:     *poolMin,
+		MaxBatchItems:    *batchItems,
 		Breaker: server.BreakerConfig{
 			Window:        *brkWindow,
 			TripThreshold: *brkTrip,

@@ -1,0 +1,29 @@
+// Command icbe-worker is the standalone analysis worker for the server's
+// fault-isolated pool (internal/pool). It is normally not run by hand:
+// icbe-serve re-execs itself as its own workers, and this binary exists for
+// deployments that want a separate, smaller worker image (point icbe-serve's
+// -worker-bin at it).
+//
+// The worker speaks the pool's length-prefixed frame protocol on
+// stdin/stdout — jobs in, heartbeats and portable summary records out — and
+// exits when the supervisor closes the pipe. It holds no state worth saving:
+// killing one at any moment costs the supervisor a re-dispatch, nothing
+// more.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"icbe/internal/pool"
+)
+
+func main() {
+	pool.MaybeWorkerMain()
+	// Without the pool environment marker this was launched by hand; run the
+	// protocol on stdio anyway so `icbe-worker < frames` works for debugging.
+	if err := pool.WorkerMain(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "icbe-worker:", err)
+		os.Exit(1)
+	}
+}

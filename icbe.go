@@ -205,6 +205,13 @@ type Options struct {
 	// counters aside). Only the interprocedural analysis has summaries. The
 	// memo must not be shared between concurrent runs.
 	SummaryMemo *analysis.SummaryMemo
+	// SeedRecords are portable summary records injected into the run's
+	// summary memo before the first round — the worker pool's pre-analysis
+	// seed. Injection is strict verify-on-read and replay is exact, so
+	// seeds accelerate the run without changing the optimized program or
+	// the report (Report.Stats.SeedsInjected aside). Ignored for runs
+	// without a summary memo (intraprocedural or Scratch).
+	SeedRecords []analysis.PortableRecord
 	// Scratch disables the cross-round incremental engine (summary memo
 	// and root records): every requeued conditional re-analyzes from
 	// scratch. The optimized program and report are identical either way;
@@ -299,6 +306,10 @@ type DriverStats struct {
 	SNEMemoEntries int
 	SNEMemoHits    int64
 	CacheBytes     int64
+	// SeedsInjected counts portable records accepted from
+	// Options.SeedRecords into the run's memo before the first round (the
+	// worker pool's pre-analysis seed, post verify-on-read).
+	SeedsInjected int
 	// QueriesReused counts node–query pairs reconstructed from memo records
 	// (summary and root-record replays) instead of re-propagated;
 	// SubtreesInvalidated counts cached subtrees dropped because a
@@ -411,6 +422,7 @@ func (p *Program) OptimizeContext(ctx context.Context, opts Options) (op *Progra
 		BranchTimeout:  opts.BranchTimeout,
 		Ctx:            opts.Ctx,
 		Memo:           opts.SummaryMemo,
+		SeedRecords:    opts.SeedRecords,
 		Scratch:        opts.Scratch,
 	})
 	if opts.Compact {
@@ -432,6 +444,7 @@ func (p *Program) OptimizeContext(ctx context.Context, opts Options) (op *Progra
 			SNEMemoEntries:      dr.Stats.SNEMemoEntries,
 			SNEMemoHits:         dr.Stats.SNEMemoHits,
 			CacheBytes:          dr.Stats.CacheBytes,
+			SeedsInjected:       dr.Stats.SeedsInjected,
 			QueriesReused:       dr.Stats.QueriesReused,
 			SubtreesInvalidated: dr.Stats.SubtreesInvalidated,
 			PairsTotal:          dr.Stats.PairsTotal,

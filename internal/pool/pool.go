@@ -1,0 +1,643 @@
+package pool
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icbe/internal/analysis"
+)
+
+// Config tunes the supervisor. The zero value is usable: every field has a
+// production-shaped default.
+type Config struct {
+	// Workers is the number of worker processes kept alive.
+	Workers int
+	// WorkerBin is the worker executable; empty re-execs the current binary
+	// (os.Executable) with WorkerEnv set, so any binary that calls
+	// MaybeWorkerMain first thing in main can host workers.
+	WorkerBin  string
+	WorkerArgs []string
+	// ExtraEnv is appended to the worker environment (chaos directives in
+	// tests ride here).
+	ExtraEnv []string
+	// HeartbeatTimeout is how long a worker may go silent before the
+	// supervisor declares it hung and kills it. Workers beat every
+	// workerHeartbeatInterval; the timeout must exceed that comfortably.
+	HeartbeatTimeout time.Duration
+	// RestartBackoff/RestartBackoffCap shape the capped exponential backoff
+	// between a worker slot's consecutive respawns; a worker that survives
+	// HealthyAfter resets its slot's backoff.
+	RestartBackoff    time.Duration
+	RestartBackoffCap time.Duration
+	HealthyAfter      time.Duration
+	// BreakerRestarts restarts within BreakerWindow open the pool breaker
+	// for BreakerCooldown: Healthy reports false and callers fall back to
+	// the in-process path while the pool sorts itself out.
+	BreakerWindow   time.Duration
+	BreakerRestarts int
+	BreakerCooldown time.Duration
+	// HedgeFraction of the shard deadline without an answer triggers a
+	// hedged re-dispatch to a second worker; the first answer wins.
+	HedgeFraction float64
+	// MaxShardAttempts caps dispatches per shard (primary + hedges +
+	// crash re-dispatches) before the shard degrades to "no seed".
+	MaxShardAttempts int
+	// Logf receives supervisor events (restarts, breaker trips); nil
+	// discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 2 * time.Second
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 50 * time.Millisecond
+	}
+	if c.RestartBackoffCap <= 0 {
+		c.RestartBackoffCap = 2 * time.Second
+	}
+	if c.HealthyAfter <= 0 {
+		c.HealthyAfter = 3 * time.Second
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 10 * time.Second
+	}
+	if c.BreakerRestarts <= 0 {
+		c.BreakerRestarts = 8
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 3 * time.Second
+	}
+	if c.HedgeFraction <= 0 || c.HedgeFraction >= 1 {
+		c.HedgeFraction = 0.5
+	}
+	if c.MaxShardAttempts <= 0 {
+		c.MaxShardAttempts = 4
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Pool supervises the worker processes. Create with New, stop with Close.
+type Pool struct {
+	cfg Config
+	bin string
+
+	mu           sync.Mutex
+	workers      []*workerProc // one slot per configured worker; nil while down
+	slotBackoff  []time.Duration
+	restartTimes []time.Time
+	breakerUntil time.Time
+	closed       bool
+
+	nextJob atomic.Uint64
+	nextGen atomic.Int64
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	restarts   atomic.Int64
+	hedges     atomic.Int64
+	seedRuns   atomic.Int64
+	dispatched atomic.Int64
+	completedN atomic.Int64
+	degradedN  atomic.Int64
+	records    atomic.Int64
+}
+
+// Snapshot is the pool's gauge block for /stats. The shard counters
+// reconcile exactly: every dispatched shard ends completed or degraded.
+type Snapshot struct {
+	WorkersConfigured int    `json:"workers_configured"`
+	WorkersLive       int    `json:"workers_live"`
+	Breaker           string `json:"breaker"`
+	Restarts          int64  `json:"restarts"`
+	Hedges            int64  `json:"hedges"`
+	SeedRuns          int64  `json:"seed_runs"`
+	ShardsDispatched  int64  `json:"shards_dispatched"`
+	ShardsCompleted   int64  `json:"shards_completed"`
+	ShardsDegraded    int64  `json:"shards_degraded"`
+	RecordsReturned   int64  `json:"records_returned"`
+}
+
+// New resolves the worker binary and starts the configured workers. Spawn
+// failures are not fatal — the restart machinery keeps trying under backoff
+// and the breaker reports the pool unhealthy in the meantime — so the only
+// error is being unable to name a worker binary at all.
+func New(cfg Config) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	bin := cfg.WorkerBin
+	if bin == "" {
+		self, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		bin = self
+	}
+	p := &Pool{
+		cfg:         cfg,
+		bin:         bin,
+		workers:     make([]*workerProc, cfg.Workers),
+		slotBackoff: make([]time.Duration, cfg.Workers),
+		stop:        make(chan struct{}),
+	}
+	for slot := 0; slot < cfg.Workers; slot++ {
+		p.startWorker(slot)
+	}
+	p.wg.Add(1)
+	go p.monitor()
+	return p, nil
+}
+
+// Close kills every worker and waits for the supervisor goroutines to
+// unwind. Idempotent; no worker process survives it.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	ws := append([]*workerProc(nil), p.workers...)
+	p.mu.Unlock()
+	close(p.stop)
+	for _, w := range ws {
+		if w != nil {
+			w.kill()
+		}
+	}
+	p.wg.Wait()
+}
+
+// Healthy reports whether the pool is worth dispatching to: the restart
+// breaker is closed and at least one worker is live. Callers treat false as
+// "seed in-process instead" — never as a request failure.
+func (p *Pool) Healthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || time.Now().Before(p.breakerUntil) {
+		return false
+	}
+	for _, w := range p.workers {
+		if w != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns the current gauge snapshot.
+func (p *Pool) Stats() Snapshot {
+	p.mu.Lock()
+	live := 0
+	for _, w := range p.workers {
+		if w != nil {
+			live++
+		}
+	}
+	breaker := "closed"
+	if time.Now().Before(p.breakerUntil) {
+		breaker = "open"
+	}
+	p.mu.Unlock()
+	return Snapshot{
+		WorkersConfigured: p.cfg.Workers,
+		WorkersLive:       live,
+		Breaker:           breaker,
+		Restarts:          p.restarts.Load(),
+		Hedges:            p.hedges.Load(),
+		SeedRuns:          p.seedRuns.Load(),
+		ShardsDispatched:  p.dispatched.Load(),
+		ShardsCompleted:   p.completedN.Load(),
+		ShardsDegraded:    p.degradedN.Load(),
+		RecordsReturned:   p.records.Load(),
+	}
+}
+
+// WorkerPIDs returns the live workers' process IDs — the chaos tests' kill
+// list.
+func (p *Pool) WorkerPIDs() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var pids []int
+	for _, w := range p.workers {
+		if w != nil && w.cmd.Process != nil {
+			pids = append(pids, w.cmd.Process.Pid)
+		}
+	}
+	return pids
+}
+
+// Analyze shards progKey/progBytes across the pool and returns the merged
+// portable records plus the number of shards that produced nothing
+// (crashed out of attempts, or the deadline hit first). It never fails:
+// worst case is (nil, len(shards)) and the caller runs cold. The records
+// are untrusted until the caller Injects them — validation is the memo's
+// job, deliberately not duplicated here.
+func (p *Pool) Analyze(ctx context.Context, progKey string, progBytes []byte, shards []Shard, opts JobOptions) ([]analysis.PortableRecord, int) {
+	if len(shards) == 0 {
+		return nil, 0
+	}
+	p.seedRuns.Add(1)
+	results := make([][]analysis.PortableRecord, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		p.dispatched.Add(1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = p.runShard(ctx, progKey, progBytes, shards[i], opts)
+		}(i)
+	}
+	wg.Wait()
+	degraded := 0
+	var merged []analysis.PortableRecord
+	for _, recs := range results {
+		if recs == nil {
+			degraded++
+			p.degradedN.Add(1)
+			continue
+		}
+		p.completedN.Add(1)
+		p.records.Add(int64(len(recs)))
+		merged = append(merged, recs...)
+	}
+	return merged, degraded
+}
+
+// runShard drives one shard to completion or degradation: primary dispatch,
+// hedged re-dispatch after HedgeFraction of the deadline, immediate
+// re-dispatch when a worker dies under it, and a bounded wait for a restart
+// when no worker is live. Returns nil records on degradation (a completed
+// shard with zero records returns an empty non-nil slice).
+func (p *Pool) runShard(ctx context.Context, progKey string, progBytes []byte, sh Shard, opts JobOptions) []analysis.PortableRecord {
+	got := make(chan resultMsg, p.cfg.MaxShardAttempts)
+	attempts, outstanding := 0, 0
+	lastGen := int64(-1)
+
+	dispatch := func() bool {
+		if attempts >= p.cfg.MaxShardAttempts {
+			return false
+		}
+		w := p.pickWorker(lastGen)
+		if w == nil {
+			return false
+		}
+		deadlineMS := int64(0)
+		if dl, ok := ctx.Deadline(); ok {
+			rem := time.Until(dl)
+			if rem <= 0 {
+				return false
+			}
+			deadlineMS = int64(rem/time.Millisecond) + 1
+		}
+		job := jobMsg{
+			Type: msgJob, ID: p.nextJob.Add(1), ProgKey: progKey,
+			Conds: sh.Conds, Opts: opts, DeadlineMS: deadlineMS,
+		}
+		ch, err := w.send(job, progBytes)
+		if err != nil {
+			return false
+		}
+		lastGen = w.gen
+		attempts++
+		outstanding++
+		go func() { got <- <-ch }()
+		return true
+	}
+
+	hedgeAfter := p.cfg.HeartbeatTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		hedgeAfter = time.Duration(float64(time.Until(dl)) * p.cfg.HedgeFraction)
+	}
+	hedge := time.NewTimer(hedgeAfter)
+	defer hedge.Stop()
+	hedgeC := hedge.C
+
+	// A restart-wait ticker drives re-dispatch while every worker is down
+	// (mid-backoff after a crash): the shard waits for a respawn instead of
+	// degrading the moment the pool blinks.
+	retry := time.NewTicker(20 * time.Millisecond)
+	defer retry.Stop()
+
+	dispatch()
+	for {
+		if outstanding == 0 {
+			if attempts >= p.cfg.MaxShardAttempts {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-retry.C:
+				dispatch()
+				continue
+			}
+		}
+		select {
+		case r := <-got:
+			outstanding--
+			if r.Err == "" {
+				if r.Records == nil {
+					r.Records = []analysis.PortableRecord{}
+				}
+				return r.Records
+			}
+			dispatch()
+		case <-hedgeC:
+			hedgeC = nil
+			if dispatch() {
+				p.hedges.Add(1)
+			}
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// pickWorker chooses a live worker, preferring one that is not the given
+// generation (hedges and retries should land elsewhere) and breaking ties
+// toward the lightest load, then the lowest slot.
+func (p *Pool) pickWorker(avoidGen int64) *workerProc {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var best *workerProc
+	better := func(w, cur *workerProc) bool {
+		if cur == nil {
+			return true
+		}
+		wAvoid, curAvoid := w.gen == avoidGen, cur.gen == avoidGen
+		if wAvoid != curAvoid {
+			return curAvoid
+		}
+		return w.load.Load() < cur.load.Load()
+	}
+	for _, w := range p.workers {
+		if w != nil && better(w, best) {
+			best = w
+		}
+	}
+	return best
+}
+
+// workerProc is one live worker incarnation.
+type workerProc struct {
+	p       *Pool
+	slot    int
+	gen     int64
+	started time.Time
+	cmd     *exec.Cmd
+	stdin   io.WriteCloser
+
+	wmu  sync.Mutex // serializes job-frame writes and the seen-programs set
+	seen map[string]bool
+
+	pmu     sync.Mutex
+	dead    bool
+	pending map[uint64]chan resultMsg
+
+	lastBeat atomic.Int64
+	load     atomic.Int64
+}
+
+// startWorker spawns the worker for a slot. Failures route through
+// workerDown, which schedules the next attempt under backoff.
+func (p *Pool) startWorker(slot int) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+
+	cmd := exec.Command(p.bin, p.cfg.WorkerArgs...)
+	cmd.Env = append(os.Environ(), WorkerEnv+"=1")
+	cmd.Env = append(cmd.Env, p.cfg.ExtraEnv...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		p.workerDown(slot, nil)
+		return
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		p.workerDown(slot, nil)
+		return
+	}
+	if err := cmd.Start(); err != nil {
+		p.cfg.Logf("pool: worker slot %d failed to start: %v", slot, err)
+		p.workerDown(slot, nil)
+		return
+	}
+	w := &workerProc{
+		p: p, slot: slot, gen: p.nextGen.Add(1), started: time.Now(),
+		cmd: cmd, stdin: stdin,
+		seen:    make(map[string]bool),
+		pending: make(map[uint64]chan resultMsg),
+	}
+	w.lastBeat.Store(time.Now().UnixNano())
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return
+	}
+	p.workers[slot] = w
+	p.mu.Unlock()
+
+	p.wg.Add(2)
+	go w.readLoop(stdout)
+	go w.waitLoop()
+}
+
+// waitLoop reaps the worker process — the wait(2) half of liveness. Every
+// exit, voluntary or killed, lands in workerDown exactly once.
+func (w *workerProc) waitLoop() {
+	defer w.p.wg.Done()
+	_ = w.cmd.Wait()
+	w.failPending()
+	w.p.workerDown(w.slot, w)
+}
+
+// readLoop consumes the worker's result pipe: heartbeats refresh liveness,
+// results resolve pending jobs. Any protocol violation — corrupt frame,
+// oversized length, garbage JSON — kills the worker; the supervisor trusts
+// the pipe no further than one valid frame.
+func (w *workerProc) readLoop(stdout io.Reader) {
+	defer w.p.wg.Done()
+	br := bufio.NewReaderSize(stdout, 1<<16)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			w.kill()
+			return
+		}
+		var m resultMsg
+		if err := json.Unmarshal(payload, &m); err != nil {
+			w.kill()
+			return
+		}
+		w.lastBeat.Store(time.Now().UnixNano())
+		if m.Type != msgResult {
+			continue
+		}
+		w.pmu.Lock()
+		ch := w.pending[m.ID]
+		delete(w.pending, m.ID)
+		w.pmu.Unlock()
+		if ch != nil {
+			w.load.Add(-1)
+			ch <- m
+		}
+	}
+}
+
+// send dispatches one job, attaching the program bytes the first time this
+// incarnation sees the key. The returned channel receives exactly one
+// message: the result, or a synthetic error when the worker dies first.
+func (w *workerProc) send(job jobMsg, progBytes []byte) (chan resultMsg, error) {
+	ch := make(chan resultMsg, 1)
+	w.pmu.Lock()
+	if w.dead {
+		w.pmu.Unlock()
+		return nil, io.ErrClosedPipe
+	}
+	w.pending[job.ID] = ch
+	w.pmu.Unlock()
+	w.load.Add(1)
+
+	w.wmu.Lock()
+	if !w.seen[job.ProgKey] {
+		job.Prog = progBytes
+		w.seen[job.ProgKey] = true
+	}
+	err := writeFrame(w.stdin, &job)
+	w.wmu.Unlock()
+	if err != nil {
+		w.pmu.Lock()
+		delete(w.pending, job.ID)
+		w.pmu.Unlock()
+		w.load.Add(-1)
+		w.kill()
+		return nil, err
+	}
+	return ch, nil
+}
+
+// failPending resolves every outstanding job with a synthetic error so the
+// shards re-dispatch immediately instead of waiting out their deadlines.
+func (w *workerProc) failPending() {
+	w.pmu.Lock()
+	defer w.pmu.Unlock()
+	w.dead = true
+	for id, ch := range w.pending {
+		delete(w.pending, id)
+		w.load.Add(-1)
+		ch <- resultMsg{Type: msgResult, ID: id, Err: "worker died"}
+	}
+}
+
+func (w *workerProc) kill() {
+	if w.cmd.Process != nil {
+		_ = w.cmd.Process.Kill()
+	}
+}
+
+// workerDown retires a dead worker's slot, advances the breaker window, and
+// schedules the respawn under the slot's capped exponential backoff.
+func (p *Pool) workerDown(slot int, w *workerProc) {
+	p.mu.Lock()
+	if w != nil && p.workers[slot] == w {
+		p.workers[slot] = nil
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.restarts.Add(1)
+	now := time.Now()
+	kept := p.restartTimes[:0]
+	for _, t := range p.restartTimes {
+		if now.Sub(t) <= p.cfg.BreakerWindow {
+			kept = append(kept, t)
+		}
+	}
+	p.restartTimes = append(kept, now)
+	if len(p.restartTimes) >= p.cfg.BreakerRestarts && now.After(p.breakerUntil) {
+		p.breakerUntil = now.Add(p.cfg.BreakerCooldown)
+		p.cfg.Logf("pool: restart storm (%d in %v), breaker open for %v",
+			len(p.restartTimes), p.cfg.BreakerWindow, p.cfg.BreakerCooldown)
+	}
+	backoff := p.slotBackoff[slot]
+	if w != nil && now.Sub(w.started) >= p.cfg.HealthyAfter {
+		backoff = 0 // the worker held steady for a while; forgive its slot
+	}
+	if backoff == 0 {
+		backoff = p.cfg.RestartBackoff
+	} else if backoff *= 2; backoff > p.cfg.RestartBackoffCap {
+		backoff = p.cfg.RestartBackoffCap
+	}
+	p.slotBackoff[slot] = backoff
+	p.mu.Unlock()
+
+	p.cfg.Logf("pool: worker slot %d down, respawning in %v", slot, backoff)
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTimer(backoff)
+		defer t.Stop()
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+		}
+		p.startWorker(slot)
+	}()
+}
+
+// monitor is the hang detector: a worker whose last heartbeat is older than
+// HeartbeatTimeout is killed, which routes it through waitLoop → workerDown
+// like any other crash.
+func (p *Pool) monitor() {
+	defer p.wg.Done()
+	interval := p.cfg.HeartbeatTimeout / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+		}
+		cutoff := time.Now().Add(-p.cfg.HeartbeatTimeout).UnixNano()
+		p.mu.Lock()
+		var hung []*workerProc
+		for _, w := range p.workers {
+			if w != nil && w.lastBeat.Load() < cutoff {
+				hung = append(hung, w)
+			}
+		}
+		p.mu.Unlock()
+		for _, w := range hung {
+			p.cfg.Logf("pool: worker slot %d heartbeat timeout, killing", w.slot)
+			w.kill()
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package pool
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"syscall"
+	"testing"
+	"time"
+
+	"icbe"
+	"icbe/internal/analysis"
+	"icbe/internal/ir"
+)
+
+// shardedSrc has analyzable conditionals in several procedures, so the
+// sharder produces real multi-shard work.
+const shardedSrc = `
+var g = 7;
+
+func check(x) {
+	if (x == 0) { return 1; }
+	return 0;
+}
+
+func clamp(v) {
+	if (v > 100) { return 100; }
+	if (v < 0) { return 0; }
+	return v;
+}
+
+func main() {
+	var a = 0;
+	var ok = check(a);
+	if (ok == 1) { print(10); }
+	if (a == 0) { print(20); }
+	print(clamp(a + g));
+	print(clamp(0 - 5));
+}
+`
+
+func compileGraph(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := icbe.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p.Graph()
+}
+
+func encodeFor(t *testing.T, src string) (*ir.Program, string, []byte) {
+	t.Helper()
+	g := compileGraph(t, src)
+	enc := ir.EncodeProgram(g)
+	sum := sha256.Sum256(enc)
+	return g, hex.EncodeToString(sum[:]), enc
+}
+
+func testJobOptions() JobOptions {
+	o := icbe.DefaultOptions()
+	return JobOptions{
+		Interprocedural:  true,
+		TerminationLimit: o.TerminationLimit,
+		ArithSubst:       o.ArithSubst,
+		ModSummaries:     o.ModSummaries,
+	}
+}
+
+// fastCfg is a pool configuration with test-speed timeouts. The breaker
+// threshold is high so restart-chaos tests don't trip it by accident; the
+// breaker test lowers it explicitly.
+func fastCfg(extraEnv ...string) Config {
+	return Config{
+		Workers:           2,
+		ExtraEnv:          extraEnv,
+		HeartbeatTimeout:  400 * time.Millisecond,
+		RestartBackoff:    10 * time.Millisecond,
+		RestartBackoffCap: 100 * time.Millisecond,
+		HealthyAfter:      200 * time.Millisecond,
+		BreakerWindow:     2 * time.Second,
+		BreakerRestarts:   100,
+		BreakerCooldown:   200 * time.Millisecond,
+	}
+}
+
+func newTestPool(t *testing.T, cfg Config) *Pool {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatalf("pool.New: %v", err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// waitFor polls until ok returns true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if ok() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// analyzeOnce shards the program and runs one pool Analyze with a deadline.
+func analyzeOnce(t *testing.T, p *Pool, timeout time.Duration) ([]analysis.PortableRecord, int, *ir.Program) {
+	t.Helper()
+	g, key, enc := encodeFor(t, shardedSrc)
+	shards := ShardProgram(g, 4)
+	if len(shards) < 2 {
+		t.Fatalf("want >= 2 shards for a meaningful pool test, got %d", len(shards))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	recs, degraded := p.Analyze(ctx, key, enc, shards, testJobOptions())
+	return recs, degraded, g
+}
+
+// TestPoolAnalyzeSeeds is the happy path: live workers return records and a
+// fresh memo accepts them under strict verify-on-read.
+func TestPoolAnalyzeSeeds(t *testing.T) {
+	p := newTestPool(t, fastCfg())
+	waitFor(t, 5*time.Second, "pool healthy", p.Healthy)
+
+	recs, degraded, g := analyzeOnce(t, p, 10*time.Second)
+	if degraded != 0 {
+		t.Fatalf("degraded shards = %d, want 0", degraded)
+	}
+	if len(recs) == 0 {
+		t.Fatalf("pool returned no records")
+	}
+	memo := analysis.NewSummaryMemo()
+	if accepted := memo.Inject(g, recs); accepted == 0 {
+		t.Fatalf("Inject accepted 0 of %d pool records", len(recs))
+	}
+
+	snap := p.Stats()
+	if snap.SeedRuns != 1 || snap.ShardsDispatched == 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.ShardsDispatched != snap.ShardsCompleted+snap.ShardsDegraded {
+		t.Fatalf("shard counters do not reconcile: %+v", snap)
+	}
+}
+
+// TestPoolSurvivesWorkerCrash crashes the worker that takes the first job
+// mid-job; the shard must re-dispatch and the run must still complete fully.
+func TestPoolSurvivesWorkerCrash(t *testing.T) {
+	p := newTestPool(t, fastCfg("ICBE_POOL_CHAOS=crash-job:1"))
+	waitFor(t, 5*time.Second, "pool healthy", p.Healthy)
+
+	recs, degraded, _ := analyzeOnce(t, p, 10*time.Second)
+	if degraded != 0 {
+		t.Fatalf("degraded shards = %d, want 0 (crash should re-dispatch)", degraded)
+	}
+	if len(recs) == 0 {
+		t.Fatalf("no records after crash recovery")
+	}
+	waitFor(t, 5*time.Second, "crashed worker restart", func() bool {
+		return p.Stats().Restarts >= 1
+	})
+	waitFor(t, 5*time.Second, "pool back to full strength", func() bool {
+		return p.Stats().WorkersLive == 2
+	})
+}
+
+// TestPoolHedgesHungWorker hangs the worker holding the first job (silent,
+// no heartbeat, never answers). The hedge must re-dispatch the shard to the
+// other worker and complete; the hang detector must then reap the wedged
+// process.
+func TestPoolHedgesHungWorker(t *testing.T) {
+	cfg := fastCfg("ICBE_POOL_CHAOS=hang-job:1")
+	cfg.HedgeFraction = 0.1                // hedge at ~10% of the deadline...
+	cfg.HeartbeatTimeout = 3 * time.Second // ...well before the hang detector reaps
+	p := newTestPool(t, cfg)
+	waitFor(t, 5*time.Second, "pool healthy", p.Healthy)
+
+	g, key, enc := encodeFor(t, shardedSrc)
+	shards := ShardProgram(g, 1) // one shard: job 1 is deterministically the hung one
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	recs, degraded := p.Analyze(ctx, key, enc, shards, testJobOptions())
+	if degraded != 0 || len(recs) == 0 {
+		t.Fatalf("degraded=%d records=%d, want hedged completion", degraded, len(recs))
+	}
+	if h := p.Stats().Hedges; h < 1 {
+		t.Fatalf("hedges = %d, want >= 1", h)
+	}
+	waitFor(t, 5*time.Second, "hung worker reaped", func() bool {
+		return p.Stats().Restarts >= 1
+	})
+}
+
+// TestPoolBreakerOpensOnRestartStorm: workers that die before hello force a
+// restart storm; the breaker must open, Healthy must report false, and an
+// Analyze against the dead pool must degrade without hanging.
+func TestPoolBreakerOpensOnRestartStorm(t *testing.T) {
+	cfg := fastCfg("ICBE_POOL_CHAOS=exit-now")
+	cfg.BreakerRestarts = 3
+	cfg.BreakerCooldown = 30 * time.Second // stays open for the test's duration
+	p := newTestPool(t, cfg)
+
+	waitFor(t, 10*time.Second, "breaker open", func() bool {
+		return p.Stats().Breaker == "open"
+	})
+	if p.Healthy() {
+		t.Fatalf("Healthy() = true with breaker open")
+	}
+
+	recs, degraded, _ := analyzeOnce(t, p, 500*time.Millisecond)
+	if len(recs) != 0 {
+		t.Fatalf("dead pool returned %d records", len(recs))
+	}
+	if degraded == 0 {
+		t.Fatalf("dead pool reported no degraded shards")
+	}
+	snap := p.Stats()
+	if snap.ShardsDispatched != snap.ShardsCompleted+snap.ShardsDegraded {
+		t.Fatalf("shard counters do not reconcile: %+v", snap)
+	}
+}
+
+// TestPoolCloseLeavesNoOrphans: Close must kill every worker process.
+func TestPoolCloseLeavesNoOrphans(t *testing.T) {
+	p := newTestPool(t, fastCfg())
+	waitFor(t, 5*time.Second, "workers live", func() bool {
+		return p.Stats().WorkersLive == 2
+	})
+	pids := p.WorkerPIDs()
+	if len(pids) == 0 {
+		t.Fatalf("no worker PIDs before Close")
+	}
+	p.Close()
+	for _, pid := range pids {
+		waitFor(t, 5*time.Second, "worker process gone", func() bool {
+			// Signal 0 probes existence. The worker is a direct child and
+			// Close waits on it, so ESRCH — not a zombie — is the end state.
+			return syscall.Kill(pid, 0) != nil
+		})
+	}
+	// Idempotent.
+	p.Close()
+}
+
+// TestPoolKillStorm is the in-package chaos soak: kill -9 random workers
+// while Analyze runs back to back; every run must either complete or degrade
+// cleanly (never hang, never error), the counters must reconcile, and the
+// pool must return to full strength after the storm.
+func TestPoolKillStorm(t *testing.T) {
+	p := newTestPool(t, fastCfg())
+	waitFor(t, 5*time.Second, "pool healthy", p.Healthy)
+
+	stop := make(chan struct{})
+	killed := make(chan int, 64)
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(30 * time.Millisecond):
+			}
+			pids := p.WorkerPIDs()
+			if len(pids) == 0 {
+				continue
+			}
+			pid := pids[i%len(pids)]
+			if syscall.Kill(pid, syscall.SIGKILL) == nil {
+				select {
+				case killed <- pid:
+				default:
+				}
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(3 * time.Second)
+	runs := 0
+	for time.Now().Before(deadline) {
+		recs, degraded, g := analyzeOnce(t, p, 2*time.Second)
+		runs++
+		if len(recs) > 0 {
+			memo := analysis.NewSummaryMemo()
+			if accepted := memo.Inject(g, recs); accepted == 0 {
+				t.Fatalf("run %d: Inject accepted 0 of %d records", runs, len(recs))
+			}
+		}
+		_ = degraded // degradation under SIGKILL is allowed; hanging is not
+	}
+	close(stop)
+	if len(killed) == 0 {
+		t.Fatalf("kill storm never killed a worker")
+	}
+
+	snap := p.Stats()
+	if snap.Restarts == 0 {
+		t.Fatalf("kill storm caused no restarts: %+v", snap)
+	}
+	if snap.ShardsDispatched != snap.ShardsCompleted+snap.ShardsDegraded {
+		t.Fatalf("shard counters do not reconcile: %+v", snap)
+	}
+	waitFor(t, 10*time.Second, "pool recovered to full strength", func() bool {
+		return p.Stats().WorkersLive == 2 && p.Healthy()
+	})
+
+	// And after recovery, a run completes fully again.
+	recs, degraded, _ := analyzeOnce(t, p, 10*time.Second)
+	if degraded != 0 || len(recs) == 0 {
+		t.Fatalf("post-storm run: degraded=%d records=%d", degraded, len(recs))
+	}
+}

@@ -1,0 +1,133 @@
+// Package pool is the fault-isolated per-procedure worker pool: a supervisor
+// that shards a program's analyzable conditionals across disposable worker
+// processes and merges the portable summary records they return into a
+// SummaryMemo seed for the in-process optimize run.
+//
+// The design is crash-only end to end. Workers are pure accelerators: every
+// record a worker returns is revalidated by analysis.SummaryMemo.Inject
+// (verify-on-read), and a replayed summary is pair-for-pair identical to a
+// fresh propagation — so a crashed, hung, or garbage-emitting worker costs
+// warmth, never correctness. kill -9 of any worker mid-request leaves the
+// response bytes unchanged.
+//
+// Failure handling is layered:
+//
+//   - Liveness: every worker heartbeats on its result pipe; the supervisor
+//     detects crashes via process exit (wait(2)) and hangs via heartbeat
+//     timeout, and kills what it cannot hear.
+//   - Restart: dead workers respawn under capped exponential backoff; a
+//     worker that survives long enough resets its slot's backoff.
+//   - Hedging: a shard still unanswered after a fraction of its deadline is
+//     re-dispatched to a second worker; the first answer wins.
+//   - Breaker: a restart storm opens the pool breaker, reporting the pool
+//     unhealthy so callers skip straight to the in-process path until the
+//     cooldown elapses and a worker holds steady.
+//
+// The wire protocol is length-prefixed JSON frames over the worker's
+// stdin/stdout: 4-byte big-endian payload length, then the payload, with a
+// hard frame cap on both sides (a corrupt length cannot allocate
+// unboundedly). Program bytes (ir.EncodeProgram) ride along on the first job
+// a worker incarnation sees for a program key and are content-verified by
+// the worker before use; node and var IDs need no translation because the
+// codec round-trips them exactly.
+package pool
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"icbe/internal/analysis"
+	"icbe/internal/ir"
+)
+
+// maxFrameBytes caps one protocol frame on both sides of the pipe. A frame
+// carries at most one encoded program plus one shard's records; 64 MiB is an
+// order of magnitude above the 100k-node stress program's encoding.
+const maxFrameBytes = 64 << 20
+
+// Message types. The supervisor sends only jobs; a worker sends a hello at
+// startup, heartbeats while alive, and one result per job.
+const (
+	msgJob       = "job"
+	msgHello     = "hello"
+	msgHeartbeat = "heartbeat"
+	msgResult    = "result"
+)
+
+// JobOptions is the analysis configuration a job carries across the process
+// boundary: the subset of analysis.Options that shapes summary closures.
+type JobOptions struct {
+	Interprocedural  bool `json:"interprocedural"`
+	TerminationLimit int  `json:"term,omitempty"`
+	ArithSubst       bool `json:"arith_subst,omitempty"`
+	ModSummaries     bool `json:"mod_summaries,omitempty"`
+}
+
+// jobMsg is one dispatched shard: analyze Conds against the program named by
+// ProgKey and return the pristine summary records. Prog carries the
+// ir.EncodeProgram bytes only on the first job a worker incarnation receives
+// for the key; the worker caches the decoded program after verifying the
+// key against the bytes' content hash.
+type jobMsg struct {
+	Type       string      `json:"type"`
+	ID         uint64      `json:"id"`
+	ProgKey    string      `json:"prog_key"`
+	Prog       []byte      `json:"prog,omitempty"`
+	Conds      []ir.NodeID `json:"conds"`
+	Opts       JobOptions  `json:"opts"`
+	DeadlineMS int64       `json:"deadline_ms,omitempty"`
+}
+
+// resultMsg is every worker→supervisor frame: hello, heartbeat, or a job's
+// result (Records on success, Err on a refusal the worker survived).
+type resultMsg struct {
+	Type    string                    `json:"type"`
+	ID      uint64                    `json:"id,omitempty"`
+	Records []analysis.PortableRecord `json:"records,omitempty"`
+	Err     string                    `json:"err,omitempty"`
+}
+
+// errFrameTooLarge distinguishes an oversized (or corrupt) length prefix
+// from an I/O error; both are fatal for the connection that produced them.
+var errFrameTooLarge = errors.New("pool: frame exceeds size cap")
+
+// writeFrame marshals v and writes one length-prefixed frame. Callers
+// serialize writes per pipe.
+func writeFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("pool: encoding frame: %w", err)
+	}
+	if len(payload) > maxFrameBytes {
+		return fmt.Errorf("%w (%d bytes)", errFrameTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame. A zero-length or over-cap
+// length prefix is rejected before any payload allocation, so hostile or
+// corrupt pipe bytes cost at most 4 bytes of reading.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameBytes {
+		return nil, fmt.Errorf("%w (length prefix %d)", errFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

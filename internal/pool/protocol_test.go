@@ -1,0 +1,224 @@
+package pool
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"icbe/internal/ir"
+	"icbe/internal/randprog"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := jobMsg{Type: msgJob, ID: 42, ProgKey: "k", Conds: []ir.NodeID{1, 2, 3}}
+	if err := writeFrame(&buf, &in); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	payload, err := readFrame(&buf)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	var out jobMsg
+	if err := json.Unmarshal(payload, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.ID != in.ID || out.ProgKey != in.ProgKey || len(out.Conds) != 3 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+// TestFrameHostileInput drives readFrame with the shapes a corrupted or
+// malicious pipe produces; each must fail cleanly, never allocate the claimed
+// size, and never hang.
+func TestFrameHostileInput(t *testing.T) {
+	header := func(n uint32) []byte {
+		var h [4]byte
+		binary.BigEndian.PutUint32(h[:], n)
+		return h[:]
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   {0, 1},
+		"zero length":    header(0),
+		"over cap":       header(maxFrameBytes + 1),
+		"huge length":    header(0xFFFFFFFF),
+		"truncated body": append(header(100), []byte("short")...),
+	}
+	for name, raw := range cases {
+		if _, err := readFrame(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: readFrame accepted hostile input", name)
+		}
+	}
+}
+
+func TestWriteFrameRejectsOversized(t *testing.T) {
+	big := jobMsg{Type: msgJob, Prog: make([]byte, maxFrameBytes)}
+	if err := writeFrame(io.Discard, &big); err == nil {
+		t.Fatalf("writeFrame accepted an over-cap frame")
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	plan := parseChaos("crash-job:7, hang-job:9,crash-after:2")
+	if plan.crashJob != 7 || plan.hangJob != 9 || plan.crashAfter != 2 || plan.exitNow {
+		t.Fatalf("parseChaos = %+v", plan)
+	}
+	if p := parseChaos(""); p.crashJob != 0 || p.crashAfter != -1 || p.exitNow {
+		t.Fatalf("empty chaos = %+v", p)
+	}
+	if !parseChaos("exit-now").exitNow {
+		t.Fatalf("exit-now not parsed")
+	}
+}
+
+// TestShardProgramDeterministic pins the sharder's contract: equal inputs
+// yield equal shards, every analyzable conditional appears exactly once, and
+// a procedure's conditionals never split across shards.
+func TestShardProgramDeterministic(t *testing.T) {
+	src := randprog.Scale(1, randprog.ScaleConfig{
+		Leaves: 6, LeafStmts: 12, Hubs: 4, Calls: 3, Conds: 3, ChainLeaves: 2,
+	})
+	g := compileGraph(t, src)
+
+	a := ShardProgram(g, 4)
+	b := ShardProgram(g, 4)
+	if len(a) == 0 || len(a) > 4 {
+		t.Fatalf("ShardProgram returned %d shards, want 1..4", len(a))
+	}
+	if !sameShards(a, b) {
+		t.Fatalf("ShardProgram not deterministic:\n%v\n%v", a, b)
+	}
+
+	seen := make(map[ir.NodeID]int)
+	proc := make(map[int]int) // proc index -> shard index
+	for i, sh := range a {
+		for _, c := range sh.Conds {
+			seen[c]++
+			n := g.Node(c)
+			if n == nil {
+				t.Fatalf("shard %d names unknown node %d", i, c)
+			}
+			if prev, ok := proc[n.Proc]; ok && prev != i {
+				t.Errorf("procedure %d split across shards %d and %d", n.Proc, prev, i)
+			}
+			proc[n.Proc] = i
+		}
+	}
+	want := 0
+	g.LiveNodes(func(n *ir.Node) {
+		if n.Analyzable() {
+			want++
+		}
+	})
+	if len(seen) != want {
+		t.Fatalf("shards cover %d conds, program has %d", len(seen), want)
+	}
+	for c, k := range seen {
+		if k != 1 {
+			t.Fatalf("cond %d appears %d times", c, k)
+		}
+	}
+}
+
+func sameShards(a, b []Shard) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].Conds) != len(b[i].Conds) || a[i].Weight != b[i].Weight {
+			return false
+		}
+		for j := range a[i].Conds {
+			if a[i].Conds[j] != b[i].Conds[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestWorkerMainProtocol runs the worker loop in-process over pipes: hello
+// first, heartbeats while idle, a result with records for a real job, a clean
+// error result for a bogus program key, and a clean return on EOF.
+func TestWorkerMainProtocol(t *testing.T) {
+	g, key, enc := encodeFor(t, shardedSrc)
+	var conds []ir.NodeID
+	g.LiveNodes(func(n *ir.Node) {
+		if n.Analyzable() {
+			conds = append(conds, n.ID)
+		}
+	})
+	if len(conds) == 0 {
+		t.Fatal("test program has no analyzable conditionals")
+	}
+
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	t.Cleanup(func() { inW.Close(); outR.Close() })
+	done := make(chan error, 1)
+	go func() { done <- WorkerMain(inR, outW) }()
+
+	read := func() resultMsg {
+		t.Helper()
+		payload, err := readFrame(outR)
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		var m resultMsg
+		if err := json.Unmarshal(payload, &m); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		return m
+	}
+	readResult := func() resultMsg {
+		t.Helper()
+		for {
+			if m := read(); m.Type == msgResult {
+				return m
+			}
+		}
+	}
+
+	if m := read(); m.Type != msgHello {
+		t.Fatalf("first frame type = %q, want hello", m.Type)
+	}
+
+	job := jobMsg{Type: msgJob, ID: 1, ProgKey: key, Prog: enc, Conds: conds, Opts: testJobOptions()}
+	if err := writeFrame(inW, &job); err != nil {
+		t.Fatalf("write job: %v", err)
+	}
+	res := readResult()
+	if res.ID != 1 || res.Err != "" {
+		t.Fatalf("job result = %+v", res)
+	}
+	if len(res.Records) == 0 {
+		t.Fatalf("job returned no records")
+	}
+
+	// Unknown key with no bytes: a clean per-job error, not a dead worker.
+	bad := jobMsg{Type: msgJob, ID: 2, ProgKey: strings.Repeat("0", 64), Conds: conds}
+	if err := writeFrame(inW, &bad); err != nil {
+		t.Fatalf("write bad job: %v", err)
+	}
+	if res := readResult(); res.ID != 2 || res.Err == "" {
+		t.Fatalf("bad-key result = %+v, want error", res)
+	}
+
+	// Bytes whose hash does not match the claimed key are rejected.
+	forged := jobMsg{Type: msgJob, ID: 3, ProgKey: strings.Repeat("1", 64), Prog: enc, Conds: conds}
+	if err := writeFrame(inW, &forged); err != nil {
+		t.Fatalf("write forged job: %v", err)
+	}
+	if res := readResult(); res.ID != 3 || res.Err == "" {
+		t.Fatalf("forged-key result = %+v, want error", res)
+	}
+
+	inW.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("WorkerMain returned %v on EOF, want nil", err)
+	}
+}

@@ -1,0 +1,74 @@
+package pool
+
+import (
+	"sort"
+
+	"icbe/internal/ir"
+)
+
+// Shard is one dispatchable unit of analysis work: the analyzable
+// conditionals of one or more whole procedures. Procedure granularity is the
+// natural cut — the SummaryMemo's records are per-procedure-exit closures,
+// so conditionals of one procedure share warm summaries while shards stay
+// independent.
+type Shard struct {
+	Conds []ir.NodeID
+	// Weight is the shard's load estimate (the summed conditional counts of
+	// its procedures), used by the balancer and exposed for tests.
+	Weight int
+}
+
+// ShardProgram partitions the program's analyzable conditionals into at most
+// maxShards shards along procedure boundaries, balancing by conditional
+// count (longest-processing-time greedy). The result is deterministic:
+// procedures are ordered by (weight desc, index asc), bins are chosen by
+// (load asc, index asc), and each shard's conditionals are sorted by node
+// ID. Procedures are never split across shards.
+func ShardProgram(p *ir.Program, maxShards int) []Shard {
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	conds := make(map[int][]ir.NodeID)
+	p.LiveNodes(func(n *ir.Node) {
+		if n.Analyzable() {
+			conds[n.Proc] = append(conds[n.Proc], n.ID)
+		}
+	})
+	if len(conds) == 0 {
+		return nil
+	}
+	procs := make([]int, 0, len(conds))
+	for proc := range conds {
+		procs = append(procs, proc)
+	}
+	sort.Slice(procs, func(i, j int) bool {
+		wi, wj := len(conds[procs[i]]), len(conds[procs[j]])
+		if wi != wj {
+			return wi > wj
+		}
+		return procs[i] < procs[j]
+	})
+	if maxShards > len(procs) {
+		maxShards = len(procs)
+	}
+	shards := make([]Shard, maxShards)
+	for _, proc := range procs {
+		best := 0
+		for i := 1; i < len(shards); i++ {
+			if shards[i].Weight < shards[best].Weight {
+				best = i
+			}
+		}
+		shards[best].Conds = append(shards[best].Conds, conds[proc]...)
+		shards[best].Weight += len(conds[proc])
+	}
+	out := shards[:0]
+	for _, sh := range shards {
+		if len(sh.Conds) == 0 {
+			continue
+		}
+		sort.Slice(sh.Conds, func(i, j int) bool { return sh.Conds[i] < sh.Conds[j] })
+		out = append(out, sh)
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+package pool
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets the pool re-exec this test binary as its worker image: a
+// spawned copy sees WorkerEnv and becomes a worker instead of running tests.
+func TestMain(m *testing.M) {
+	MaybeWorkerMain()
+	os.Exit(m.Run())
+}

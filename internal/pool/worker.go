@@ -1,0 +1,255 @@
+package pool
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"icbe/internal/analysis"
+	"icbe/internal/ir"
+)
+
+// WorkerEnv marks a process as a pool worker. The supervisor sets it when
+// re-exec'ing its own binary (os.Executable), and MaybeWorkerMain checks it
+// first thing in main — so icbe-serve, cmd/icbe-worker, and the test
+// binaries can all serve as worker images without a separate build.
+const WorkerEnv = "ICBE_POOL_WORKER"
+
+// chaosEnv injects deterministic worker misbehavior for tests and the chaos
+// harness. Directives:
+//
+//	crash-job:N   exit(3) on receiving job ID N (crash mid-job)
+//	crash-after:N exit(3) after completing N jobs (crash between jobs)
+//	hang-job:N    on job ID N: stop heartbeating and never answer (hang)
+//	exit-now      exit(3) before the hello frame (permanent restart storm)
+const chaosEnv = "ICBE_POOL_CHAOS"
+
+// workerHeartbeatInterval is how often a live worker beats. The supervisor's
+// hang timeout is configured independently and must exceed this comfortably.
+const workerHeartbeatInterval = 50 * time.Millisecond
+
+// workerProgCache bounds the decoded programs a worker keeps; eviction is
+// FIFO (one server rarely interleaves more concurrent distinct programs than
+// this, and a miss only re-sends bytes).
+const workerProgCache = 8
+
+// MaybeWorkerMain turns the current process into a pool worker when
+// WorkerEnv is set, never returning. Call it at the top of main (and of
+// TestMain in packages whose test binary the pool re-execs).
+func MaybeWorkerMain() {
+	if os.Getenv(WorkerEnv) == "" {
+		return
+	}
+	if err := WorkerMain(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "icbe-worker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// chaosPlan is the parsed chaosEnv directive.
+type chaosPlan struct {
+	crashJob   uint64
+	crashAfter int // -1 = never
+	hangJob    uint64
+	exitNow    bool
+}
+
+func parseChaos(s string) chaosPlan {
+	plan := chaosPlan{crashAfter: -1}
+	for _, d := range strings.Split(s, ",") {
+		d = strings.TrimSpace(d)
+		name, arg, _ := strings.Cut(d, ":")
+		n, _ := strconv.ParseUint(arg, 10, 64)
+		switch name {
+		case "crash-job":
+			plan.crashJob = n
+		case "crash-after":
+			plan.crashAfter = int(n)
+		case "hang-job":
+			plan.hangJob = n
+		case "exit-now":
+			plan.exitNow = true
+		}
+	}
+	return plan
+}
+
+// WorkerMain is the worker loop: read job frames from in, analyze each
+// shard's conditionals with an auto-commit memo, and write the pristine
+// records back as result frames, heartbeating all the while. It returns on
+// EOF (supervisor closed stdin — a clean shutdown) and on any protocol
+// violation (the supervisor treats the exit as a crash and restarts).
+func WorkerMain(in io.Reader, out io.Writer) error {
+	chaos := parseChaos(os.Getenv(chaosEnv))
+	if chaos.exitNow {
+		os.Exit(3)
+	}
+
+	w := &workerState{
+		out:   out,
+		progs: make(map[string]*ir.Program),
+		hung:  make(chan struct{}),
+	}
+	if err := w.send(resultMsg{Type: msgHello}); err != nil {
+		return err
+	}
+	go w.heartbeatLoop()
+
+	br := bufio.NewReaderSize(in, 1<<16)
+	completed := 0
+	for {
+		payload, err := readFrame(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		var job jobMsg
+		if err := json.Unmarshal(payload, &job); err != nil {
+			return fmt.Errorf("pool worker: malformed job frame: %w", err)
+		}
+		if job.Type != msgJob {
+			return fmt.Errorf("pool worker: unexpected frame type %q", job.Type)
+		}
+		if chaos.crashJob != 0 && job.ID == chaos.crashJob {
+			os.Exit(3)
+		}
+		if chaos.hangJob != 0 && job.ID == chaos.hangJob {
+			// Simulate a wedged worker: alive as a process, silent on the
+			// pipe. The supervisor's heartbeat timeout must reap us. A sleep
+			// loop, not select{} — the runtime would flag that as a deadlock
+			// and exit, turning the hang into a mere crash.
+			close(w.hung)
+			for {
+				time.Sleep(time.Hour)
+			}
+		}
+		res := w.runJob(&job)
+		if err := w.send(res); err != nil {
+			return err
+		}
+		if completed++; chaos.crashAfter >= 0 && completed >= chaos.crashAfter {
+			os.Exit(3)
+		}
+	}
+}
+
+type workerState struct {
+	mu    sync.Mutex // serializes frame writes (results vs heartbeats)
+	out   io.Writer
+	progs map[string]*ir.Program
+	order []string      // FIFO eviction order for progs
+	hung  chan struct{} // closed by hang chaos; stops the heartbeat
+}
+
+func (w *workerState) send(m resultMsg) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return writeFrame(w.out, m)
+}
+
+func (w *workerState) heartbeatLoop() {
+	t := time.NewTicker(workerHeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.hung:
+			return
+		case <-t.C:
+		}
+		if w.send(resultMsg{Type: msgHeartbeat}) != nil {
+			// Pipe gone: the supervisor died or dropped us. The read loop
+			// will exit on its own error; nothing useful left to do here.
+			return
+		}
+	}
+}
+
+// program returns the cached decoded program for a job, decoding and
+// verifying the carried bytes on first sight. Fail-closed: bytes whose
+// content hash does not match the claimed key are rejected, so a frame
+// corrupted in flight can never be analyzed under another program's key.
+func (w *workerState) program(job *jobMsg) (*ir.Program, error) {
+	if p := w.progs[job.ProgKey]; p != nil {
+		return p, nil
+	}
+	if len(job.Prog) == 0 {
+		return nil, fmt.Errorf("unknown program key %s and no program bytes", job.ProgKey)
+	}
+	if got := hex.EncodeToString(sumBytes(job.Prog)); got != job.ProgKey {
+		return nil, fmt.Errorf("program bytes hash %s, key claims %s", got, job.ProgKey)
+	}
+	p, err := ir.DecodeProgram(job.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("decoding program: %w", err)
+	}
+	if len(w.progs) >= workerProgCache {
+		oldest := w.order[0]
+		w.order = w.order[1:]
+		delete(w.progs, oldest)
+	}
+	w.progs[job.ProgKey] = p
+	w.order = append(w.order, job.ProgKey)
+	return p, nil
+}
+
+func sumBytes(b []byte) []byte {
+	s := sha256.Sum256(b)
+	return s[:]
+}
+
+// runJob analyzes one shard serially with an auto-commit memo, so later
+// conditionals in the shard replay earlier ones' summaries, and exports
+// everything recorded. Panics are contained per job: the worker survives to
+// take the next shard, and the supervisor just gets fewer records.
+func (w *workerState) runJob(job *jobMsg) (res resultMsg) {
+	res = resultMsg{Type: msgResult, ID: job.ID}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Records, res.Err = nil, fmt.Sprintf("contained panic: %v", r)
+		}
+	}()
+	prog, err := w.program(job)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	var deadline time.Time
+	if job.DeadlineMS > 0 {
+		deadline = time.Now().Add(time.Duration(job.DeadlineMS) * time.Millisecond)
+	}
+	interrupt := func() bool { return !deadline.IsZero() && time.Now().After(deadline) }
+
+	memo := analysis.NewAutoCommitMemo()
+	an := analysis.NewWithMemo(prog, analysis.Options{
+		Interprocedural:  job.Opts.Interprocedural,
+		TerminationLimit: job.Opts.TerminationLimit,
+		ArithSubst:       job.Opts.ArithSubst,
+		ModSummaries:     job.Opts.ModSummaries,
+		MemoSummaries:    job.Opts.Interprocedural,
+	}, memo)
+	for _, b := range job.Conds {
+		if interrupt() {
+			// Out of budget: return what we have. A partial shard is still
+			// a valid seed — records are independent facts.
+			break
+		}
+		n := prog.Node(b)
+		if n == nil || !n.Analyzable() {
+			continue
+		}
+		an.AnalyzeBranchInterruptible(b, interrupt)
+	}
+	res.Records = memo.ExportPristine()
+	return res
+}

@@ -42,6 +42,7 @@ type DriverStats struct {
 	SNEMemoEntries    int            `json:"sne_memo_entries"`
 	SNEMemoHits       int64          `json:"sne_memo_hits"`
 	CacheBytes        int64          `json:"cache_bytes"`
+	SeedsInjected     int            `json:"seeds_injected"`
 	QueriesReused     int            `json:"queries_reused"`
 	SubtreesInvalid   int64          `json:"subtrees_invalidated"`
 	PairsTotal        int            `json:"pairs_total"`
@@ -132,6 +133,7 @@ func FromDriverStats(s icbe.DriverStats) DriverStats {
 		SNEMemoEntries:    s.SNEMemoEntries,
 		SNEMemoHits:       s.SNEMemoHits,
 		CacheBytes:        s.CacheBytes,
+		SeedsInjected:     s.SeedsInjected,
 		QueriesReused:     s.QueriesReused,
 		SubtreesInvalid:   s.SubtreesInvalidated,
 		PairsTotal:        s.PairsTotal,
@@ -184,6 +186,7 @@ func (d *DriverStats) Add(o DriverStats) {
 	d.SNEMemoEntries += o.SNEMemoEntries
 	d.SNEMemoHits += o.SNEMemoHits
 	d.CacheBytes += o.CacheBytes
+	d.SeedsInjected += o.SeedsInjected
 	d.QueriesReused += o.QueriesReused
 	d.SubtreesInvalid += o.SubtreesInvalid
 	d.PairsTotal += o.PairsTotal

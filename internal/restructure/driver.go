@@ -78,6 +78,12 @@ type DriverOptions struct {
 	// summary memoization. The memo must not be shared between concurrent
 	// driver runs.
 	Memo *analysis.SummaryMemo
+	// SeedRecords are portable summary records injected into the run's memo
+	// before the first round (the worker pool's pre-analysis, or any other
+	// out-of-process seed). Injection is strict verify-on-read and replay is
+	// pair-for-pair exact, so seeds change warmth, never results; invalid or
+	// stale records are silently dropped. Ignored when the run has no memo.
+	SeedRecords []analysis.PortableRecord
 	// Scratch disables the cross-round incremental engine entirely (no
 	// summary memo, no root records): every requeued conditional is
 	// re-analyzed from scratch each round. The optimized program and
@@ -186,6 +192,12 @@ type DriverStats struct {
 	SNEMemoEntries int
 	SNEMemoHits    int64
 	CacheBytes     int64
+	// SeedsInjected counts portable records accepted into the memo from
+	// DriverOptions.SeedRecords before the first round — how much of the
+	// worker pool's pre-analysis survived verify-on-read. Telemetry, not
+	// result: it varies with pool health and is scrubbed from response
+	// bodies.
+	SeedsInjected int
 	// QueriesReused counts node–query pairs reconstructed from memo
 	// records (summary and root-record replays) instead of re-propagated;
 	// SubtreesInvalidated counts cached subtrees the per-round Commits
@@ -327,6 +339,10 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 		}
 	}
 	ctx := opts.Ctx
+	var seedsInjected int
+	if memo != nil && len(opts.SeedRecords) > 0 {
+		seedsInjected = memo.Inject(p, opts.SeedRecords)
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -338,6 +354,7 @@ func Optimize(p *ir.Program, opts DriverOptions) *DriverResult {
 
 	out := &DriverResult{}
 	out.Stats.Workers = workers
+	out.Stats.SeedsInjected = seedsInjected
 
 	work := ir.Clone(p)
 	out.Stats.Clones = 1

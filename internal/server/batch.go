@@ -1,0 +1,111 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Batch serving.
+//
+// POST /optimize-batch takes a list of ordinary optimize requests and serves
+// each through the same serveOne path as /optimize, concurrently, with full
+// per-item isolation: every item admits itself (so a batch contends for
+// slots and memory like the same requests sent individually), sheds itself
+// (an oversized or hopeless-deadline item gets its own 413/429 without
+// touching its neighbors), and contains its own panics. The batch response
+// is always 200 once decoded; failure lives per item, never all-or-nothing.
+
+// BatchRequest is the /optimize-batch request body.
+type BatchRequest struct {
+	Items []OptimizeRequest `json:"items"`
+}
+
+// BatchItemResult is one item's outcome: the HTTP status the item would have
+// received standalone, the retry hint for shed items, and the response body
+// /optimize would have served, embedded as a raw JSON document (identical to
+// the standalone body up to the outer encoder's re-indentation — the compact
+// forms are byte-equal).
+type BatchItemResult struct {
+	Status     int             `json:"status"`
+	RetryAfter int             `json:"retry_after,omitempty"`
+	Body       json.RawMessage `json:"body"`
+}
+
+// BatchResponse is the /optimize-batch response body; Items is parallel to
+// the request's.
+type BatchResponse struct {
+	Items []BatchItemResult `json:"items"`
+}
+
+func (s *Server) handleOptimizeBatch(w http.ResponseWriter, r *http.Request) {
+	s.wg.Add(1)
+	defer s.wg.Done()
+	s.met.request()
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	if s.draining.Load() {
+		s.met.shedOne("draining")
+		w.Header().Set("Retry-After", fmt.Sprint(s.adm.retryAfterSeconds()))
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining", Reason: "draining"})
+		return
+	}
+	// The whole-body cap scales with the item budget; per-item program size
+	// is enforced again inside serveOne.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes*int64(s.cfg.MaxBatchItems))
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.met.shedOne("oversized")
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), Reason: "oversized"})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if len(req.Items) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `missing "items"`})
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		s.met.shedOne("oversized")
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("batch has %d items, limit %d", len(req.Items), s.cfg.MaxBatchItems), Reason: "oversized"})
+		return
+	}
+	s.met.batch(len(req.Items))
+
+	resp := BatchResponse{Items: make([]BatchItemResult, len(req.Items))}
+	var wg sync.WaitGroup
+	for i := range req.Items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp.Items[i] = s.serveItem(r, &req.Items[i])
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// serveItem runs one batch item with its own crash-only boundary: a panic in
+// one item becomes that item's 500, and the rest of the batch is untouched.
+func (s *Server) serveItem(r *http.Request, item *OptimizeRequest) (res BatchItemResult) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.met.panicContained()
+			res = BatchItemResult{
+				Status: http.StatusInternalServerError,
+				Body:   encodeJSON(errorResponse{Error: fmt.Sprintf("internal error: %v", rec)}),
+			}
+		}
+	}()
+	out := s.serveOne(r.Context(), item)
+	return BatchItemResult{Status: out.status, RetryAfter: out.retryAfter, Body: out.body}
+}

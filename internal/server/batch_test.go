@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"icbe/internal/ir"
+	"icbe/internal/restructure"
+)
+
+// postBatch sends one /optimize-batch request and returns the status code
+// and raw body.
+func postBatch(t *testing.T, url string, req BatchRequest) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal batch: %v", err)
+	}
+	resp, err := http.Post(url+"/optimize-batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /optimize-batch: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read batch response: %v", err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestBatchMixedConcurrent is the per-item isolation bar: one batch carrying
+// a healthy item, an oversized item, and a hopeless-deadline item — sent
+// while a slow request holds the only slot — must come back 200 with
+// per-item statuses 200/413/429, the healthy body byte-identical to a
+// standalone /optimize, and /stats reconciling every item exactly.
+func TestBatchMixedConcurrent(t *testing.T) {
+	// The analyze hook holds the admitted slot long enough that the
+	// hopeless item's 1ms deadline expires while it is still queued.
+	setFaults(t, restructure.FaultInjection{
+		Analyze: func(*ir.Program, ir.NodeID) { time.Sleep(50 * time.Millisecond) },
+	})
+	s, ts := newTestService(t, Config{
+		MaxInFlight:     1,
+		MaxRequestBytes: 4096,
+		DefaultDeadline: 15 * time.Second,
+	})
+
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		post(t, ts.URL, OptimizeRequest{Program: okSrc})
+	}()
+	waitUntil(t, 5*time.Second, "slow request admitted", func() bool {
+		return s.Stats().InFlight == 1
+	})
+
+	status, raw := postBatch(t, ts.URL, BatchRequest{Items: []OptimizeRequest{
+		{Program: okSrc},                     // healthy: queues, then completes
+		{Program: strings.Repeat("x", 5000)}, // oversized: past MaxRequestBytes
+		{Program: okSrc, DeadlineMS: 1},      // hopeless: expires while queued
+	}})
+	<-slowDone
+	if status != http.StatusOK {
+		t.Fatalf("batch status = %d, want 200; body: %s", status, raw)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("decode batch response: %v\n%s", err, raw)
+	}
+	if len(resp.Items) != 3 {
+		t.Fatalf("batch returned %d items, want 3", len(resp.Items))
+	}
+
+	if got := resp.Items[0].Status; got != http.StatusOK {
+		t.Fatalf("healthy item status = %d, want 200; body: %s", got, resp.Items[0].Body)
+	}
+	var healthy OptimizeResponse
+	if err := json.Unmarshal(resp.Items[0].Body, &healthy); err != nil {
+		t.Fatalf("decode healthy item: %v", err)
+	}
+	if healthy.Tier != "full" || healthy.Degraded {
+		t.Fatalf("healthy item tier=%q degraded=%v", healthy.Tier, healthy.Degraded)
+	}
+
+	if got := resp.Items[1].Status; got != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized item status = %d, want 413", got)
+	}
+	var shed errorResponse
+	if err := json.Unmarshal(resp.Items[1].Body, &shed); err != nil || shed.Reason != "oversized" {
+		t.Fatalf("oversized item body = %s (err %v)", resp.Items[1].Body, err)
+	}
+
+	if got := resp.Items[2].Status; got != http.StatusTooManyRequests {
+		t.Fatalf("hopeless item status = %d, want 429; body: %s", got, resp.Items[2].Body)
+	}
+	if err := json.Unmarshal(resp.Items[2].Body, &shed); err != nil || shed.Reason != "queue-timeout" {
+		t.Fatalf("hopeless item body = %s (err %v)", resp.Items[2].Body, err)
+	}
+	if resp.Items[2].RetryAfter < 1 {
+		t.Fatalf("hopeless item retry_after = %d, want >= 1", resp.Items[2].RetryAfter)
+	}
+
+	// The healthy item's embedded body carries exactly what a standalone
+	// /optimize serves for the same program. The outer batch encoder
+	// re-indents the embedded document, so equality is over compact forms.
+	_, control := newTestService(t, Config{DefaultDeadline: 15 * time.Second})
+	st, want := post(t, control.URL, OptimizeRequest{Program: okSrc})
+	if st != http.StatusOK {
+		t.Fatalf("control status = %d", st)
+	}
+	var gotC, wantC bytes.Buffer
+	if err := json.Compact(&gotC, resp.Items[0].Body); err != nil {
+		t.Fatalf("compact batch item: %v", err)
+	}
+	if err := json.Compact(&wantC, want); err != nil {
+		t.Fatalf("compact standalone: %v", err)
+	}
+	if !bytes.Equal(gotC.Bytes(), wantC.Bytes()) {
+		t.Fatalf("batch item body differs from standalone response\nbatch:      %s\nstandalone: %s",
+			resp.Items[0].Body, want)
+	}
+
+	// Exact reconciliation: 2 requests (slow single + the batch), 3 batch
+	// items of which 1 admitted+completed alongside the slow request, and
+	// one shed each for "oversized" and "queue-timeout".
+	snap := serverStats(t, ts.URL)
+	if snap.Requests != 2 {
+		t.Fatalf("requests = %d, want 2", snap.Requests)
+	}
+	if snap.Batch.Requests != 1 || snap.Batch.Items != 3 {
+		t.Fatalf("batch counters = %+v, want {1 3}", snap.Batch)
+	}
+	if snap.Admitted != 2 || snap.Completed != 2 {
+		t.Fatalf("admitted=%d completed=%d, want 2/2", snap.Admitted, snap.Completed)
+	}
+	if snap.ShedTotal != 2 || snap.Shed["oversized"] != 1 || snap.Shed["queue-timeout"] != 1 {
+		t.Fatalf("shed = %v (total %d), want oversized=1 queue-timeout=1", snap.Shed, snap.ShedTotal)
+	}
+	if snap.InFlight != 0 || snap.QueueDepth != 0 || snap.InFlightBytes != 0 {
+		t.Fatalf("gauges not drained: %+v", snap)
+	}
+}
+
+// TestBatchValidation covers the whole-batch refusals: wrong method, empty
+// and over-limit item lists, an oversized batch body, and draining.
+func TestBatchValidation(t *testing.T) {
+	s, ts := newTestService(t, Config{MaxRequestBytes: 1024, MaxBatchItems: 2})
+
+	resp, err := http.Get(ts.URL + "/optimize-batch")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d, want 405", resp.StatusCode)
+	}
+
+	if status, _ := postBatch(t, ts.URL, BatchRequest{}); status != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d, want 400", status)
+	}
+
+	three := BatchRequest{Items: []OptimizeRequest{{Program: okSrc}, {Program: okSrc}, {Program: okSrc}}}
+	status, raw := postBatch(t, ts.URL, three)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-limit batch status = %d, want 413; body: %s", status, raw)
+	}
+
+	// A batch body past MaxRequestBytes*MaxBatchItems is refused outright.
+	huge := BatchRequest{Items: []OptimizeRequest{{Program: strings.Repeat("x", 4096)}}}
+	if status, _ := postBatch(t, ts.URL, huge); status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch body status = %d, want 413", status)
+	}
+
+	s.draining.Store(true)
+	body, _ := json.Marshal(BatchRequest{Items: []OptimizeRequest{{Program: okSrc}}})
+	dresp, err := http.Post(ts.URL+"/optimize-batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST while draining: %v", err)
+	}
+	defer dresp.Body.Close()
+	if dresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining batch status = %d, want 503", dresp.StatusCode)
+	}
+	if dresp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining batch carries no Retry-After")
+	}
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+
+	"icbe"
+	"icbe/internal/analysis"
+	"icbe/internal/ir"
+	"icbe/internal/pool"
+)
+
+// Worker-pool integration.
+//
+// With PoolWorkers > 0 the server keeps a pool of worker processes
+// (internal/pool) and upgrades eligible requests from TierFull to
+// TierPooled: before the optimize attempt, the program's analyzable
+// conditionals are sharded per-procedure across the workers, and the
+// portable summary records they return seed the attempt's memo through the
+// driver (Options.SeedRecords → SummaryMemo.Inject). Replay is exact, so
+// the response bytes are identical to the in-process path no matter what
+// the pool does — crash, hang, or return garbage — which is what makes the
+// pool safe to bolt onto a byte-deterministic service.
+
+// poolStart decides the starting rung for one admitted request: TierPooled
+// when the breakers allow full, the pool is healthy, the request runs the
+// interprocedural analysis (the only one with summaries), and the program
+// has enough analyzable conditionals to be worth the dispatch round-trip.
+func (s *Server) poolStart(tier Tier, prog *icbe.Program, base icbe.Options) Tier {
+	if tier != TierFull || s.pool == nil || !base.Interprocedural || !s.pool.Healthy() {
+		return tier
+	}
+	conds := 0
+	prog.Graph().LiveNodes(func(n *ir.Node) {
+		if n.Analyzable() {
+			conds++
+		}
+	})
+	if conds < s.cfg.PoolMinConds {
+		return tier
+	}
+	return TierPooled
+}
+
+// poolSeed runs the pool pre-analysis for one pooled attempt and returns
+// whatever records came back in time. Every failure mode — no live workers,
+// open breaker, crashed shards, expired context — shows up only as fewer
+// records; the caller's attempt proceeds regardless.
+func (s *Server) poolSeed(ctx context.Context, prog *icbe.Program, base icbe.Options) []analysis.PortableRecord {
+	if s.pool == nil {
+		return nil
+	}
+	g := prog.Graph()
+	// A couple of shards per worker keeps the balance forgiving and gives
+	// hedges somewhere useful to land.
+	shards := pool.ShardProgram(g, s.cfg.PoolWorkers*2)
+	if len(shards) == 0 {
+		return nil
+	}
+	enc := ir.EncodeProgram(g)
+	sum := sha256.Sum256(enc)
+	recs, _ := s.pool.Analyze(ctx, hex.EncodeToString(sum[:]), enc, shards, pool.JobOptions{
+		Interprocedural:  base.Interprocedural,
+		TerminationLimit: base.TerminationLimit,
+		ArithSubst:       base.ArithSubst,
+		ModSummaries:     base.ModSummaries,
+	})
+	return recs
+}
+
+// closePool shuts the worker pool down (idempotent, nil-safe). Drain calls
+// it after in-flight work has settled so late pooled attempts never dispatch
+// into a dying pool.
+func (s *Server) closePool() {
+	if s.pool != nil {
+		s.pool.Close()
+	}
+}

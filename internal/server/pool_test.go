@@ -1,0 +1,247 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+
+	"icbe/internal/pool"
+	"icbe/internal/progs"
+	"icbe/internal/randprog"
+)
+
+// poolTestCfg is a worker-pool configuration with test-speed timeouts.
+func poolTestCfg(extraEnv ...string) *pool.Config {
+	return &pool.Config{
+		Workers:           2,
+		ExtraEnv:          extraEnv,
+		HeartbeatTimeout:  500 * time.Millisecond,
+		RestartBackoff:    10 * time.Millisecond,
+		RestartBackoffCap: 100 * time.Millisecond,
+		HealthyAfter:      200 * time.Millisecond,
+		BreakerRestarts:   200, // chaos tests must not trip the breaker by accident
+	}
+}
+
+// pooledPair builds a control server (no pool) and a pooled server sharing
+// one configuration, so their responses are comparable byte for byte.
+func pooledPair(t *testing.T, pc *pool.Config) (control, pooled *Server, controlURL, pooledURL string) {
+	t.Helper()
+	base := Config{DefaultDeadline: 20 * time.Second}
+	control, controlTS := newTestService(t, base)
+	cfg := base
+	cfg.PoolWorkers = pc.Workers
+	cfg.PoolMinConds = 1 // every program with conditionals goes through the pool
+	cfg.poolCfg = pc
+	pooled, pooledTS := newTestService(t, cfg)
+	return control, pooled, controlTS.URL, pooledTS.URL
+}
+
+// equivalenceRequests is the byte-identity corpus: all seven paper workloads
+// (run on their train inputs) plus random, adversarial-scale, and recursive
+// generator seeds.
+func equivalenceRequests() map[string]OptimizeRequest {
+	reqs := make(map[string]OptimizeRequest)
+	for _, w := range progs.All() {
+		reqs[w.Name] = OptimizeRequest{Program: w.Source, Input: w.Train}
+	}
+	reqs["randprog-42"] = OptimizeRequest{Program: randprog.Generate(42, randprog.Config{})}
+	reqs["scale-7"] = OptimizeRequest{Program: randprog.Scale(7, randprog.ScaleConfig{
+		Leaves: 6, LeafStmts: 12, Hubs: 4, Calls: 3, Conds: 3, ChainLeaves: 2,
+	})}
+	reqs["recursion-11"] = OptimizeRequest{Program: randprog.Recursion(11, randprog.RecConfig{})}
+	return reqs
+}
+
+func waitUntil(t *testing.T, d time.Duration, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if ok() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestPooledResponsesByteIdentical is the core correctness bar: for every
+// corpus program, a pool-seeded response is byte-for-byte the response the
+// in-process path serves — same body, same "full" tier label, no degraded
+// marker — while /stats shows the pool really ran.
+func TestPooledResponsesByteIdentical(t *testing.T) {
+	_, pooled, controlURL, pooledURL := pooledPair(t, poolTestCfg())
+	waitUntil(t, 5*time.Second, "pool healthy", func() bool {
+		s := pooled.Stats()
+		return s.Pool != nil && s.Pool.WorkersLive == s.Pool.WorkersConfigured
+	})
+
+	for name, req := range equivalenceRequests() {
+		cs, cb := post(t, controlURL, req)
+		ps, pb := post(t, pooledURL, req)
+		if cs != http.StatusOK || ps != http.StatusOK {
+			t.Fatalf("%s: control=%d pooled=%d, want 200/200", name, cs, ps)
+		}
+		if !bytes.Equal(cb, pb) {
+			t.Fatalf("%s: pooled response differs from control\ncontrol: %s\npooled:  %s", name, cb, pb)
+		}
+	}
+
+	snap := pooled.Stats()
+	if snap.Pool == nil || snap.Pool.SeedRuns == 0 {
+		t.Fatalf("pooled server never used the pool: %+v", snap.Pool)
+	}
+	if snap.Pool.RecordsReturned == 0 {
+		t.Fatalf("pool returned no records across the corpus: %+v", snap.Pool)
+	}
+	if snap.Driver.SeedsInjected == 0 {
+		t.Fatalf("driver accepted no pool seeds: %+v", snap.Driver)
+	}
+	if snap.Degraded != 0 {
+		t.Fatalf("pooled runs counted as degraded: %+v", snap)
+	}
+	if snap.Tiers["pooled"] == 0 {
+		t.Fatalf("no requests served at the pooled tier: %v", snap.Tiers)
+	}
+}
+
+// TestPooledKillStorm kills workers with SIGKILL throughout a request sweep;
+// every pooled response must stay byte-identical to the control, the shard
+// counters must reconcile exactly, and the pool must return to full strength
+// within the backoff window once the storm stops.
+func TestPooledKillStorm(t *testing.T) {
+	_, pooled, controlURL, pooledURL := pooledPair(t, poolTestCfg())
+	waitUntil(t, 5*time.Second, "pool healthy", func() bool {
+		s := pooled.Stats()
+		return s.Pool != nil && s.Pool.WorkersLive == s.Pool.WorkersConfigured
+	})
+
+	stop := make(chan struct{})
+	stormDone := make(chan int)
+	go func() {
+		kills := 0
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				stormDone <- kills
+				return
+			case <-time.After(25 * time.Millisecond):
+			}
+			if pids := pooled.pool.WorkerPIDs(); len(pids) > 0 {
+				if syscall.Kill(pids[i%len(pids)], syscall.SIGKILL) == nil {
+					kills++
+				}
+			}
+		}
+	}()
+
+	reqs := equivalenceRequests()
+	for round := 0; round < 2; round++ {
+		for name, req := range reqs {
+			cs, cb := post(t, controlURL, req)
+			ps, pb := post(t, pooledURL, req)
+			if cs != http.StatusOK || ps != http.StatusOK {
+				t.Fatalf("round %d %s: control=%d pooled=%d", round, name, cs, ps)
+			}
+			if !bytes.Equal(cb, pb) {
+				t.Fatalf("round %d %s: response bytes changed under kill storm", round, name)
+			}
+		}
+	}
+	close(stop)
+	if kills := <-stormDone; kills == 0 {
+		t.Fatalf("storm never killed a worker")
+	}
+
+	snap := pooled.Stats()
+	p := snap.Pool
+	if p == nil {
+		t.Fatalf("no pool block in /stats")
+	}
+	if p.Restarts == 0 {
+		t.Fatalf("kill storm caused no restarts: %+v", p)
+	}
+	if p.ShardsDispatched != p.ShardsCompleted+p.ShardsDegraded {
+		t.Fatalf("shard counters do not reconcile: %+v", p)
+	}
+	if snap.Degraded != 0 {
+		t.Fatalf("worker kills degraded request responses: %+v", snap)
+	}
+	waitUntil(t, 10*time.Second, "pool recovered", func() bool {
+		s := pooled.Stats().Pool
+		return s.WorkersLive == s.WorkersConfigured && pooled.pool.Healthy()
+	})
+}
+
+// TestPooledDegradesWhenWorkersNeverStart: with an unlaunchable worker
+// binary the pool never becomes healthy, and the server quietly serves the
+// plain in-process path — same bytes, no errors, no pooled-tier counts.
+func TestPooledDegradesWhenWorkersNeverStart(t *testing.T) {
+	pc := poolTestCfg()
+	pc.WorkerBin = "/nonexistent/icbe-worker-binary"
+	_, pooled, controlURL, pooledURL := pooledPair(t, pc)
+
+	req := OptimizeRequest{Program: okSrc, Run: true}
+	cs, cb := post(t, controlURL, req)
+	ps, pb := post(t, pooledURL, req)
+	if cs != http.StatusOK || ps != http.StatusOK {
+		t.Fatalf("control=%d pooled=%d, want 200/200", cs, ps)
+	}
+	if !bytes.Equal(cb, pb) {
+		t.Fatalf("pool-less fallback served different bytes\ncontrol: %s\npooled:  %s", cb, pb)
+	}
+	snap := pooled.Stats()
+	if snap.Pool == nil {
+		t.Fatalf("pool block missing from /stats")
+	}
+	if snap.Pool.WorkersLive != 0 {
+		t.Fatalf("workers_live = %d with an unlaunchable binary", snap.Pool.WorkersLive)
+	}
+	if snap.Tiers["pooled"] != 0 {
+		t.Fatalf("requests counted at the pooled tier with no pool: %v", snap.Tiers)
+	}
+}
+
+// TestPoolSkipsSmallPrograms: below PoolMinConds the pool round-trip is
+// skipped even when the pool is healthy.
+func TestPoolSkipsSmallPrograms(t *testing.T) {
+	base := Config{PoolWorkers: 2, PoolMinConds: 50, poolCfg: poolTestCfg()}
+	s, ts := newTestService(t, base)
+	waitUntil(t, 5*time.Second, "pool healthy", func() bool {
+		snap := s.Stats()
+		return snap.Pool != nil && snap.Pool.WorkersLive == 2
+	})
+	out := postOK(t, ts.URL, OptimizeRequest{Program: okSrc})
+	if out.Tier != "full" || out.Degraded {
+		t.Fatalf("tier=%q degraded=%v", out.Tier, out.Degraded)
+	}
+	if runs := s.Stats().Pool.SeedRuns; runs != 0 {
+		t.Fatalf("small program dispatched %d pool runs, want 0", runs)
+	}
+}
+
+// TestDrainClosesPool: after Drain the worker processes are gone.
+func TestDrainClosesPool(t *testing.T) {
+	s, _ := newTestService(t, Config{PoolWorkers: 2, PoolMinConds: 1, poolCfg: poolTestCfg()})
+	waitUntil(t, 5*time.Second, "pool healthy", func() bool {
+		snap := s.Stats()
+		return snap.Pool != nil && snap.Pool.WorkersLive == 2
+	})
+	pids := s.pool.WorkerPIDs()
+	if len(pids) == 0 {
+		t.Fatalf("no worker PIDs before drain")
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, pid := range pids {
+		waitUntil(t, 5*time.Second, "worker gone after drain", func() bool {
+			return syscall.Kill(pid, 0) != nil
+		})
+	}
+}

@@ -27,6 +27,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -38,6 +39,7 @@ import (
 
 	"icbe"
 	"icbe/internal/ir"
+	"icbe/internal/pool"
 	"icbe/internal/reportjson"
 	"icbe/internal/store"
 )
@@ -77,11 +79,28 @@ type Config struct {
 	// fault-injection seam for chaos tests.
 	StoreFS store.FS
 
+	// PoolWorkers > 0 starts that many worker processes (internal/pool) and
+	// upgrades eligible full-tier requests to the pooled rung: per-procedure
+	// sharded pre-analysis whose records seed the optimize run. Zero keeps
+	// everything in-process.
+	PoolWorkers int
+	// WorkerBin is the worker executable; empty re-execs this binary.
+	WorkerBin string
+	// PoolMinConds is the minimum analyzable-conditional count before a
+	// program is worth sharding; smaller programs skip the pool round-trip.
+	PoolMinConds int
+	// MaxBatchItems caps the items of one /optimize-batch request.
+	MaxBatchItems int
+
 	// now and sleep are test seams (nil = real clock / timer sleep).
 	now   func() time.Time
 	sleep func(ctx context.Context, d time.Duration)
 	// storeCfg fully overrides the derived store configuration (test seam).
 	storeCfg *store.Config
+	// poolCfg overrides the derived pool configuration (test seam for fast
+	// heartbeats/backoffs and chaos env injection); Workers/WorkerBin are
+	// still taken from the fields above when unset in it.
+	poolCfg *pool.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +131,12 @@ func (c Config) withDefaults() Config {
 	if c.BackoffCap <= 0 {
 		c.BackoffCap = 100 * time.Millisecond
 	}
+	if c.PoolMinConds <= 0 {
+		c.PoolMinConds = 8
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 16
+	}
 	c.Breaker = c.Breaker.withDefaults()
 	return c
 }
@@ -131,6 +156,7 @@ type Server struct {
 	brk       *breakerSet
 	met       *metrics
 	store     *store.Store // nil = caching disabled
+	pool      *pool.Pool   // nil = in-process analysis only
 	draining  atomic.Bool
 	wg        sync.WaitGroup
 	baseCtx   context.Context
@@ -160,6 +186,21 @@ func New(cfg Config) *Server {
 			FS:           cfg.StoreFS,
 		})
 	}
+	if cfg.poolCfg != nil || cfg.PoolWorkers > 0 {
+		pc := pool.Config{}
+		if cfg.poolCfg != nil {
+			pc = *cfg.poolCfg
+		}
+		if pc.Workers <= 0 {
+			pc.Workers = cfg.PoolWorkers
+		}
+		if pc.WorkerBin == "" {
+			pc.WorkerBin = cfg.WorkerBin
+		}
+		// A pool that cannot even name its worker binary degrades to the
+		// in-process path; like the store, pool trouble is never fatal.
+		s.pool, _ = pool.New(pc)
+	}
 	return s
 }
 
@@ -169,6 +210,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/optimize", s.recoverWrap(s.handleOptimize))
+	mux.HandleFunc("/optimize-batch", s.recoverWrap(s.handleOptimizeBatch))
 	mux.HandleFunc("/healthz", s.recoverWrap(s.handleHealthz))
 	mux.HandleFunc("/readyz", s.recoverWrap(s.handleReadyz))
 	mux.HandleFunc("/stats", s.recoverWrap(s.handleStats))
@@ -189,10 +231,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closePool()
 		return nil
 	case <-ctx.Done():
 		s.cancelAll()
 		<-done
+		s.closePool()
 		return ctx.Err()
 	}
 }
@@ -208,6 +252,10 @@ func (s *Server) Stats() StatsSnapshot {
 	if s.store != nil {
 		st := s.store.Stats()
 		snap.Store = &st
+	}
+	if s.pool != nil {
+		ps := s.pool.Stats()
+		snap.Pool = &ps
 	}
 	return snap
 }
@@ -288,8 +336,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.met.shedOne("draining")
 		// A draining instance is a retryable condition like any other shed:
 		// the replacement instance (or this one, if the drain is a rolling
-		// restart) will take the request shortly.
-		w.Header().Set("Retry-After", "1")
+		// restart) will take the request shortly. The hint scales with the
+		// backlog the replacement will inherit, same as every other shed.
+		w.Header().Set("Retry-After", fmt.Sprint(s.adm.retryAfterSeconds()))
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining", Reason: "draining"})
 		return
 	}
@@ -306,9 +355,54 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: " + err.Error()})
 		return
 	}
-	if req.Program == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `missing "program"`})
+	s.writeOutcome(w, s.serveOne(r.Context(), &req))
+}
+
+// serveOutcome is the terminal result of serving one optimize item — shared
+// by /optimize and each /optimize-batch item so the two paths can never
+// diverge in behavior or bytes.
+type serveOutcome struct {
+	status int
+	body   []byte
+	// cacheStatus is the X-Icbe-Cache disposition; empty means an error
+	// payload with no cache headers.
+	cacheStatus string
+	retryAfter  int // Retry-After seconds (0 = omit)
+	elapsed     time.Duration
+}
+
+func errOutcome(status int, e errorResponse) serveOutcome {
+	return serveOutcome{status: status, body: encodeJSON(e)}
+}
+
+// writeOutcome renders a serveOutcome onto one HTTP response.
+func (s *Server) writeOutcome(w http.ResponseWriter, out serveOutcome) {
+	if out.retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(out.retryAfter))
+	}
+	if out.cacheStatus != "" {
+		writeRaw(w, out.status, out.body, out.cacheStatus, out.elapsed)
 		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(out.status)
+	_, _ = w.Write(out.body)
+}
+
+// serveOne runs one optimize request end to end — validation, admission,
+// cache, singleflight, ladder — and returns the response it would serve. It
+// holds its own admission slot, so concurrent batch items contend with
+// single requests on equal terms.
+func (s *Server) serveOne(parent context.Context, req *OptimizeRequest) serveOutcome {
+	if req.Program == "" {
+		return errOutcome(http.StatusBadRequest, errorResponse{Error: `missing "program"`})
+	}
+	if int64(len(req.Program)) > s.cfg.MaxRequestBytes {
+		// Batch items dodge the whole-body MaxBytesReader, so the per-item
+		// program cap is enforced here with the same status and reason.
+		s.met.shedOne("oversized")
+		return errOutcome(http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("program exceeds %d bytes", s.cfg.MaxRequestBytes), Reason: "oversized"})
 	}
 
 	deadline := s.cfg.DefaultDeadline
@@ -318,7 +412,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if deadline > s.cfg.MaxDeadline {
 		deadline = s.cfg.MaxDeadline
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	ctx, cancel := context.WithTimeout(parent, deadline)
 	defer cancel()
 	// A drain past its grace period cancels in-flight requests through the
 	// server's base context.
@@ -328,11 +422,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	release, shed := s.adm.admit(ctx, estimateBytes(len(req.Program)))
 	if shed != nil {
 		s.met.shedOne(shed.reason)
-		if shed.retryAfter > 0 {
-			w.Header().Set("Retry-After", fmt.Sprint(shed.retryAfter))
-		}
-		writeJSON(w, shed.status, errorResponse{Error: shed.msg, Reason: shed.reason})
-		return
+		out := errOutcome(shed.status, errorResponse{Error: shed.msg, Reason: shed.reason})
+		out.retryAfter = shed.retryAfter
+		return out
 	}
 	defer release()
 	s.met.admit()
@@ -344,21 +436,19 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	var fp store.Fingerprint
 	var l1 store.ResultKey
 	if s.store != nil {
-		fp = s.fingerprintRequest(&req)
+		fp = s.fingerprintRequest(req)
 		l1 = store.KeyForSource(req.Program, fp)
 		if l2, ok := s.store.SourceKey(l1); ok {
 			if ent, src := s.store.GetResult(l2); ent != nil {
 				s.met.cacheServe(time.Since(t0))
-				writeRaw(w, http.StatusOK, ent.Body, "hit-"+src, time.Since(t0))
-				return
+				return serveOutcome{status: http.StatusOK, body: ent.Body, cacheStatus: "hit-" + src, elapsed: time.Since(t0)}
 			}
 		}
 	}
 
 	prog, err := icbe.Compile(req.Program)
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error(), Reason: "compile"})
-		return
+		return errOutcome(http.StatusUnprocessableEntity, errorResponse{Error: err.Error(), Reason: "compile"})
 	}
 
 	// L2: the content-addressed key — canonically equal programs submitted
@@ -373,15 +463,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.store.MapSource(l1, l2)
 		if ent, src := s.store.GetResult(l2); ent != nil {
 			s.met.cacheServe(time.Since(t0))
-			writeRaw(w, http.StatusOK, ent.Body, "hit-"+src, time.Since(t0))
-			return
+			return serveOutcome{status: http.StatusOK, body: ent.Body, cacheStatus: "hit-" + src, elapsed: time.Since(t0)}
 		}
 		flight, leader = s.store.BeginFlight(l2)
 		if !leader {
 			if ent := s.store.WaitFlight(ctx, flight); ent != nil {
 				s.met.cacheServe(time.Since(t0))
-				writeRaw(w, http.StatusOK, ent.Body, "coalesced", time.Since(t0))
-				return
+				return serveOutcome{status: http.StatusOK, body: ent.Body, cacheStatus: "coalesced", elapsed: time.Since(t0)}
 			}
 			// The leader published nothing (degraded result) or our own
 			// deadline fired first: compute for ourselves, publish nothing.
@@ -403,11 +491,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 	base := s.baseOptions(req.Options)
+	tier = s.poolStart(tier, prog, base)
 	lr := s.runLadder(ctx, prog, base, tier, s.memoFactory(prog, ph, base))
 	s.brk.record(lr.kinds, probes)
 	recorded = true
 
-	body := buildBody(lr, &req)
+	body := buildBody(lr, req)
 	cacheStatus := "bypass"
 	if s.store != nil && cacheable(lr) {
 		published = s.persistResult(prog, ph, l2, base, lr, body)
@@ -415,7 +504,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	elapsed := time.Since(t0)
 	s.met.complete(lr, elapsed)
-	writeRaw(w, http.StatusOK, body, cacheStatus, elapsed)
+	return serveOutcome{status: http.StatusOK, body: body, cacheStatus: cacheStatus, elapsed: elapsed}
 }
 
 // baseOptions builds the pre-tier option set for one request.
@@ -482,4 +571,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	// The shared reportjson encoder renders every payload that leaves the
 	// service, exactly as `icbe -json` renders the CLI's.
 	_ = reportjson.Encode(w, v)
+}
+
+// encodeJSON renders a payload to bytes with the same encoder writeJSON
+// streams with, so buffered outcomes (batch items) match direct responses
+// byte for byte.
+func encodeJSON(v any) []byte {
+	var buf bytes.Buffer
+	_ = reportjson.Encode(&buf, v)
+	return buf.Bytes()
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"icbe/internal/pool"
 	"icbe/internal/reportjson"
 	"icbe/internal/store"
 )
@@ -31,6 +32,8 @@ type metrics struct {
 	driver      reportjson.DriverStats
 	runs        int64
 	cacheServed int64 // responses served from the store, no driver run
+	batchReqs   int64
+	batchItems  int64
 
 	lat  []float64 // rolling latency samples, milliseconds
 	next int
@@ -71,6 +74,16 @@ func (m *metrics) panicContained() {
 	m.mu.Unlock()
 }
 
+// batch counts one accepted /optimize-batch request and its item fan-out.
+// Items then count themselves through the ordinary per-request aggregates
+// (admitted, completed, shed, tiers) exactly as standalone requests would.
+func (m *metrics) batch(items int) {
+	m.mu.Lock()
+	m.batchReqs++
+	m.batchItems += int64(items)
+	m.mu.Unlock()
+}
+
 // cacheServe folds a store-served response into the aggregates. Cached
 // bodies are always full-tier (nothing else enters the store), count toward
 // completion and latency, but add no driver counters — no driver ran.
@@ -89,7 +102,7 @@ func (m *metrics) complete(lr *ladderResult, latency time.Duration) {
 	defer m.mu.Unlock()
 	m.completed++
 	m.tiers[lr.tier.String()]++
-	if lr.tier != TierFull {
+	if lr.tier > TierFull {
 		m.degraded++
 	}
 	m.retries += int64(lr.retries)
@@ -146,10 +159,19 @@ type StatsSnapshot struct {
 	OptimizeRuns  int64                    `json:"optimize_runs"`
 	CacheServed   int64                    `json:"cache_served"`
 	Store         *store.Snapshot          `json:"store,omitempty"`
+	Pool          *pool.Snapshot           `json:"pool,omitempty"`
+	Batch         BatchStats               `json:"batch"`
 	Breakers      map[string]BreakerStatus `json:"breakers"`
 	Ceiling       string                   `json:"ceiling"`
 	LatencyMS     LatencyStats             `json:"latency_ms"`
 	Goroutines    int                      `json:"goroutines"`
+}
+
+// BatchStats is the /stats batch block: accepted batch requests and the items
+// they fanned out (items also appear in the per-request aggregates).
+type BatchStats struct {
+	Requests int64 `json:"requests"`
+	Items    int64 `json:"items"`
 }
 
 func (m *metrics) snapshot(now time.Time) StatsSnapshot {
@@ -169,6 +191,7 @@ func (m *metrics) snapshot(now time.Time) StatsSnapshot {
 		Driver:        m.driver,
 		OptimizeRuns:  m.runs,
 		CacheServed:   m.cacheServed,
+		Batch:         BatchStats{Requests: m.batchReqs, Items: m.batchItems},
 		Goroutines:    runtime.NumGoroutine(),
 	}
 	s.Driver.Failures = copyInts(m.driver.Failures)

@@ -1,0 +1,15 @@
+package server
+
+import (
+	"os"
+	"testing"
+
+	"icbe/internal/pool"
+)
+
+// TestMain lets pooled-server tests re-exec this test binary as the worker
+// image: a spawned copy sees the pool's env marker and becomes a worker.
+func TestMain(m *testing.M) {
+	pool.MaybeWorkerMain()
+	os.Exit(m.Run())
+}

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Benchmark trend gate over the committed BENCH_<n>.json trajectory.
+
+The repo commits one BENCH_<n>.json per growth round (emitted by
+`icbe-bench -json`), but until now nothing read them back. This script makes
+the trajectory load-bearing: given a freshly emitted candidate JSON, it
+compares the Table2 benchmark's ms/op against the highest-numbered committed
+baseline and fails when the candidate regresses by more than the threshold
+(default 20%, tolerant of CI-runner noise). It also prints the whole
+committed trend so a slow drift is visible in the CI log even while each
+individual step stays under the gate.
+
+Usage:
+    scripts/bench_trend.py CANDIDATE.json [--threshold 0.20] [--repo-dir DIR]
+
+Exit status: 0 when within the threshold (or when no baseline exists yet),
+1 on regression or malformed input.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+GATED_BENCH = "Table2"
+
+
+def table2_ms(path):
+    """Return Table2 ms/op from one icbe-bench JSON file, or None."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as e:
+        print(f"bench_trend: cannot read {path}: {e}", file=sys.stderr)
+        return None
+    for b in doc.get("benchmarks", []):
+        if b.get("name") == GATED_BENCH:
+            ns = b.get("ns_per_op")
+            if isinstance(ns, (int, float)) and ns > 0:
+                return ns / 1e6
+            break
+    print(f"bench_trend: no {GATED_BENCH} ns_per_op in {path}", file=sys.stderr)
+    return None
+
+
+def committed_baselines(repo_dir):
+    """All committed BENCH_<n>.json files as a sorted [(n, path)] list."""
+    out = []
+    for p in Path(repo_dir).iterdir():
+        m = BENCH_RE.match(p.name)
+        if m:
+            out.append((int(m.group(1)), p))
+    return sorted(out)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("candidate", help="freshly emitted icbe-bench JSON")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed fractional ms/op regression (default 0.20)")
+    ap.add_argument("--repo-dir", default=Path(__file__).resolve().parent.parent,
+                    help="directory holding the committed BENCH_<n>.json files")
+    args = ap.parse_args()
+
+    cand_ms = table2_ms(args.candidate)
+    if cand_ms is None:
+        return 1
+
+    baselines = committed_baselines(args.repo_dir)
+    print(f"bench_trend: {GATED_BENCH} ms/op trajectory")
+    for n, path in baselines:
+        ms = table2_ms(path)
+        print(f"  BENCH_{n:<3} {'?' if ms is None else f'{ms:8.3f}'}")
+    print(f"  candidate {cand_ms:8.3f}")
+
+    if not baselines:
+        print("bench_trend: no committed baseline yet; gate passes vacuously")
+        return 0
+
+    base_n, base_path = baselines[-1]
+    base_ms = table2_ms(base_path)
+    if base_ms is None:
+        return 1
+
+    ratio = cand_ms / base_ms
+    limit = 1.0 + args.threshold
+    verdict = "PASS" if ratio <= limit else "FAIL"
+    print(f"bench_trend: candidate vs BENCH_{base_n}: "
+          f"{cand_ms:.3f} / {base_ms:.3f} ms/op = {ratio:.3f}x "
+          f"(limit {limit:.2f}x) -> {verdict}")
+    if ratio > limit:
+        print(f"bench_trend: {GATED_BENCH} regressed more than "
+              f"{args.threshold:.0%} against the last committed baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# Worker-pool chaos soak for icbe-serve: run a pooled server and a pool-less
+# control side by side, drive both with the same mixed load while kill -9-ing
+# random worker processes, and require (1) every pooled response byte-identical
+# to the control's, (2) the pool back at full strength once the storm stops
+# with reconciling shard counters, and (3) a clean drain that leaves no worker
+# processes behind. Extends scripts/server_smoke.sh; CI runs it as the
+# worker-pool chaos job. Needs only curl and python3.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT_CONTROL="${PORT_CONTROL:-18180}"
+PORT_POOLED="${PORT_POOLED:-18181}"
+ROUNDS="${ROUNDS:-6}"
+CONTROL="http://127.0.0.1:$PORT_CONTROL"
+POOLED="http://127.0.0.1:$PORT_POOLED"
+WORK="$(mktemp -d)"
+CPID=""
+PPID_POOLED=""
+KILLER=""
+trap 'kill -9 "$KILLER" "$CPID" "$PPID_POOLED" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+fail() {
+	echo "pool_chaos: FAIL: $*" >&2
+	sed 's/^/  control: /' "$WORK/control.log" >&2 || true
+	sed 's/^/  pooled:  /' "$WORK/pooled.log" >&2 || true
+	exit 1
+}
+
+json_get() { # json_get <url> <python-expr over parsed object s>
+	curl -fsS "$1" | python3 -c "import json,sys; s=json.load(sys.stdin); print($2)"
+}
+
+wait_ready() {
+	for _ in $(seq 1 50); do
+		curl -fsS "$1/healthz" >/dev/null 2>&1 && return 0
+		sleep 0.2
+	done
+	fail "$1 never became healthy"
+}
+
+go build -o "$WORK/icbe-serve" ./cmd/icbe-serve
+
+"$WORK/icbe-serve" -addr "127.0.0.1:$PORT_CONTROL" \
+	>"$WORK/control.log" 2>&1 &
+CPID=$!
+"$WORK/icbe-serve" -addr "127.0.0.1:$PORT_POOLED" \
+	-pool-workers 2 -pool-min-conds 1 >"$WORK/pooled.log" 2>&1 &
+PPID_POOLED=$!
+wait_ready "$CONTROL"
+wait_ready "$POOLED"
+
+# Wait for the pool to reach full strength before the storm starts.
+for _ in $(seq 1 50); do
+	live="$(json_get "$POOLED/stats" 's["pool"]["workers_live"]')" || live=0
+	[ "$live" = 2 ] && break
+	sleep 0.2
+done
+[ "$live" = 2 ] || fail "pool never reached 2 live workers (got $live)"
+BASE_GOROUTINES="$(json_get "$POOLED/stats" 's["goroutines"]')"
+
+# Per-round request corpus: multi-procedure programs with interprocedural
+# conditionals (real shard fan-out), varied per round so every request is a
+# cache miss on both servers and the pool stays on the hot path.
+python3 - "$WORK" "$ROUNDS" <<'EOF'
+import json, sys
+work, rounds = sys.argv[1], int(sys.argv[2])
+def corpus(r):
+    inter = f"""
+func check(x) {{ if (x == 0) {{ return {r+1}; }} return 0; }}
+func clamp(v) {{ if (v > 100) {{ return 100; }} if (v < 0) {{ return 0; }} return v; }}
+func main() {{
+    var a = 0;
+    if (check(a) == {r+1}) {{ print({r}); }}
+    if (a == 0) {{ print(20); }}
+    print(clamp(a + {r+7}));
+    print(clamp(0 - 5));
+}}"""
+    loopy = f"""
+func step(n) {{ if (n > {r+3}) {{ return n - 1; }} return n; }}
+func main() {{
+    var i = 0;
+    var s = 0;
+    while (i < {r+5}) {{ s = s + step(i); i = i + 1; }}
+    if (s >= 0) {{ print(s); }} print({r+100});
+}}"""
+    return {"inter": inter, "loopy": loopy}
+for r in range(rounds):
+    for name, prog in corpus(r).items():
+        body = {"program": prog, "run": True}
+        open(f"{work}/req-{r}-{name}.json", "w").write(json.dumps(body))
+EOF
+
+# The storm: kill -9 a rotating worker child of the pooled server for as long
+# as the load runs.
+(
+	i=0
+	while :; do
+		pids=($(pgrep -P "$PPID_POOLED" || true))
+		if [ "${#pids[@]}" -gt 0 ]; then
+			kill -9 "${pids[$((i % ${#pids[@]}))]}" 2>/dev/null && echo x >>"$WORK/kills"
+		fi
+		i=$((i + 1))
+		sleep 0.15
+	done
+) &
+KILLER=$!
+
+for r in $(seq 0 $((ROUNDS - 1))); do
+	for req in "$WORK"/req-"$r"-*.json; do
+		name="$(basename "$req" .json)"
+		curl -fsS -d @"$req" "$CONTROL/optimize" -o "$WORK/$name.control" ||
+			fail "$name failed on control"
+		curl -fsS -d @"$req" "$POOLED/optimize" -o "$WORK/$name.pooled" ||
+			fail "$name failed on pooled server"
+		cmp -s "$WORK/$name.control" "$WORK/$name.pooled" ||
+			fail "$name: pooled response differs from control under kill storm"
+	done
+done
+
+kill "$KILLER" 2>/dev/null || true
+wait "$KILLER" 2>/dev/null || true
+KILLER=""
+[ -s "$WORK/kills" ] || fail "storm never killed a worker"
+echo "pool_chaos: $(wc -l <"$WORK/kills") worker kills during $ROUNDS rounds"
+
+# Recovery: full strength within the backoff window, counters reconciling,
+# the pool demonstrably on the hot path, and no request ever degraded.
+for _ in $(seq 1 100); do
+	live="$(json_get "$POOLED/stats" 's["pool"]["workers_live"]')" || live=0
+	[ "$live" = 2 ] && break
+	sleep 0.2
+done
+[ "$live" = 2 ] || fail "pool did not recover to 2 live workers (got $live)"
+python3 - "$POOLED" "$BASE_GOROUTINES" <<'EOF' || fail "pooled /stats reconciliation"
+import json, sys, urllib.request
+s = json.load(urllib.request.urlopen(sys.argv[1] + "/stats"))
+p = s["pool"]
+assert p["restarts"] > 0, p
+assert p["seed_runs"] > 0 and p["records_returned"] > 0, p
+assert p["shards_dispatched"] == p["shards_completed"] + p["shards_degraded"], p
+assert s["tiers"].get("pooled", 0) > 0, s["tiers"]
+assert s["driver"]["seeds_injected"] > 0, s["driver"]
+assert s["degraded"] == 0, s["degraded"]
+assert s["shed_total"] == 0, s.get("shed")
+assert s["queue_depth"] == 0 and s["in_flight"] == 0
+assert s["goroutines"] <= int(sys.argv[2]) + 8, (s["goroutines"], sys.argv[2])
+EOF
+
+# Clean drain: SIGTERM both servers, exit 0, and no worker processes left.
+kill -TERM "$PPID_POOLED"
+rc=0
+wait "$PPID_POOLED" || rc=$?
+[ "$rc" -eq 0 ] || fail "pooled server exit status $rc after SIGTERM"
+grep -q "drained cleanly" "$WORK/pooled.log" || fail "pooled server: no clean-drain log line"
+PPID_POOLED=""
+kill -TERM "$CPID"
+wait "$CPID" || fail "control server did not drain cleanly"
+CPID=""
+sleep 0.3
+if pgrep -f "$WORK/icbe-serve" >/dev/null; then
+	fail "worker processes survived the drain: $(pgrep -af "$WORK/icbe-serve")"
+fi
+
+echo "pool_chaos: PASS"
